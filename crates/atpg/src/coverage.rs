@@ -1,0 +1,177 @@
+//! Fault-coverage accounting for generated test sets.
+
+use std::fmt;
+
+use sdd_fault::{FaultId, FaultUniverse};
+use sdd_netlist::{Circuit, CombView};
+use sdd_sim::ResponseMatrix;
+
+use crate::GeneratedTestSet;
+
+/// Coverage statistics of a test set over a fault list.
+///
+/// *Fault coverage* is detected / total; *test efficiency* (ATPG
+/// effectiveness) excludes provably untestable faults from the
+/// denominator, which is how ATPG tools usually report.
+///
+/// # Example
+///
+/// ```
+/// use sdd_atpg::{generate_detection, AtpgOptions, CoverageReport};
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, CombView};
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let collapsed = universe.collapse_on(&c17);
+/// let set = generate_detection(
+///     &c17, &view, &universe, collapsed.representatives(), 1, &AtpgOptions::default(),
+/// );
+/// let report = CoverageReport::measure(&c17, &view, &universe, collapsed.representatives(), &set);
+/// assert_eq!(report.detected, report.total_faults); // c17 is fully testable
+/// assert_eq!(report.fault_coverage(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Total faults targeted.
+    pub total_faults: usize,
+    /// Faults detected by at least one test.
+    pub detected: usize,
+    /// Faults proven untestable.
+    pub untestable: usize,
+    /// Faults abandoned without a verdict.
+    pub aborted: usize,
+    /// Number of tests in the set.
+    pub tests: usize,
+    /// Average detections per detected fault (the n-detect profile).
+    pub mean_detections: f64,
+}
+
+impl CoverageReport {
+    /// Fault-simulates `set` and tallies coverage.
+    pub fn measure(
+        circuit: &Circuit,
+        view: &CombView,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        set: &GeneratedTestSet,
+    ) -> Self {
+        let matrix = ResponseMatrix::simulate(circuit, view, universe, faults, &set.tests);
+        Self::from_matrix(&matrix, set)
+    }
+
+    /// Tallies coverage from an existing response matrix (must cover the
+    /// same faults and tests as `set`).
+    pub fn from_matrix(matrix: &ResponseMatrix, set: &GeneratedTestSet) -> Self {
+        let counts = matrix.detection_counts();
+        let detected = counts.iter().filter(|&&c| c > 0).count();
+        let total_detections: u64 = counts.iter().map(|&c| c as u64).sum();
+        Self {
+            total_faults: matrix.fault_count(),
+            detected,
+            untestable: set.untestable.len(),
+            aborted: set.aborted.len(),
+            tests: set.tests.len(),
+            mean_detections: if detected == 0 {
+                0.0
+            } else {
+                total_detections as f64 / detected as f64
+            },
+        }
+    }
+
+    /// Detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Detected / (total − proven untestable): the ATPG-effectiveness
+    /// figure, 1.0 when every verdict is definitive.
+    pub fn test_efficiency(&self) -> f64 {
+        let target = self.total_faults - self.untestable;
+        if target == 0 {
+            1.0
+        } else {
+            self.detected as f64 / target as f64
+        }
+    }
+
+    /// Verifies the bookkeeping is consistent (counts partition the fault
+    /// list up to fortuitous detection of aborted faults).
+    pub fn is_consistent(&self) -> bool {
+        self.detected + self.untestable <= self.total_faults + self.aborted
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tests: {}/{} faults detected ({:.2}% coverage, {:.2}% efficiency, \
+             {} untestable, {} aborted, {:.1} detections/fault)",
+            self.tests,
+            self.detected,
+            self.total_faults,
+            100.0 * self.fault_coverage(),
+            100.0 * self.test_efficiency(),
+            self.untestable,
+            self.aborted,
+            self.mean_detections,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_detection, AtpgOptions};
+    use sdd_netlist::library::c17;
+
+    fn c17_report(n: u32) -> CoverageReport {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let set = generate_detection(
+            &c,
+            &view,
+            &universe,
+            collapsed.representatives(),
+            n,
+            &AtpgOptions::default(),
+        );
+        CoverageReport::measure(&c, &view, &universe, collapsed.representatives(), &set)
+    }
+
+    #[test]
+    fn c17_is_fully_covered() {
+        let r = c17_report(1);
+        assert_eq!(r.total_faults, 22);
+        assert_eq!(r.detected, 22);
+        assert_eq!(r.fault_coverage(), 1.0);
+        assert_eq!(r.test_efficiency(), 1.0);
+        assert!(r.is_consistent());
+        assert!(r.mean_detections >= 1.0);
+    }
+
+    #[test]
+    fn ten_detect_raises_mean_detections() {
+        let one = c17_report(1);
+        let ten = c17_report(10);
+        assert!(ten.mean_detections > one.mean_detections);
+        assert!(ten.tests > one.tests);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = c17_report(1);
+        let line = r.to_string();
+        assert!(line.contains("22/22"), "{line}");
+        assert!(line.contains("100.00%"), "{line}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Automatic test pattern generation.
+//!
+//! The paper evaluates dictionaries on two test-set types per circuit, both
+//! generated here:
+//!
+//! * **detection test sets** (including *n-detection*: every testable fault
+//!   detected by at least `n` distinct tests — the paper uses `n = 10`),
+//!   built by [`generate_detection`]: a random phase with fault dropping
+//!   followed by deterministic [`Podem`] targeting, then reverse-order
+//!   compaction ([`reverse_compact`]);
+//! * **diagnostic test sets**, built by [`generate_diagnostic`]: a compact
+//!   detection set augmented greedily with tests that split the most
+//!   remaining full-dictionary-indistinguished fault pairs, plus a targeted
+//!   pair-splitting phase (see `DESIGN.md` §5 for how this relates to the
+//!   paper's diagnostic ATPG).
+//!
+//! # Example
+//!
+//! ```
+//! use sdd_atpg::{generate_detection, AtpgOptions};
+//! use sdd_fault::FaultUniverse;
+//! use sdd_netlist::{library, CombView};
+//!
+//! let c17 = library::c17();
+//! let view = CombView::new(&c17);
+//! let universe = FaultUniverse::enumerate(&c17);
+//! let collapsed = universe.collapse_on(&c17);
+//! let set = generate_detection(
+//!     &c17, &view, &universe, collapsed.representatives(), 1, &AtpgOptions::default(),
+//! );
+//! assert!(set.untestable.is_empty(), "all c17 faults are testable");
+//! assert!(!set.tests.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod diagnostic;
+mod podem;
+mod random;
+pub mod sat;
+mod testset;
+
+pub use coverage::CoverageReport;
+pub use diagnostic::generate_diagnostic;
+pub use podem::{merge_cubes, CubeOutcome, FillMode, Podem, PodemOutcome, TestCube};
+pub use random::{random_patterns, weighted_random_patterns};
+pub use testset::{generate_detection, reverse_compact, AtpgOptions, GeneratedTestSet};

@@ -1,0 +1,801 @@
+//! PODEM: path-oriented decision making, the classic deterministic test
+//! generation algorithm (Goel, 1981), over the five-valued D-algebra.
+//!
+//! PODEM searches the space of primary-input assignments directly: it picks
+//! an *objective* (activate the fault, then drive its effect toward an
+//! output), *backtraces* the objective to an unassigned input, assigns it,
+//! implies by forward simulation, and backtracks on conflicts. The search is
+//! complete: with an unlimited backtrack budget, `Untestable` is a proof of
+//! redundancy.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sdd_fault::{Fault, FaultSite};
+use sdd_logic::{BitVec, V5};
+use sdd_netlist::{Circuit, CombView, Driver, GateKind, NetId};
+
+/// How unassigned inputs are filled once a test is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillMode {
+    /// Fill with `0` — deterministic, reproducible tests.
+    #[default]
+    Zero,
+    /// Fill randomly — raises the chance of fortuitous extra detections,
+    /// and lets repeated calls produce *different* tests for the same fault
+    /// (the lever n-detection generation relies on).
+    Random,
+}
+
+/// The outcome of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test detecting the fault (one bit per view input).
+    Test(BitVec),
+    /// The decision tree was exhausted: the fault is untestable (redundant).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+impl PodemOutcome {
+    /// The generated test, if any.
+    pub fn test(&self) -> Option<&BitVec> {
+        match self {
+            PodemOutcome::Test(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A reusable PODEM test generator bound to one circuit view.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sdd_atpg::{Podem, PodemOutcome};
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, CombView};
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let mut podem = Podem::new(&c17, &view);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let fault = universe.fault(sdd_fault::FaultId(0));
+/// match podem.generate(fault, &mut rng) {
+///     PodemOutcome::Test(test) => assert_eq!(test.len(), 5),
+///     other => panic!("c17 faults are testable, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Podem<'a> {
+    circuit: &'a Circuit,
+    view: &'a CombView,
+    backtrack_limit: usize,
+    fill: FillMode,
+    randomize_backtrace: bool,
+    value: Vec<V5>,
+    reach: Vec<bool>,
+}
+
+#[derive(Debug)]
+struct Decision {
+    input: usize,
+    value: bool,
+    flipped: bool,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates a generator with the default backtrack limit (`4096`) and
+    /// zero fill.
+    pub fn new(circuit: &'a Circuit, view: &'a CombView) -> Self {
+        Self {
+            circuit,
+            view,
+            backtrack_limit: 4096,
+            fill: FillMode::Zero,
+            randomize_backtrace: false,
+            value: vec![V5::X; circuit.net_count()],
+            reach: vec![false; circuit.net_count()],
+        }
+    }
+
+    /// Sets the backtrack budget after which a run gives up as
+    /// [`PodemOutcome::Aborted`].
+    pub fn with_backtrack_limit(mut self, limit: usize) -> Self {
+        self.backtrack_limit = limit;
+        self
+    }
+
+    /// Sets how don't-care inputs are filled in generated tests.
+    pub fn with_fill(mut self, fill: FillMode) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Randomizes objective and backtrace choices. Combined with
+    /// [`FillMode::Random`], repeated runs on the same fault explore
+    /// different tests.
+    pub fn with_randomized_search(mut self, on: bool) -> Self {
+        self.randomize_backtrace = on;
+        self
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&mut self, fault: Fault, rng: &mut StdRng) -> PodemOutcome {
+        match self.generate_cube(fault, rng) {
+            CubeOutcome::Cube(cube) => PodemOutcome::Test(self.fill_cube(&cube, rng)),
+            CubeOutcome::Untestable => PodemOutcome::Untestable,
+            CubeOutcome::Aborted => PodemOutcome::Aborted,
+        }
+    }
+
+    /// Attempts to generate a *test cube* for `fault`: the partial input
+    /// assignment PODEM actually needed, with don't-cares left unassigned.
+    /// Cubes feed static compaction ([`merge_cubes`]): compatible cubes
+    /// merge into one pattern that detects both targets.
+    pub fn generate_cube(&mut self, fault: Fault, rng: &mut StdRng) -> CubeOutcome {
+        let input_count = self.view.inputs().len();
+        let mut assignment: Vec<Option<bool>> = vec![None; input_count];
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            self.simulate(fault, &assignment);
+            if self.detected_at_output() {
+                return CubeOutcome::Cube(TestCube(assignment));
+            }
+            let feasible = self.feasible(fault);
+            let objective = if feasible { self.objective(fault, rng) } else { None };
+            match objective {
+                Some((net, target)) => {
+                    let (input, value) = self.backtrace(net, target, rng);
+                    if assignment[input].is_some() {
+                        // Defensive: should not happen; treat as conflict.
+                        if !Self::backtrack(&mut decisions, &mut assignment) {
+                            return CubeOutcome::Untestable;
+                        }
+                        backtracks += 1;
+                        if backtracks > self.backtrack_limit {
+                            return CubeOutcome::Aborted;
+                        }
+                        continue;
+                    }
+                    assignment[input] = Some(value);
+                    decisions.push(Decision {
+                        input,
+                        value,
+                        flipped: false,
+                    });
+                }
+                None => {
+                    // Conflict (or no live objective): backtrack.
+                    if !Self::backtrack(&mut decisions, &mut assignment) {
+                        return CubeOutcome::Untestable;
+                    }
+                    backtracks += 1;
+                    if backtracks > self.backtrack_limit {
+                        return CubeOutcome::Aborted;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops flipped decisions, flips the deepest unflipped one. Returns
+    /// `false` when the tree is exhausted.
+    fn backtrack(decisions: &mut Vec<Decision>, assignment: &mut [Option<bool>]) -> bool {
+        while let Some(mut d) = decisions.pop() {
+            assignment[d.input] = None;
+            if !d.flipped {
+                d.value = !d.value;
+                d.flipped = true;
+                assignment[d.input] = Some(d.value);
+                decisions.push(d);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Five-valued forward simulation with `fault` injected.
+    fn simulate(&mut self, fault: Fault, assignment: &[Option<bool>]) {
+        for &net in self.view.order() {
+            let mut v = match self.circuit.driver(net) {
+                Driver::Input | Driver::Dff { .. } => {
+                    let pos = self.view.input_position(net).expect("source is an input");
+                    match assignment[pos] {
+                        Some(bit) => V5::from_bool(bit),
+                        None => V5::X,
+                    }
+                }
+                Driver::Gate { kind, inputs } => {
+                    let mut acc: Option<V5> = None;
+                    for (pin, &source) in inputs.iter().enumerate() {
+                        let pv = self.pin_value(fault, net, pin, source);
+                        acc = Some(match acc {
+                            None => pv,
+                            Some(a) => apply(*kind, a, pv),
+                        });
+                    }
+                    let raw = acc.expect("gates have inputs");
+                    if kind.inverts() {
+                        raw.not()
+                    } else {
+                        raw
+                    }
+                }
+            };
+            if let FaultSite::Stem(s) = fault.site {
+                if s == net {
+                    v = force(v, fault.stuck_at);
+                }
+            }
+            self.value[net.index()] = v;
+        }
+    }
+
+    /// The composite value a gate pin sees, honoring a branch fault.
+    fn pin_value(&self, fault: Fault, gate: NetId, pin: usize, source: NetId) -> V5 {
+        let wire = self.value[source.index()];
+        match fault.site {
+            FaultSite::Branch { gate: fg, pin: fp } if fg == gate && fp as usize == pin => {
+                force(wire, fault.stuck_at)
+            }
+            _ => wire,
+        }
+    }
+
+    fn detected_at_output(&self) -> bool {
+        self.view
+            .outputs()
+            .iter()
+            .any(|&o| self.value[o.index()].is_fault_effect())
+    }
+
+    /// The composite value at the fault site line.
+    fn site_value(&self, fault: Fault) -> V5 {
+        match fault.site {
+            FaultSite::Stem(s) => self.value[s.index()],
+            FaultSite::Branch { gate, pin } => {
+                let source = self.circuit.driver(gate).fanin()[pin as usize];
+                self.pin_value(fault, gate, pin as usize, source)
+            }
+        }
+    }
+
+    /// Can the current partial assignment still be extended to a test?
+    fn feasible(&mut self, fault: Fault) -> bool {
+        let site = self.site_value(fault);
+        if site.is_fault_effect() {
+            self.compute_reach();
+            self.live_frontier(fault).next().is_some()
+        } else {
+            // Not activated: feasible only while the site's good value is
+            // still unknown.
+            !site.is_assigned()
+        }
+    }
+
+    /// Marks nets with X value from which an observed output is reachable
+    /// through X-valued nets (the classic X-path check).
+    fn compute_reach(&mut self) {
+        self.reach.iter_mut().for_each(|r| *r = false);
+        for &o in self.view.outputs() {
+            if self.value[o.index()] == V5::X {
+                self.reach[o.index()] = true;
+            }
+        }
+        // Reverse topological sweep: when a net is visited, every sink gate
+        // has already been finalized, so propagating reach from gates to
+        // their X-valued inputs is one O(E) pass.
+        for &net in self.view.order().iter().rev() {
+            if self.reach[net.index()] {
+                if let Driver::Gate { inputs, .. } = self.circuit.driver(net) {
+                    for &source in inputs {
+                        if self.value[source.index()] == V5::X {
+                            self.reach[source.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gates whose output is X-and-reaching and that have a fault effect on
+    /// some pin: the live D-frontier.
+    fn live_frontier<'s>(&'s self, fault: Fault) -> impl Iterator<Item = NetId> + 's {
+        self.view.order().iter().copied().filter(move |&net| {
+            if !self.reach[net.index()] || self.value[net.index()] != V5::X {
+                return false;
+            }
+            match self.circuit.driver(net) {
+                Driver::Gate { inputs, .. } => inputs
+                    .iter()
+                    .enumerate()
+                    .any(|(pin, &s)| self.pin_value(fault, net, pin, s).is_fault_effect()),
+                _ => false,
+            }
+        })
+    }
+
+    /// Picks the next objective `(net, good-machine target value)`.
+    fn objective(&mut self, fault: Fault, rng: &mut StdRng) -> Option<(NetId, bool)> {
+        let site = self.site_value(fault);
+        if !site.is_fault_effect() {
+            // Activation objective: drive the site's good value opposite the
+            // stuck value.
+            let net = match fault.site {
+                FaultSite::Stem(s) => s,
+                FaultSite::Branch { gate, pin } => {
+                    self.circuit.driver(gate).fanin()[pin as usize]
+                }
+            };
+            return Some((net, !fault.stuck_at));
+        }
+        // Propagation objective: pick a live D-frontier gate, then an
+        // X pin to set to the non-controlling value.
+        let frontier: Vec<NetId> = self.live_frontier(fault).collect();
+        let gate = if frontier.is_empty() {
+            return None;
+        } else if self.randomize_backtrace {
+            frontier[rng.gen_range(0..frontier.len())]
+        } else {
+            frontier[0]
+        };
+        if let Driver::Gate { kind, inputs } = self.circuit.driver(gate) {
+            let target = kind.controlling_value().map(|c| !c).unwrap_or(false);
+            let candidates: Vec<NetId> = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(pin, &s)| self.pin_value(fault, gate, pin, s) == V5::X)
+                .map(|(_, &s)| s)
+                .collect();
+            let pick = match candidates.len() {
+                0 => return None,
+                _ if self.randomize_backtrace => candidates[rng.gen_range(0..candidates.len())],
+                _ => candidates[0],
+            };
+            return Some((pick, target));
+        }
+        None
+    }
+
+    /// Walks an objective back to an unassigned input.
+    fn backtrace(&self, mut net: NetId, mut target: bool, rng: &mut StdRng) -> (usize, bool) {
+        loop {
+            if let Some(pos) = self.view.input_position(net) {
+                return (pos, target);
+            }
+            match self.circuit.driver(net) {
+                Driver::Gate { kind, inputs } => {
+                    let pre = target ^ kind.inverts();
+                    // Prefer pins whose value is still unknown.
+                    let unknown: Vec<NetId> = inputs
+                        .iter()
+                        .copied()
+                        .filter(|&s| !self.value[s.index()].is_assigned())
+                        .collect();
+                    let unknown: Vec<NetId> = if unknown.is_empty() {
+                        // Degenerate (reconvergence artifacts): fall back to
+                        // any pin to keep the walk terminating.
+                        inputs.clone()
+                    } else {
+                        unknown
+                    };
+                    let pick = if self.randomize_backtrace && unknown.len() > 1 {
+                        unknown[rng.gen_range(0..unknown.len())]
+                    } else {
+                        unknown[0]
+                    };
+                    target = match kind {
+                        GateKind::Not | GateKind::Buf => pre,
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                            let c = kind.controlling_value().expect("has controlling value");
+                            if pre == c {
+                                c
+                            } else {
+                                !c
+                            }
+                        }
+                        GateKind::Xor | GateKind::Xnor => {
+                            // Parity of the known other pins decides the
+                            // residue this pin must contribute.
+                            let mut parity = pre;
+                            for &other in inputs {
+                                if other != pick {
+                                    if let Some(g) = self.value[other.index()].good() {
+                                        parity ^= g;
+                                    }
+                                }
+                            }
+                            parity
+                        }
+                    };
+                    net = pick;
+                }
+                Driver::Input | Driver::Dff { .. } => {
+                    unreachable!("inputs are handled by input_position")
+                }
+            }
+        }
+    }
+
+    /// Fills a cube's don't-cares per the configured [`FillMode`].
+    pub fn fill_cube(&self, cube: &TestCube, rng: &mut StdRng) -> BitVec {
+        cube.0
+            .iter()
+            .map(|a| match (a, self.fill) {
+                (Some(bit), _) => *bit,
+                (None, FillMode::Zero) => false,
+                (None, FillMode::Random) => rng.gen_bool(0.5),
+            })
+            .collect()
+    }
+}
+
+/// A partial input assignment that detects a fault: `None` entries are
+/// don't-cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCube(pub Vec<Option<bool>>);
+
+impl TestCube {
+    /// Number of inputs (assigned or not).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for a zero-width cube.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of assigned (care) bits.
+    pub fn care_bits(&self) -> usize {
+        self.0.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Two cubes are compatible when no input is assigned opposite values.
+    pub fn compatible(&self, other: &TestCube) -> bool {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// The union of two compatible cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes are incompatible or differ in width.
+    pub fn merge(&self, other: &TestCube) -> TestCube {
+        assert_eq!(self.len(), other.len(), "cube width mismatch");
+        assert!(self.compatible(other), "merging incompatible cubes");
+        TestCube(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.or(*b))
+                .collect(),
+        )
+    }
+
+    /// Fills don't-cares with `0` (deterministic).
+    pub fn fill_zero(&self) -> BitVec {
+        self.0.iter().map(|a| a.unwrap_or(false)).collect()
+    }
+}
+
+/// The outcome of cube-level PODEM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CubeOutcome {
+    /// A detecting partial assignment.
+    Cube(TestCube),
+    /// Proven untestable.
+    Untestable,
+    /// Backtrack limit hit.
+    Aborted,
+}
+
+impl CubeOutcome {
+    /// The cube, if one was found.
+    pub fn cube(&self) -> Option<&TestCube> {
+        match self {
+            CubeOutcome::Cube(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Static compaction by greedy cube merging: each cube is merged into the
+/// first compatible accumulated cube, so compatible targets share one test.
+/// Returns filled (zero-fill) patterns.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sdd_atpg::{merge_cubes, Podem};
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, CombView};
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let mut podem = Podem::new(&c17, &view);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cubes: Vec<_> = universe
+///     .iter()
+///     .filter_map(|(_, f)| podem.generate_cube(f, &mut rng).cube().cloned())
+///     .collect();
+/// let tests = merge_cubes(&cubes);
+/// assert!(tests.len() < cubes.len(), "merging must compact");
+/// ```
+pub fn merge_cubes(cubes: &[TestCube]) -> Vec<BitVec> {
+    let mut merged: Vec<TestCube> = Vec::new();
+    for cube in cubes {
+        match merged.iter_mut().find(|m| m.compatible(cube)) {
+            Some(host) => *host = host.merge(cube),
+            None => merged.push(cube.clone()),
+        }
+    }
+    merged.iter().map(TestCube::fill_zero).collect()
+}
+
+/// Applies the two-input composite-value operation of a gate kind, ignoring
+/// its output inversion (applied once at the end).
+fn apply(kind: GateKind, a: V5, b: V5) -> V5 {
+    match kind {
+        GateKind::And | GateKind::Nand => a.and(b),
+        GateKind::Or | GateKind::Nor => a.or(b),
+        GateKind::Xor | GateKind::Xnor => a.xor(b),
+        GateKind::Not | GateKind::Buf => a,
+    }
+}
+
+/// Forces the faulty-machine component of `wire` to `stuck_at`.
+fn force(wire: V5, stuck_at: bool) -> V5 {
+    match wire.good() {
+        Some(good) => V5::from_pair(good, stuck_at),
+        None => V5::X,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdd_fault::FaultUniverse;
+    use sdd_netlist::library::{c17, demo_seq};
+    use sdd_netlist::{generator, CircuitBuilder};
+    use sdd_sim::reference;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA7)
+    }
+
+    fn verify_test(circuit: &Circuit, view: &CombView, fault: Fault, test: &BitVec) {
+        let good = reference::good_response(circuit, view, test);
+        let bad = reference::faulty_response(circuit, view, fault, test);
+        assert_ne!(good, bad, "{} not detected by {test}", fault.describe(circuit));
+    }
+
+    #[test]
+    fn finds_tests_for_every_c17_fault() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let mut podem = Podem::new(&c, &view);
+        let mut rng = rng();
+        for (_, fault) in universe.iter() {
+            match podem.generate(fault, &mut rng) {
+                PodemOutcome::Test(test) => verify_test(&c, &view, fault, &test),
+                other => panic!("{}: {other:?}", fault.describe(&c)),
+            }
+        }
+    }
+
+    #[test]
+    fn finds_tests_for_sequential_circuit() {
+        let c = demo_seq();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let mut podem = Podem::new(&c, &view);
+        let mut rng = rng();
+        for (_, fault) in universe.iter() {
+            if let PodemOutcome::Test(test) = podem.generate(fault, &mut rng) {
+                verify_test(&c, &view, fault, &test);
+            }
+            // demo_seq may contain redundant faults; Untestable is fine,
+            // but Aborted with the default budget would be suspicious.
+            assert!(!matches!(
+                podem.generate(fault, &mut rng),
+                PodemOutcome::Aborted
+            ));
+        }
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        // y = OR(a, NOT(a)) is constantly 1; y s-a-1 is undetectable.
+        let mut b = CircuitBuilder::new("red");
+        let a = b.input("a");
+        let na = b.gate("na", sdd_netlist::GateKind::Not, vec![a]);
+        let y = b.gate("y", sdd_netlist::GateKind::Or, vec![a, na]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let view = CombView::new(&c);
+        let fault = Fault {
+            site: FaultSite::Stem(c.net("y").unwrap()),
+            stuck_at: true,
+        };
+        let mut podem = Podem::new(&c, &view);
+        assert_eq!(podem.generate(fault, &mut rng()), PodemOutcome::Untestable);
+        // The complementary fault is testable.
+        let fault0 = Fault {
+            site: FaultSite::Stem(c.net("y").unwrap()),
+            stuck_at: false,
+        };
+        assert!(matches!(
+            podem.generate(fault0, &mut rng()),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn every_generated_test_is_valid_on_generated_circuit() {
+        let c = generator::iscas89("s298", 5).unwrap();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let mut podem = Podem::new(&c, &view).with_backtrack_limit(2000);
+        let mut rng = rng();
+        let mut tested = 0;
+        let mut untestable = 0;
+        let mut aborted = 0;
+        for &id in collapsed.representatives() {
+            let fault = universe.fault(id);
+            match podem.generate(fault, &mut rng) {
+                PodemOutcome::Test(test) => {
+                    verify_test(&c, &view, fault, &test);
+                    tested += 1;
+                }
+                PodemOutcome::Untestable => untestable += 1,
+                PodemOutcome::Aborted => aborted += 1,
+            }
+        }
+        assert!(tested > 0);
+        // A healthy generated circuit is mostly testable.
+        assert!(
+            tested * 10 >= (tested + untestable + aborted) * 8,
+            "coverage too low: {tested} tested, {untestable} untestable, {aborted} aborted"
+        );
+    }
+
+    #[test]
+    fn randomized_search_produces_diverse_tests() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let fault = universe.fault(sdd_fault::FaultId(0));
+        let mut podem = Podem::new(&c, &view)
+            .with_fill(FillMode::Random)
+            .with_randomized_search(true);
+        let mut rng = rng();
+        let tests: std::collections::HashSet<String> = (0..24)
+            .filter_map(|_| podem.generate(fault, &mut rng).test().map(|t| t.to_string()))
+            .collect();
+        assert!(tests.len() > 1, "random search should vary the tests");
+    }
+
+    #[test]
+    fn zero_fill_is_deterministic() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let fault = universe.fault(sdd_fault::FaultId(2));
+        let mut podem = Podem::new(&c, &view);
+        let a = podem.generate(fault, &mut rng());
+        let b = podem.generate(fault, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cubes_detect_their_faults_under_any_fill() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let mut podem = Podem::new(&c, &view);
+        let mut r = rng();
+        for (_, fault) in universe.iter() {
+            let cube = match podem.generate_cube(fault, &mut r) {
+                CubeOutcome::Cube(cube) => cube,
+                other => panic!("{other:?}"),
+            };
+            assert!(cube.care_bits() <= cube.len());
+            // The cube detects under zero-fill AND under all-ones fill.
+            verify_test(&c, &view, fault, &cube.fill_zero());
+            let ones: BitVec = cube.0.iter().map(|a| a.unwrap_or(true)).collect();
+            verify_test(&c, &view, fault, &ones);
+        }
+    }
+
+    #[test]
+    fn cube_merging_compacts_and_preserves_detection() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let mut podem = Podem::new(&c, &view);
+        let mut r = rng();
+        let pairs: Vec<(Fault, TestCube)> = universe
+            .iter()
+            .filter_map(|(_, f)| {
+                podem
+                    .generate_cube(f, &mut r)
+                    .cube()
+                    .cloned()
+                    .map(|cube| (f, cube))
+            })
+            .collect();
+        let cubes: Vec<TestCube> = pairs.iter().map(|(_, c)| c.clone()).collect();
+        let tests = merge_cubes(&cubes);
+        assert!(tests.len() < cubes.len(), "{} !< {}", tests.len(), cubes.len());
+        // Every fault is detected by at least one merged test.
+        for (fault, _) in &pairs {
+            assert!(
+                tests.iter().any(|t| {
+                    reference::faulty_response(&c, &view, *fault, t)
+                        != reference::good_response(&c, &view, t)
+                }),
+                "{} lost by merging",
+                fault.describe(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn cube_compatibility_and_merge_rules() {
+        let a = TestCube(vec![Some(true), None, Some(false)]);
+        let b = TestCube(vec![None, Some(true), Some(false)]);
+        let c = TestCube(vec![Some(false), None, None]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        let ab = a.merge(&b);
+        assert_eq!(ab.0, vec![Some(true), Some(true), Some(false)]);
+        assert_eq!(ab.care_bits(), 3);
+        assert_eq!(a.fill_zero().to_string(), "100");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merging_incompatible_cubes_panics() {
+        let a = TestCube(vec![Some(true)]);
+        let b = TestCube(vec![Some(false)]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn tiny_backtrack_limit_aborts_on_hard_fault() {
+        // A wide XOR tree makes naive PODEM backtrack: with limit 0 we may
+        // still succeed on easy faults, so assert only that the call
+        // terminates and returns a legal outcome.
+        let c = generator::iscas89("s208", 2).unwrap();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let mut podem = Podem::new(&c, &view).with_backtrack_limit(0);
+        let mut r = rng();
+        for (id, fault) in universe.iter().take(40) {
+            let outcome = podem.generate(fault, &mut r);
+            if let PodemOutcome::Test(t) = &outcome {
+                verify_test(&c, &view, fault, t);
+            }
+            let _ = id;
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Ablation studies for the design choices the paper calls out:
+//!
+//! 1. the `LOWER` candidate cutoff (speed vs. resolution);
+//! 2. the `CALLS_1` restart patience (how many random test orders help);
+//! 3. test-order sensitivity of a single Procedure 1 pass;
+//! 4. what Procedure 2 adds on top of Procedure 1;
+//! 5. response compaction (smaller `m`, the paper's §2 remark);
+//! 6. multiple baselines per test (the paper's noted generalization);
+//! 7. dictionary column pruning.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin ablations -- [circuit] [seed] [diag|10det]
+//! ```
+//!
+//! Diagnostic sets (the default) are where the procedures have room to act;
+//! on 10-detection sets a single pass typically reaches the full-dictionary
+//! bound already (which is itself one of the paper's observations).
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use sdd_atpg::AtpgOptions;
+use sdd_core::multi::{select_multi_baselines, MultiBaselineDictionary};
+use sdd_core::{
+    prune_tests, replace_baselines, select_baselines, select_baselines_once, Procedure1Options,
+    SameDifferentDictionary,
+};
+use sdd_sim::SpaceCompactor;
+use same_different::Experiment;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s386".to_owned());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let ttype = args.next().unwrap_or_else(|| "diag".to_owned());
+
+    let exp = Experiment::iscas89(&circuit, seed).expect("known circuit");
+    let atpg = AtpgOptions { seed, ..AtpgOptions::default() };
+    let tests = match ttype.as_str() {
+        "10det" => exp.detection_tests(10, &atpg),
+        _ => exp.diagnostic_tests(&atpg),
+    };
+    let matrix = exp.simulate(&tests.tests);
+    let full = matrix.full_partition().indistinguished_pairs();
+    let pass_fail = matrix.pass_fail_partition().indistinguished_pairs();
+    println!(
+        "circuit {circuit} ({ttype} set, {} tests, {} faults)\n\
+         bounds: full dictionary {full}, pass/fail {pass_fail}\n",
+        tests.len(),
+        exp.faults().len()
+    );
+
+    // ---- Ablation 1: the LOWER cutoff. ----
+    println!("LOWER cutoff (single natural-order pass):");
+    let order: Vec<usize> = (0..matrix.test_count()).collect();
+    for lower in [Some(1), Some(3), Some(10), Some(30), None] {
+        let start = std::time::Instant::now();
+        let (_, pairs) = select_baselines_once(&matrix, &order, lower);
+        println!(
+            "  LOWER {:>9}: {pairs:>8} indistinguished ({:.3}s)",
+            lower.map_or("exhaustive".to_owned(), |l| l.to_string()),
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    // ---- Ablation 2: CALLS_1 restart patience. ----
+    println!("\nCALLS_1 restart patience (LOWER = 10):");
+    for calls1 in [1usize, 5, 20, 100] {
+        let start = std::time::Instant::now();
+        let s = select_baselines(
+            &matrix,
+            &Procedure1Options { calls1, seed, ..Procedure1Options::default() },
+        );
+        println!(
+            "  CALLS_1 {calls1:>4}: {:>8} indistinguished after {:>4} calls ({:.2}s)",
+            s.indistinguished_pairs,
+            s.calls,
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    // ---- Ablation 3: test-order sensitivity. ----
+    println!("\ntest-order sensitivity (20 random orders, single pass each):");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order = order;
+    let mut results: Vec<u64> = Vec::new();
+    for _ in 0..20 {
+        order.shuffle(&mut rng);
+        results.push(select_baselines_once(&matrix, &order, Some(10)).1);
+    }
+    results.sort_unstable();
+    println!(
+        "  best {} / median {} / worst {}  (spread justifies the random restarts)",
+        results[0],
+        results[results.len() / 2],
+        results[results.len() - 1]
+    );
+
+    // ---- Ablation 4: Procedure 2's contribution. ----
+    println!("\nProcedure 2 on top of Procedure 1:");
+    let mut tuned_baselines = Vec::new();
+    for calls1 in [1usize, 20] {
+        let mut s = select_baselines(
+            &matrix,
+            &Procedure1Options { calls1, seed, ..Procedure1Options::default() },
+        );
+        let before = s.indistinguished_pairs;
+        let after = replace_baselines(&matrix, &mut s.baselines);
+        println!(
+            "  after CALLS_1 = {calls1:>3}: {before:>8} -> {after:>8} \
+             ({} pairs recovered by replacement)",
+            before - after
+        );
+        tuned_baselines = s.baselines;
+    }
+
+    // ---- Ablation 5: response compaction (smaller m). ----
+    let m_outputs = exp.view().outputs().len();
+    println!("\nresponse compaction (m = {m_outputs} outputs folded into c signature bits):");
+    for c in [m_outputs, m_outputs.div_ceil(2), m_outputs.div_ceil(4), 1] {
+        let compactor = SpaceCompactor::modular(m_outputs, c.max(1));
+        let compacted = compactor.apply(&matrix);
+        let mut s = select_baselines(
+            &compacted,
+            &Procedure1Options { calls1: 10, seed, ..Procedure1Options::default() },
+        );
+        let sd = replace_baselines(&compacted, &mut s.baselines);
+        println!(
+            "  c = {:>3}: full {:>8}  p/f {:>8}  s/d {:>8}  (aliased classes: {})",
+            c.max(1),
+            compacted.full_partition().indistinguished_pairs(),
+            compacted.pass_fail_partition().indistinguished_pairs(),
+            sd,
+            compactor.aliased_classes(&matrix),
+        );
+    }
+
+    // ---- Ablation 6: multiple baselines per test. ----
+    println!("\nmultiple baselines per test (size = Σ B_j · (n+m) bits):");
+    for per_test in [1usize, 2, 3, 5] {
+        let baselines = select_multi_baselines(&matrix, per_test);
+        let d = MultiBaselineDictionary::build(&matrix, &baselines);
+        println!(
+            "  B ≤ {per_test}: {:>8} indistinguished, {:>10} bits ({} baselines)",
+            d.indistinguished_pairs(),
+            d.size_bits(),
+            d.baseline_count()
+        );
+    }
+
+    // ---- Ablation 7: column pruning. ----
+    let kept = prune_tests(&matrix, &tuned_baselines);
+    let sd = SameDifferentDictionary::build(&matrix, &tuned_baselines);
+    println!(
+        "\ncolumn pruning: {} of {} test columns carry resolution \
+         ({} -> {} bits at unchanged resolution)",
+        kept.len(),
+        matrix.test_count(),
+        sd.size_bits(),
+        kept.len() as u64 * (exp.faults().len() as u64 + m_outputs as u64),
+    );
+}

@@ -1,0 +1,77 @@
+//! Regenerates the paper's Table 6.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin table6 -- [options]
+//!
+//!   --circuit <name>   one circuit (default: all sixteen)
+//!   --ttype <t>        diag | 10det | both (default: both)
+//!   --seed <u64>       generation seed (default: 1)
+//!   --calls1 <n>       Procedure 1 restart patience (default: 100, the paper's value)
+//!   --lower <n|off>    LOWER cutoff (default: 10, the paper's value)
+//!   --fast             preset: --calls1 10, fewer random ATPG blocks
+//! ```
+
+use sdd_atpg::AtpgOptions;
+use sdd_bench::{run_row, Table6Config, Table6Row, TestSetType};
+use sdd_netlist::generator::ISCAS89_PROFILES;
+
+fn main() {
+    let mut circuits: Vec<String> = Vec::new();
+    let mut ttypes = vec![TestSetType::Diagnostic, TestSetType::TenDetect];
+    let mut config = Table6Config::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--circuit" => circuits.push(args.next().expect("--circuit takes a name")),
+            "--ttype" => {
+                ttypes = match args.next().expect("--ttype takes diag|10det|both").as_str() {
+                    "diag" => vec![TestSetType::Diagnostic],
+                    "10det" => vec![TestSetType::TenDetect],
+                    "both" => vec![TestSetType::Diagnostic, TestSetType::TenDetect],
+                    other => {
+                        eprintln!("unknown ttype {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => config.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed u64"),
+            "--calls1" => {
+                config.calls1 = args.next().and_then(|s| s.parse().ok()).expect("--calls1 n")
+            }
+            "--lower" => {
+                let v = args.next().expect("--lower n|off");
+                config.lower = if v == "off" { None } else { Some(v.parse().expect("n")) };
+            }
+            "--fast" => {
+                config.calls1 = 10;
+                config.atpg = AtpgOptions {
+                    max_random_blocks: 24,
+                    ..AtpgOptions::default()
+                };
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if circuits.is_empty() {
+        circuits = ISCAS89_PROFILES.iter().map(|p| p.name.to_owned()).collect();
+    }
+
+    println!(
+        "Table 6 reproduction (seed {}, LOWER {:?}, CALLS_1 {})",
+        config.seed, config.lower, config.calls1
+    );
+    println!("sizes in bits; `ind:` columns are indistinguished fault pairs\n");
+    println!("{}", Table6Row::header());
+    for circuit in &circuits {
+        for &ttype in &ttypes {
+            match run_row(circuit, ttype, &config) {
+                Some(row) => println!("{}", row.paper_line()),
+                None => eprintln!("{circuit}: unknown circuit, skipped"),
+            }
+        }
+    }
+}

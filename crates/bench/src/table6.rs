@@ -1,0 +1,201 @@
+//! Regeneration of the paper's Table 6.
+
+use std::fmt;
+use std::time::Instant;
+
+use sdd_atpg::AtpgOptions;
+use sdd_core::{replace_baselines, select_baselines, DictionarySizes, Procedure1Options};
+use same_different::Experiment;
+
+/// Which of the paper's two test-set types a row uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestSetType {
+    /// A diagnostic test set (`diag` in Table 6).
+    Diagnostic,
+    /// A 10-detection test set (`10det` in Table 6).
+    TenDetect,
+}
+
+impl fmt::Display for TestSetType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TestSetType::Diagnostic => "diag",
+            TestSetType::TenDetect => "10det",
+        })
+    }
+}
+
+/// Configuration of a Table 6 run.
+#[derive(Debug, Clone)]
+pub struct Table6Config {
+    /// Seed for circuit generation, ATPG and baseline selection.
+    pub seed: u64,
+    /// The paper's `LOWER` constant (`Some(10)` in the paper).
+    pub lower: Option<usize>,
+    /// The paper's `CALLS_1` constant (100 in the paper; smaller values
+    /// trade resolution for speed on big circuits).
+    pub calls1: usize,
+    /// ATPG knobs.
+    pub atpg: AtpgOptions,
+}
+
+impl Default for Table6Config {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            lower: Some(10),
+            calls1: 100,
+            atpg: AtpgOptions::default(),
+        }
+    }
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Circuit name.
+    pub circuit: String,
+    /// Test-set type.
+    pub ttype: TestSetType,
+    /// Number of tests `|T|`.
+    pub tests: usize,
+    /// Collapsed faults `n`.
+    pub faults: usize,
+    /// Observed outputs `m`.
+    pub outputs: usize,
+    /// Dictionary sizes in bits.
+    pub sizes: DictionarySizes,
+    /// Indistinguished pairs: full dictionary.
+    pub indist_full: u64,
+    /// Indistinguished pairs: pass/fail dictionary.
+    pub indist_pass_fail: u64,
+    /// Indistinguished pairs: same/different after Procedure 1
+    /// (random-order restarts) — the paper's `s/d rand` column.
+    pub indist_sd_rand: u64,
+    /// Indistinguished pairs: after Procedure 2 — the paper's `s/d repl`
+    /// column (equal to `rand` when replacement finds nothing).
+    pub indist_sd_repl: u64,
+    /// Procedure 1 calls actually performed.
+    pub procedure1_calls: usize,
+    /// Wall-clock seconds for the whole row.
+    pub seconds: f64,
+}
+
+impl Table6Row {
+    /// Formats the row like the paper's table (sizes then resolutions).
+    pub fn paper_line(&self) -> String {
+        let repl = if self.indist_sd_repl < self.indist_sd_rand {
+            self.indist_sd_repl.to_string()
+        } else {
+            // The paper omits the repl entry when Procedure 2 does not
+            // improve on Procedure 1.
+            "-".to_owned()
+        };
+        format!(
+            "{:<7} {:<6} {:>5} {:>12} {:>10} {:>10} {:>9} {:>8} {:>8} {:>8}  ({:.1}s, {} P1 calls)",
+            self.circuit,
+            self.ttype,
+            self.tests,
+            self.sizes.full,
+            self.sizes.pass_fail,
+            self.sizes.same_different,
+            self.indist_full,
+            self.indist_pass_fail,
+            self.indist_sd_rand,
+            repl,
+            self.seconds,
+            self.procedure1_calls,
+        )
+    }
+
+    /// The table header matching [`paper_line`](Self::paper_line).
+    pub fn header() -> String {
+        format!(
+            "{:<7} {:<6} {:>5} {:>12} {:>10} {:>10} {:>9} {:>8} {:>8} {:>8}",
+            "circuit", "Ttype", "|T|", "size:full", "p/f", "s/d", "ind:full", "p/f", "s/d-rnd", "s/d-rpl"
+        )
+    }
+}
+
+/// Runs one row of Table 6: generate the circuit, generate the test set,
+/// fault-simulate, and build/evaluate all three dictionaries.
+///
+/// Returns `None` for unknown circuit names.
+pub fn run_row(circuit: &str, ttype: TestSetType, config: &Table6Config) -> Option<Table6Row> {
+    let start = Instant::now();
+    let exp = Experiment::iscas89(circuit, config.seed)?;
+    let atpg = AtpgOptions {
+        seed: config.seed,
+        ..config.atpg.clone()
+    };
+    let tests = match ttype {
+        TestSetType::Diagnostic => exp.diagnostic_tests(&atpg),
+        TestSetType::TenDetect => exp.detection_tests(10, &atpg),
+    };
+    let matrix = exp.simulate(&tests.tests);
+
+    let indist_full = matrix.full_partition().indistinguished_pairs();
+    let indist_pass_fail = matrix.pass_fail_partition().indistinguished_pairs();
+
+    let mut selection = select_baselines(
+        &matrix,
+        &Procedure1Options {
+            lower: config.lower,
+            calls1: config.calls1,
+            seed: config.seed,
+            ..Procedure1Options::default()
+        },
+    );
+    let indist_sd_rand = selection.indistinguished_pairs;
+    let indist_sd_repl = replace_baselines(&matrix, &mut selection.baselines);
+
+    Some(Table6Row {
+        circuit: circuit.to_owned(),
+        ttype,
+        tests: tests.len(),
+        faults: exp.faults().len(),
+        outputs: exp.view().outputs().len(),
+        sizes: DictionarySizes::new(
+            tests.len() as u64,
+            exp.faults().len() as u64,
+            exp.view().outputs().len() as u64,
+        ),
+        indist_full,
+        indist_pass_fail,
+        indist_sd_rand,
+        indist_sd_repl,
+        procedure1_calls: selection.calls,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_fast_row_is_internally_consistent() {
+        let config = Table6Config {
+            calls1: 3,
+            atpg: AtpgOptions {
+                max_random_blocks: 8,
+                ..AtpgOptions::default()
+            },
+            ..Table6Config::default()
+        };
+        let row = run_row("s208", TestSetType::Diagnostic, &config).unwrap();
+        assert_eq!(row.circuit, "s208");
+        assert!(row.tests > 0);
+        assert_eq!(row.sizes.pass_fail, row.tests as u64 * row.faults as u64);
+        assert!(row.indist_full <= row.indist_sd_repl);
+        assert!(row.indist_sd_repl <= row.indist_sd_rand);
+        assert!(row.indist_sd_rand <= row.indist_pass_fail);
+        assert!(row.paper_line().contains("s208"));
+        assert!(Table6Row::header().contains("Ttype"));
+    }
+
+    #[test]
+    fn unknown_circuit_yields_none() {
+        assert!(run_row("c6288", TestSetType::Diagnostic, &Table6Config::default()).is_none());
+    }
+}

@@ -1,0 +1,280 @@
+//! Cause-effect diagnosis: matching observed tester responses against a
+//! dictionary to produce candidate faults.
+//!
+//! All three dictionary types diagnose the same way — compare the observed
+//! behaviour with each stored fault and return the best matches — but they
+//! compare different amounts of information:
+//!
+//! * [`FullDictionary::diagnose`] compares complete output vectors;
+//! * [`PassFailDictionary::diagnose`] compares pass/fail signatures;
+//! * [`SameDifferentDictionary::diagnose`] compares same/different
+//!   signatures computed against the stored baselines.
+//!
+//! [`two_phase_diagnose`] combines a cheap dictionary screen with exact
+//! fault simulation of the surviving candidates (the hybrid of the
+//! paper's references 8, 12 and 14).
+
+use sdd_fault::{FaultId, FaultUniverse};
+use sdd_logic::BitVec;
+use sdd_netlist::{Circuit, CombView};
+use sdd_sim::reference;
+
+use crate::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
+
+/// The outcome of matching an observed behaviour against a dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosisReport {
+    /// Faults whose stored behaviour matches the observation exactly
+    /// (positions into the dictionary's fault list).
+    pub exact: Vec<usize>,
+    /// Faults at minimum distance from the observation (equals `exact`
+    /// when exact matches exist).
+    pub nearest: Vec<usize>,
+    /// The minimum distance (0 when exact matches exist).
+    pub distance: usize,
+}
+
+impl DiagnosisReport {
+    /// The best candidate set: exact matches if any, else nearest.
+    pub fn candidates(&self) -> &[usize] {
+        if self.exact.is_empty() {
+            &self.nearest
+        } else {
+            &self.exact
+        }
+    }
+}
+
+/// Matches an observed signature against stored per-fault signatures by
+/// Hamming distance.
+///
+/// # Panics
+///
+/// Panics if `observed`'s width differs from the signatures'.
+pub fn match_signatures(signatures: &[BitVec], observed: &BitVec) -> DiagnosisReport {
+    let mut distance = usize::MAX;
+    let mut nearest = Vec::new();
+    for (fault, signature) in signatures.iter().enumerate() {
+        let d = signature
+            .hamming_distance(observed)
+            .expect("signature width mismatch");
+        if d < distance {
+            distance = d;
+            nearest.clear();
+        }
+        if d == distance {
+            nearest.push(fault);
+        }
+    }
+    let exact = if distance == 0 { nearest.clone() } else { Vec::new() };
+    DiagnosisReport {
+        exact,
+        nearest,
+        distance,
+    }
+}
+
+impl PassFailDictionary {
+    /// Diagnoses from an observed pass/fail signature (bit `j` = test `t_j`
+    /// failed on the tester).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_core::PassFailDictionary;
+    /// let d = PassFailDictionary::build(&sdd_core::example::paper_example());
+    /// let report = d.diagnose(&"01".parse()?);
+    /// assert_eq!(report.candidates(), &[0]); // f0 fails only t1
+    /// # Ok::<(), sdd_logic::ParseBitVecError>(())
+    /// ```
+    pub fn diagnose(&self, observed: &BitVec) -> DiagnosisReport {
+        match_signatures(self.signatures(), observed)
+    }
+}
+
+impl SameDifferentDictionary {
+    /// Diagnoses from the observed per-test output vectors: each response is
+    /// first compared against the test's stored baseline to form the
+    /// observed same/different signature, then matched.
+    pub fn diagnose(&self, responses: &[BitVec]) -> DiagnosisReport {
+        let observed = self.encode_observed(responses);
+        match_signatures(self.signatures(), &observed)
+    }
+}
+
+impl FullDictionary {
+    /// Diagnoses from the observed per-test output vectors, scoring each
+    /// fault by the total number of output bits at which its stored
+    /// responses differ from the observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response count or widths do not match.
+    pub fn diagnose(&self, responses: &[BitVec]) -> DiagnosisReport {
+        let matrix = self.matrix();
+        assert_eq!(
+            responses.len(),
+            matrix.test_count(),
+            "one response per test"
+        );
+        // Distance from the observation to each response class, per test.
+        let per_test: Vec<Vec<usize>> = (0..matrix.test_count())
+            .map(|test| {
+                (0..matrix.class_count(test) as u32)
+                    .map(|class| {
+                        matrix
+                            .response(test, class)
+                            .hamming_distance(&responses[test])
+                            .expect("response width mismatch")
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut distance = usize::MAX;
+        let mut nearest = Vec::new();
+        for fault in 0..matrix.fault_count() {
+            let d: usize = (0..matrix.test_count())
+                .map(|test| per_test[test][matrix.class(test, fault) as usize])
+                .sum();
+            if d < distance {
+                distance = d;
+                nearest.clear();
+            }
+            if d == distance {
+                nearest.push(fault);
+            }
+        }
+        let exact = if distance == 0 { nearest.clone() } else { Vec::new() };
+        DiagnosisReport {
+            exact,
+            nearest,
+            distance,
+        }
+    }
+}
+
+/// Simulates the per-test responses a tester would observe for a defect
+/// modeled by `fault` — a convenience for examples and tests.
+pub fn observed_responses(
+    circuit: &Circuit,
+    view: &CombView,
+    fault: sdd_fault::Fault,
+    tests: &[BitVec],
+) -> Vec<BitVec> {
+    tests
+        .iter()
+        .map(|t| reference::faulty_response(circuit, view, fault, t))
+        .collect()
+}
+
+/// Two-phase diagnosis: a same/different dictionary screens the fault list
+/// down to its best matches, then exact fault simulation of only those
+/// candidates ranks them by full-response distance.
+///
+/// Returns `(fault id, full-response distance)` sorted by distance — the
+/// same answer a full dictionary would give for the screened candidates, at
+/// a fraction of the storage.
+pub fn two_phase_diagnose(
+    circuit: &Circuit,
+    view: &CombView,
+    universe: &FaultUniverse,
+    faults: &[FaultId],
+    tests: &[BitVec],
+    observed: &[BitVec],
+    dictionary: &SameDifferentDictionary,
+) -> Vec<(FaultId, usize)> {
+    let screened = dictionary.diagnose(observed);
+    let mut ranked: Vec<(FaultId, usize)> = screened
+        .candidates()
+        .iter()
+        .map(|&pos| {
+            let id = faults[pos];
+            let distance = tests
+                .iter()
+                .zip(observed)
+                .map(|(test, seen)| {
+                    reference::faulty_response(circuit, view, universe.fault(id), test)
+                        .hamming_distance(seen)
+                        .expect("width mismatch")
+                })
+                .sum();
+            (id, distance)
+        })
+        .collect();
+    ranked.sort_by_key(|&(id, d)| (d, id));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+    use crate::{select_baselines, Procedure1Options};
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn exact_match_wins() {
+        let sigs = vec![bv("00"), bv("01"), bv("11")];
+        let r = match_signatures(&sigs, &bv("01"));
+        assert_eq!(r.exact, vec![1]);
+        assert_eq!(r.candidates(), &[1]);
+        assert_eq!(r.distance, 0);
+    }
+
+    #[test]
+    fn nearest_match_reports_all_ties() {
+        let sigs = vec![bv("00"), bv("11"), bv("10")];
+        let r = match_signatures(&sigs, &bv("01"));
+        assert!(r.exact.is_empty());
+        assert_eq!(r.nearest, vec![0, 1]); // both at distance 1
+        assert_eq!(r.distance, 1);
+    }
+
+    #[test]
+    fn pass_fail_diagnosis_cannot_split_f2_f3() {
+        let d = PassFailDictionary::build(&paper_example());
+        let r = d.diagnose(&bv("11"));
+        assert_eq!(r.exact, vec![2, 3], "pass/fail sees f2 and f3 identically");
+    }
+
+    #[test]
+    fn same_different_diagnosis_splits_f2_f3() {
+        let m = paper_example();
+        let s = select_baselines(&m, &Procedure1Options::default());
+        let d = SameDifferentDictionary::build(&m, &s.baselines);
+        // Simulate the tester observing fault f2's actual responses.
+        let responses: Vec<BitVec> = (0..m.test_count())
+            .map(|t| m.response(t, m.class(t, 2)))
+            .collect();
+        let r = d.diagnose(&responses);
+        assert_eq!(r.exact, vec![2], "same/different pinpoints f2");
+    }
+
+    #[test]
+    fn full_diagnosis_is_exact_for_stored_faults() {
+        let m = paper_example();
+        let d = FullDictionary::new(m);
+        for fault in 0..4 {
+            let responses: Vec<BitVec> = (0..2)
+                .map(|t| d.response(fault, t))
+                .collect();
+            let r = d.diagnose(&responses);
+            assert!(r.exact.contains(&fault), "fault {fault}");
+            assert_eq!(r.distance, 0);
+        }
+    }
+
+    #[test]
+    fn full_diagnosis_nearest_for_out_of_model_behaviour() {
+        let m = paper_example();
+        let d = FullDictionary::new(m);
+        // A behaviour no modeled fault produces: 11 under both tests.
+        let r = d.diagnose(&[bv("11"), bv("11")]);
+        assert!(r.exact.is_empty());
+        assert!(!r.nearest.is_empty());
+        assert!(r.distance > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The full fault dictionary.
+
+use sdd_logic::BitVec;
+use sdd_sim::{Partition, ResponseMatrix};
+
+use crate::DictionarySizes;
+
+/// A full fault dictionary: the complete output vector of every fault under
+/// every test.
+///
+/// Internally the vectors are stored as response classes plus distinct-vector
+/// tables (information-lossless and far smaller), but
+/// [`size_bits`](FullDictionary::size_bits) reports the paper's `k·n·m`
+/// figure — the cost of the naive two-dimensional array a tester would
+/// store.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::FullDictionary;
+///
+/// let matrix = sdd_core::example::paper_example();
+/// let d = FullDictionary::new(matrix);
+/// // Table 1 of the paper:
+/// assert_eq!(d.response(0, 0).to_string(), "00"); // z_0,0
+/// assert_eq!(d.response(2, 0).to_string(), "01"); // z_2,0
+/// assert_eq!(d.indistinguished_pairs(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullDictionary {
+    matrix: ResponseMatrix,
+}
+
+impl FullDictionary {
+    /// Wraps a simulated response matrix as a full dictionary.
+    pub fn new(matrix: ResponseMatrix) -> Self {
+        Self { matrix }
+    }
+
+    /// The underlying response matrix.
+    pub fn matrix(&self) -> &ResponseMatrix {
+        &self.matrix
+    }
+
+    /// Number of faults `n`.
+    pub fn fault_count(&self) -> usize {
+        self.matrix.fault_count()
+    }
+
+    /// Number of tests `k`.
+    pub fn test_count(&self) -> usize {
+        self.matrix.test_count()
+    }
+
+    /// The stored output vector `z_i,j` of fault `fault` under test `test`.
+    pub fn response(&self, fault: usize, test: usize) -> BitVec {
+        self.matrix.response(test, self.matrix.class(test, fault))
+    }
+
+    /// Storage accounting per the paper.
+    pub fn sizes(&self) -> DictionarySizes {
+        DictionarySizes::new(
+            self.matrix.test_count() as u64,
+            self.matrix.fault_count() as u64,
+            self.matrix.output_count() as u64,
+        )
+    }
+
+    /// This dictionary's size in bits (`k·n·m`).
+    pub fn size_bits(&self) -> u64 {
+        self.sizes().full
+    }
+
+    /// The partition of faults by complete response signature — the best
+    /// resolution achievable with this test set by *any* dictionary.
+    pub fn partition(&self) -> Partition {
+        self.matrix.full_partition()
+    }
+
+    /// Fault pairs even the full dictionary cannot distinguish.
+    pub fn indistinguished_pairs(&self) -> u64 {
+        self.partition().indistinguished_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+
+    #[test]
+    fn responses_match_table1() {
+        let d = FullDictionary::new(paper_example());
+        let expected = [
+            ["00", "10"], // f0
+            ["10", "11"], // f1
+            ["01", "10"], // f2
+            ["01", "01"], // f3
+        ];
+        for (fault, row) in expected.iter().enumerate() {
+            for (test, want) in row.iter().enumerate() {
+                assert_eq!(
+                    d.response(fault, test).to_string(),
+                    *want,
+                    "z_{fault},{test}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_dictionary_distinguishes_everything_in_example() {
+        let d = FullDictionary::new(paper_example());
+        assert_eq!(d.indistinguished_pairs(), 0);
+        assert_eq!(d.partition().group_count(), 4);
+    }
+
+    #[test]
+    fn sizes_match_formula() {
+        let d = FullDictionary::new(paper_example());
+        assert_eq!(d.size_bits(), 16); // 2·4·2
+        assert_eq!(d.fault_count(), 4);
+        assert_eq!(d.test_count(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Plain-text serialization of dictionaries.
+//!
+//! A dictionary is a *deployment artifact*: it is computed once next to the
+//! ATPG flow and consumed later on a tester or in a diagnosis service. This
+//! module defines a line-oriented text format that round-trips
+//! [`SameDifferentDictionary`] exactly (signatures, baselines, and baseline
+//! provenance) and is trivially diffable under version control.
+//!
+//! ```text
+//! same-different-dictionary v1
+//! tests 2
+//! faults 4
+//! outputs 2
+//! baseline 0 class 2 vector 01
+//! baseline 1 class 1 vector 10
+//! fault 0 10
+//! fault 1 11
+//! fault 2 00
+//! fault 3 01
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use sdd_logic::BitVec;
+
+use crate::SameDifferentDictionary;
+
+/// Error produced when parsing a serialized dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDictionaryError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDictionaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dictionary parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDictionaryError {}
+
+/// Serializes a same/different dictionary to the v1 text format.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::{io, SameDifferentDictionary};
+///
+/// let m = sdd_core::example::paper_example();
+/// let d = SameDifferentDictionary::build(&m, &[2, 1]);
+/// let text = io::write_same_different(&d);
+/// let back = io::read_same_different(&text)?;
+/// assert_eq!(back, d);
+/// # Ok::<(), sdd_core::io::ParseDictionaryError>(())
+/// ```
+pub fn write_same_different(dictionary: &SameDifferentDictionary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "same-different-dictionary v1");
+    let _ = writeln!(out, "tests {}", dictionary.test_count());
+    let _ = writeln!(out, "faults {}", dictionary.fault_count());
+    let _ = writeln!(out, "outputs {}", dictionary.sizes().outputs);
+    for (test, class) in dictionary.baseline_classes().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "baseline {test} class {class} vector {}",
+            dictionary.baseline(test)
+        );
+    }
+    for fault in 0..dictionary.fault_count() {
+        let _ = writeln!(out, "fault {fault} {}", dictionary.signature(fault));
+    }
+    out
+}
+
+/// Parses the v1 text format back into a dictionary.
+///
+/// # Errors
+///
+/// Returns [`ParseDictionaryError`] for malformed or inconsistent input
+/// (wrong magic, missing records, width mismatches, out-of-order indices).
+pub fn read_same_different(
+    text: &str,
+) -> Result<SameDifferentDictionary, ParseDictionaryError> {
+    let err = |line: usize, message: &str| ParseDictionaryError {
+        line,
+        message: message.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+
+    let (line_no, magic) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty input"))?;
+    if magic.trim() != "same-different-dictionary v1" {
+        return Err(err(line_no + 1, "bad magic line"));
+    }
+
+    let mut read_header = |name: &str| -> Result<usize, ParseDictionaryError> {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| err(0, "truncated header"))?;
+        let rest = line
+            .strip_prefix(name)
+            .ok_or_else(|| err(idx + 1, &format!("expected `{name} <count>`")))?;
+        rest.trim()
+            .parse()
+            .map_err(|_| err(idx + 1, &format!("bad {name} count")))
+    };
+    let tests = read_header("tests")?;
+    let faults = read_header("faults")?;
+    let outputs = read_header("outputs")?;
+
+    let mut baselines: Vec<BitVec> = Vec::with_capacity(tests);
+    let mut classes: Vec<u32> = Vec::with_capacity(tests);
+    let mut signatures: Vec<BitVec> = Vec::with_capacity(faults);
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("baseline") => {
+                let index: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad baseline index"))?;
+                if index != baselines.len() {
+                    return Err(err(line_no, "baseline records out of order"));
+                }
+                if parts.next() != Some("class") {
+                    return Err(err(line_no, "expected `class`"));
+                }
+                let class: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad class"))?;
+                if parts.next() != Some("vector") {
+                    return Err(err(line_no, "expected `vector`"));
+                }
+                let vector: BitVec = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad baseline vector"))?;
+                if vector.len() != outputs {
+                    return Err(err(line_no, "baseline width differs from outputs"));
+                }
+                baselines.push(vector);
+                classes.push(class);
+            }
+            Some("fault") => {
+                let index: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad fault index"))?;
+                if index != signatures.len() {
+                    return Err(err(line_no, "fault records out of order"));
+                }
+                let signature: BitVec = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "bad signature"))?;
+                if signature.len() != tests {
+                    return Err(err(line_no, "signature width differs from tests"));
+                }
+                signatures.push(signature);
+            }
+            Some(other) => return Err(err(line_no, &format!("unknown record {other:?}"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    if baselines.len() != tests {
+        return Err(err(0, "missing baseline records"));
+    }
+    if signatures.len() != faults {
+        return Err(err(0, "missing fault records"));
+    }
+    Ok(SameDifferentDictionary::from_parts(
+        signatures, baselines, classes, outputs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+    use crate::SameDifferentDictionary;
+
+    fn sample() -> SameDifferentDictionary {
+        SameDifferentDictionary::build(&paper_example(), &[2, 1])
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample();
+        let text = write_same_different(&d);
+        let back = read_same_different(&text).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.indistinguished_pairs(), d.indistinguished_pairs());
+        assert_eq!(write_same_different(&back), text, "writing is canonical");
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let text = write_same_different(&sample());
+        assert!(text.starts_with("same-different-dictionary v1\n"));
+        assert!(text.contains("baseline 0 class 2 vector 01"));
+        assert!(text.contains("fault 3 01"));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = read_same_different("pass-fail v1\n").unwrap_err();
+        assert!(e.to_string().contains("magic"), "{e}");
+    }
+
+    #[test]
+    fn rejects_truncation_and_disorder() {
+        let good = write_same_different(&sample());
+        // Drop the last fault record.
+        let truncated: String = good.lines().take(good.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(read_same_different(&truncated).is_err());
+        // Swap two fault records.
+        let swapped = good
+            .replace("fault 0 10", "fault TMP")
+            .replace("fault 1 11", "fault 0 10")
+            .replace("fault TMP", "fault 1 11");
+        assert!(read_same_different(&swapped).is_err());
+    }
+
+    #[test]
+    fn rejects_width_mismatches() {
+        let good = write_same_different(&sample());
+        let bad = good.replace("vector 01", "vector 011");
+        let e = read_same_different(&bad).unwrap_err();
+        assert!(e.message.contains("width"), "{e}");
+        let bad = good.replace("fault 2 00", "fault 2 000");
+        assert!(read_same_different(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_same_different("").is_err());
+    }
+}

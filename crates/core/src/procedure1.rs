@@ -1,0 +1,265 @@
+//! Procedure 1: greedy selection of baseline output vectors.
+//!
+//! For each test `t_j` (in a given order), every candidate baseline
+//! `z ∈ Z_j` is scored by `dist(z)` — the number of still-undistinguished
+//! fault pairs the test would distinguish with that baseline — and the best
+//! candidate is selected. The paper's `LOWER` cutoff stops scanning
+//! candidates after `LOWER` consecutive non-improving ones; the procedure is
+//! restarted with random test orders until `CALLS_1` consecutive restarts
+//! bring no improvement.
+//!
+//! This implementation keeps the set `P` of target pairs as a *partition*
+//! of faults into undistinguished groups, so scoring all candidates of one
+//! test costs a single O(n) sweep (see `DESIGN.md` §3) while computing
+//! exactly the paper's `dist` values — the worked-example tests reproduce
+//! Tables 4 and 5 digit for digit.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use sdd_sim::{Partition, ResponseMatrix};
+
+/// Knobs for [`select_baselines`]. Defaults are the paper's experimental
+/// settings: `LOWER = 10`, `CALLS_1 = 100`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure1Options {
+    /// The `LOWER` cutoff: stop scanning a test's candidates after this many
+    /// consecutive candidates score strictly below the best so far.
+    /// `None` scores every candidate (exhaustive ablation).
+    pub lower: Option<usize>,
+    /// Stop restarting after this many consecutive non-improving calls
+    /// (the paper's `CALLS_1`).
+    pub calls1: usize,
+    /// Hard cap on total calls, guarding pathological cases.
+    pub max_calls: usize,
+    /// Seed for the random test orders.
+    pub seed: u64,
+}
+
+impl Default for Procedure1Options {
+    fn default() -> Self {
+        Self {
+            lower: Some(10),
+            calls1: 100,
+            max_calls: 5_000,
+            seed: 1,
+        }
+    }
+}
+
+/// The result of baseline selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineSelection {
+    /// The selected baseline response class per test (index into each
+    /// test's `Z_j`; class 0 is the fault-free vector).
+    pub baselines: Vec<u32>,
+    /// Fault pairs left indistinguished by the resulting dictionary.
+    pub indistinguished_pairs: u64,
+    /// Number of Procedure 1 calls performed.
+    pub calls: usize,
+}
+
+/// Scores every candidate baseline of `test` against the current target
+/// pairs: `dist(z)` for each response class `z` of the test, indexed by
+/// class id (which is `Z_j` in the paper's column order).
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::score_candidates;
+/// use sdd_sim::Partition;
+///
+/// let m = sdd_core::example::paper_example();
+/// // Table 4: dist over Z_0 = {00, 10, 01} is 3, 3, 4.
+/// assert_eq!(score_candidates(&m, 0, &Partition::unit(4)), vec![3, 3, 4]);
+/// ```
+pub fn score_candidates(matrix: &ResponseMatrix, test: usize, pairs: &Partition) -> Vec<u64> {
+    let classes = matrix.classes(test);
+    let sizes = pairs.group_sizes();
+    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    for (fault, &class) in classes.iter().enumerate() {
+        let group = pairs.group_of(fault);
+        if sizes[group as usize] >= 2 {
+            *counts.entry((group, class)).or_insert(0) += 1;
+        }
+    }
+    let mut gains = vec![0u64; matrix.class_count(test)];
+    for (&(group, class), &count) in &counts {
+        gains[class as usize] += count * (sizes[group as usize] as u64 - count);
+    }
+    gains
+}
+
+/// One Procedure 1 pass over the tests in `order`, with the `LOWER` cutoff
+/// (or exhaustive candidate scoring when `lower` is `None`).
+///
+/// Returns the baseline class per test (indexed by test id, not order
+/// position) and the number of fault pairs left indistinguished.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..matrix.test_count()`.
+pub fn select_baselines_once(
+    matrix: &ResponseMatrix,
+    order: &[usize],
+    lower: Option<usize>,
+) -> (Vec<u32>, u64) {
+    assert_eq!(order.len(), matrix.test_count(), "order must cover all tests");
+    let mut pairs = Partition::unit(matrix.fault_count());
+    let mut baselines = vec![0u32; matrix.test_count()];
+    for &test in order {
+        let gains = score_candidates(matrix, test, &pairs);
+        let best = pick_with_lower(&gains, lower);
+        baselines[test] = best;
+        let classes = matrix.classes(test);
+        pairs.refine_bits(|i| classes[i] == best);
+    }
+    (baselines, pairs.indistinguished_pairs())
+}
+
+/// Walks candidates in `Z_j` order applying the paper's `LOWER` rule:
+/// stop after `lower` consecutive candidates scoring strictly below the
+/// best seen, and return the first best among those scored.
+fn pick_with_lower(gains: &[u64], lower: Option<usize>) -> u32 {
+    let mut best = 0usize;
+    let mut below = 0usize;
+    for (candidate, &gain) in gains.iter().enumerate() {
+        if gain > gains[best] {
+            best = candidate;
+            below = 0;
+        } else if gain < gains[best] {
+            below += 1;
+            if Some(below) == lower {
+                break;
+            }
+        }
+    }
+    best as u32
+}
+
+/// Procedure 1 with random restarts: repeats [`select_baselines_once`] with
+/// shuffled test orders until `CALLS_1` consecutive calls fail to improve
+/// the number of distinguished pairs (or a full-dictionary-optimal result
+/// is reached, which no further call can beat).
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::{select_baselines, Procedure1Options};
+///
+/// let m = sdd_core::example::paper_example();
+/// let s = select_baselines(&m, &Procedure1Options::default());
+/// assert_eq!(s.indistinguished_pairs, 0);
+/// ```
+pub fn select_baselines(matrix: &ResponseMatrix, options: &Procedure1Options) -> BaselineSelection {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let bound = matrix.full_partition().indistinguished_pairs();
+
+    // Guard candidate: the all-fault-free assignment (a pass/fail
+    // dictionary). Greedy selection beats it in practice, but keeping it in
+    // the pool makes "a same/different dictionary never resolves worse than
+    // a pass/fail dictionary of the same tests" a guarantee, not a trend.
+    let fault_free = vec![0u32; matrix.test_count()];
+    let mut best_pairs = crate::procedure2::indistinguished_with(matrix, &fault_free);
+    let mut best_baselines = fault_free;
+
+    // First call: natural test order.
+    let natural: Vec<usize> = (0..matrix.test_count()).collect();
+    let (baselines, pairs) = select_baselines_once(matrix, &natural, options.lower);
+    if pairs < best_pairs {
+        best_pairs = pairs;
+        best_baselines = baselines;
+    }
+    let mut calls = 1;
+    let mut stale = 0;
+
+    let mut order = natural;
+    while stale < options.calls1 && calls < options.max_calls && best_pairs > bound {
+        order.shuffle(&mut rng);
+        let (baselines, pairs) = select_baselines_once(matrix, &order, options.lower);
+        calls += 1;
+        if pairs < best_pairs {
+            best_pairs = pairs;
+            best_baselines = baselines;
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+    }
+
+    BaselineSelection {
+        baselines: best_baselines,
+        indistinguished_pairs: best_pairs,
+        calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+    use crate::{PassFailDictionary, SameDifferentDictionary};
+
+    #[test]
+    fn lower_rule_matches_paper_semantics() {
+        // best=5 at index 1; then 4,4,4: equal-to-lower values count,
+        // ties with best do not.
+        assert_eq!(pick_with_lower(&[3, 5, 4, 4, 4], Some(3)), 1);
+        // Cutoff can hide a later maximum:
+        assert_eq!(pick_with_lower(&[5, 1, 1, 9], Some(2)), 0);
+        // Exhaustive scan finds it:
+        assert_eq!(pick_with_lower(&[5, 1, 1, 9], None), 3);
+        // Ties keep the first best:
+        assert_eq!(pick_with_lower(&[7, 7, 7], Some(1)), 0);
+        // Empty gains (no candidates) defaults to class 0:
+        assert_eq!(pick_with_lower(&[], Some(10)), 0);
+    }
+
+    #[test]
+    fn restarts_never_worsen_the_result() {
+        let m = paper_example();
+        let single = select_baselines_once(&m, &[0, 1], Some(10)).1;
+        let restarted = select_baselines(&m, &Procedure1Options::default());
+        assert!(restarted.indistinguished_pairs <= single);
+        assert_eq!(restarted.indistinguished_pairs, 0);
+    }
+
+    #[test]
+    fn early_exit_at_full_dictionary_bound() {
+        let m = paper_example();
+        let s = select_baselines(&m, &Procedure1Options::default());
+        // The first (natural-order) call already reaches the bound of 0, so
+        // no restarts are spent.
+        assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn selection_beats_pass_fail_on_the_example() {
+        let m = paper_example();
+        let s = select_baselines(&m, &Procedure1Options::default());
+        let sd = SameDifferentDictionary::build(&m, &s.baselines);
+        let pf = PassFailDictionary::build(&m);
+        assert!(sd.indistinguished_pairs() < pf.indistinguished_pairs());
+        assert_eq!(
+            sd.indistinguished_pairs(),
+            s.indistinguished_pairs,
+            "selection's count must match the built dictionary"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = paper_example();
+        let opts = Procedure1Options::default();
+        assert_eq!(select_baselines(&m, &opts), select_baselines(&m, &opts));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all tests")]
+    fn bad_order_panics() {
+        select_baselines_once(&paper_example(), &[0], Some(10));
+    }
+}

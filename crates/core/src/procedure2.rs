@@ -1,0 +1,184 @@
+//! Procedure 2: baseline replacement.
+//!
+//! Starting from selected baselines, each test's baseline is tentatively
+//! replaced by every other candidate in its `Z_j`; a replacement is accepted
+//! when it strictly increases the number of distinguished fault pairs. The
+//! pass repeats while it keeps improving.
+//!
+//! The paper evaluates each candidate by recounting distinguished pairs from
+//! scratch. This implementation gets the identical accept/reject decisions
+//! in O(k·n) per pass: the partition induced by *all tests except `t_j`* is
+//! the intersection of an incrementally-maintained prefix partition with a
+//! precomputed suffix partition, and every candidate of `t_j` is then scored
+//! with the same O(n) sweep Procedure 1 uses. Within a pass, tests after
+//! `t_j` have not been touched yet, so the precomputed suffixes stay valid
+//! even as replacements are accepted — matching the paper's sequential
+//! semantics exactly.
+
+use sdd_sim::{Partition, ResponseMatrix};
+
+use crate::score_candidates;
+
+/// One replacement pass over all tests. Returns `true` if any baseline was
+/// replaced.
+///
+/// # Panics
+///
+/// Panics if `baselines.len()` differs from the matrix's test count.
+pub fn replace_baselines_pass(matrix: &ResponseMatrix, baselines: &mut [u32]) -> bool {
+    let k = matrix.test_count();
+    let n = matrix.fault_count();
+    assert_eq!(baselines.len(), k, "one baseline class per test");
+
+    // suffix[j] = partition induced by tests j..k with current baselines.
+    let mut suffix: Vec<Partition> = Vec::with_capacity(k + 1);
+    suffix.push(Partition::unit(n));
+    for j in (0..k).rev() {
+        let mut p = suffix.last().expect("nonempty").clone();
+        let classes = matrix.classes(j);
+        let baseline = baselines[j];
+        p.refine_bits(|i| classes[i] == baseline);
+        suffix.push(p);
+    }
+    suffix.reverse(); // suffix[j] now covers tests j..k; suffix[k] = unit.
+
+    let mut improved = false;
+    let mut prefix = Partition::unit(n);
+    for j in 0..k {
+        let without_j = prefix.intersect(&suffix[j + 1]);
+        let gains = score_candidates(matrix, j, &without_j);
+        let current = gains[baselines[j] as usize];
+        let (best_class, best_gain) = gains
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))) // first max
+            .expect("every test has at least the fault-free class");
+        if best_gain > current {
+            baselines[j] = best_class as u32;
+            improved = true;
+        }
+        let classes = matrix.classes(j);
+        let baseline = baselines[j];
+        prefix.refine_bits(|i| classes[i] == baseline);
+    }
+    improved
+}
+
+/// Procedure 2: repeats [`replace_baselines_pass`] while it improves, then
+/// returns the number of fault pairs left indistinguished.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::{replace_baselines, select_baselines, Procedure1Options};
+///
+/// let m = sdd_core::example::paper_example();
+/// let mut baselines = select_baselines(&m, &Procedure1Options::default()).baselines;
+/// let left = replace_baselines(&m, &mut baselines);
+/// assert_eq!(left, 0);
+/// ```
+pub fn replace_baselines(matrix: &ResponseMatrix, baselines: &mut [u32]) -> u64 {
+    while replace_baselines_pass(matrix, baselines) {}
+    indistinguished_with(matrix, baselines)
+}
+
+/// Counts the fault pairs a same/different dictionary with these baselines
+/// leaves indistinguished.
+pub(crate) fn indistinguished_with(matrix: &ResponseMatrix, baselines: &[u32]) -> u64 {
+    let mut p = Partition::unit(matrix.fault_count());
+    for (j, &baseline) in baselines.iter().enumerate() {
+        let classes = matrix.classes(j);
+        p.refine_bits(|i| classes[i] == baseline);
+    }
+    p.indistinguished_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+
+    #[test]
+    fn improves_a_partially_good_starting_point() {
+        let m = paper_example();
+        // Procedure 1 picked z_bl,0 = 01 (class 2) but suppose t1 kept the
+        // fault-free baseline: f2,f3 remain indistinguished.
+        let mut baselines = vec![2u32, 0];
+        assert_eq!(indistinguished_with(&m, &baselines), 1);
+        let left = replace_baselines(&m, &mut baselines);
+        assert_eq!(left, 0, "replacing z_bl,1 with 10 fixes the f2,f3 pair");
+        assert_eq!(baselines, vec![2, 1], "the paper's Table 3 baselines");
+    }
+
+    #[test]
+    fn pass_fail_start_is_a_local_optimum() {
+        // From all-fault-free baselines no *single* replacement helps on the
+        // worked example — Procedure 2 is a local improver, which is why the
+        // paper runs it after Procedure 1 rather than from scratch.
+        let m = paper_example();
+        let mut baselines = vec![0u32, 0];
+        let left = replace_baselines(&m, &mut baselines);
+        assert_eq!(left, 1);
+        assert_eq!(baselines, vec![0, 0]);
+    }
+
+    #[test]
+    fn pass_reports_no_improvement_at_optimum() {
+        let m = paper_example();
+        let mut baselines = vec![2u32, 1]; // the paper's optimal choice
+        assert!(!replace_baselines_pass(&m, &mut baselines));
+        assert_eq!(baselines, vec![2, 1], "optimal baselines are kept");
+    }
+
+    #[test]
+    fn replacement_never_hurts() {
+        let m = paper_example();
+        for start in [[0u32, 0], [1, 0], [2, 0], [0, 2], [1, 2], [2, 2]] {
+            let mut baselines = start.to_vec();
+            let before = indistinguished_with(&m, &baselines);
+            let after = replace_baselines(&m, &mut baselines);
+            assert!(after <= before, "start {start:?}: {after} > {before}");
+            assert_eq!(after, indistinguished_with(&m, &baselines));
+        }
+    }
+
+    #[test]
+    fn accepted_decisions_match_brute_force() {
+        // Verify the prefix/suffix acceleration against literal recounting
+        // for every starting baseline combination of the example.
+        let m = paper_example();
+        for b0 in 0..3u32 {
+            for b1 in 0..3u32 {
+                let mut fast = vec![b0, b1];
+                replace_baselines_pass(&m, &mut fast);
+                let mut slow = vec![b0, b1];
+                brute_force_pass(&m, &mut slow);
+                assert_eq!(fast, slow, "start [{b0},{b1}]");
+            }
+        }
+    }
+
+    /// Literal Procedure 2 pass: recount everything per candidate.
+    fn brute_force_pass(matrix: &ResponseMatrix, baselines: &mut [u32]) {
+        for j in 0..matrix.test_count() {
+            let mut best_dist = total_distinguished(matrix, baselines);
+            let saved = baselines[j];
+            let mut best = saved;
+            for candidate in 0..matrix.class_count(j) as u32 {
+                baselines[j] = candidate;
+                let dist = total_distinguished(matrix, baselines);
+                if dist > best_dist {
+                    best_dist = dist;
+                    best = candidate;
+                }
+            }
+            baselines[j] = best;
+        }
+    }
+
+    fn total_distinguished(matrix: &ResponseMatrix, baselines: &[u32]) -> u64 {
+        let n = matrix.fault_count() as u64;
+        n * (n - 1) / 2 - indistinguished_with(matrix, baselines)
+    }
+}

@@ -1,0 +1,295 @@
+//! Alternative physical representations of dictionaries.
+//!
+//! §1 of the paper notes that dictionaries are stored not only as
+//! two-dimensional bit arrays but also as *lists of detected faults* or
+//! *tree structures*. The information is identical; the storage and lookup
+//! profiles differ. This module provides both for pass/fail-shaped data:
+//!
+//! * [`DetectionListDictionary`] — per test, the sorted list of faults it
+//!   detects. Small when detection is sparse (`Σ det · ⌈log₂ n⌉` bits),
+//!   which is typical for compact industrial test sets.
+//! * [`SignatureTrie`] — a binary trie over fault signatures, giving
+//!   O(k)-time exact diagnosis lookups independent of the fault count and
+//!   a natural prefix compression of shared signature prefixes.
+
+use std::collections::HashMap;
+
+use sdd_logic::BitVec;
+use sdd_sim::ResponseMatrix;
+
+/// A pass/fail dictionary stored as per-test detection lists.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::representations::DetectionListDictionary;
+///
+/// let m = sdd_core::example::paper_example();
+/// let d = DetectionListDictionary::build(&m);
+/// assert_eq!(d.detected_by(0), &[1, 2, 3]); // t0 detects f1, f2, f3
+/// assert_eq!(d.detected_by(1), &[0, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionListDictionary {
+    lists: Vec<Vec<u32>>,
+    faults: usize,
+}
+
+impl DetectionListDictionary {
+    /// Builds the detection lists from simulated responses.
+    pub fn build(matrix: &ResponseMatrix) -> Self {
+        let lists = (0..matrix.test_count())
+            .map(|test| {
+                (0..matrix.fault_count())
+                    .filter(|&f| matrix.detects(test, f))
+                    .map(|f| f as u32)
+                    .collect()
+            })
+            .collect();
+        Self {
+            lists,
+            faults: matrix.fault_count(),
+        }
+    }
+
+    /// Faults detected by `test`, ascending.
+    pub fn detected_by(&self, test: usize) -> &[u32] {
+        &self.lists[test]
+    }
+
+    /// Number of tests.
+    pub fn test_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of `(test, fault)` detections stored.
+    pub fn detection_count(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Storage in bits: one fault index (`⌈log₂ n⌉` bits) per detection.
+    /// Compare with the flat pass/fail array's `k·n`.
+    pub fn size_bits(&self) -> u64 {
+        let index_bits = (usize::BITS - (self.faults.max(2) - 1).leading_zeros()) as u64;
+        self.detection_count() as u64 * index_bits
+    }
+
+    /// Reconstructs the pass/fail signature of one fault.
+    pub fn signature(&self, fault: usize) -> BitVec {
+        self.lists
+            .iter()
+            .map(|list| list.binary_search(&(fault as u32)).is_ok())
+            .collect()
+    }
+
+    /// Diagnoses by intersecting detection lists: faults detected by every
+    /// failing test and by no passing test (exact pass/fail match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failing` contains an out-of-range test.
+    pub fn diagnose_exact(&self, failing: &[usize]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.faults];
+        for &test in failing {
+            for &fault in &self.lists[test] {
+                counts[fault as usize] += 1;
+            }
+        }
+        // A fault matches exactly when it is detected by all failing tests
+        // and its total detections equal the failing count (no passing test
+        // detects it).
+        let totals = {
+            let mut t = vec![0u32; self.faults];
+            for list in &self.lists {
+                for &fault in list {
+                    t[fault as usize] += 1;
+                }
+            }
+            t
+        };
+        (0..self.faults as u32)
+            .filter(|&f| {
+                counts[f as usize] == failing.len() as u32
+                    && totals[f as usize] == failing.len() as u32
+            })
+            .collect()
+    }
+}
+
+/// A binary trie over fault signatures: the tree-structured dictionary
+/// representation.
+///
+/// Each level corresponds to one test; leaves hold the faults whose
+/// signatures share the full root-to-leaf path.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::representations::SignatureTrie;
+/// use sdd_core::PassFailDictionary;
+///
+/// let m = sdd_core::example::paper_example();
+/// let pf = PassFailDictionary::build(&m);
+/// let trie = SignatureTrie::build(pf.signatures());
+/// assert_eq!(trie.lookup(&"11".parse()?), &[2, 3]);
+/// assert_eq!(trie.lookup(&"00".parse()?), &[] as &[u32]);
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureTrie {
+    nodes: Vec<TrieNode>,
+    width: usize,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct TrieNode {
+    children: [Option<u32>; 2],
+    faults: Vec<u32>,
+}
+
+impl SignatureTrie {
+    /// Builds the trie from per-fault signatures (all the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures differ in width.
+    pub fn build(signatures: &[BitVec]) -> Self {
+        let width = signatures.first().map_or(0, BitVec::len);
+        let mut nodes = vec![TrieNode::default()];
+        for (fault, signature) in signatures.iter().enumerate() {
+            assert_eq!(signature.len(), width, "ragged signatures");
+            let mut node = 0usize;
+            for bit in signature.iter() {
+                let slot = usize::from(bit);
+                let next = match nodes[node].children[slot] {
+                    Some(next) => next as usize,
+                    None => {
+                        nodes.push(TrieNode::default());
+                        let next = nodes.len() - 1;
+                        nodes[node].children[slot] = Some(next as u32);
+                        next
+                    }
+                };
+                node = next;
+            }
+            nodes[node].faults.push(fault as u32);
+        }
+        Self { nodes, width }
+    }
+
+    /// Signature width (number of tests).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of trie nodes — the prefix-compressed footprint.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Faults whose stored signature equals `observed` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` has the wrong width.
+    pub fn lookup(&self, observed: &BitVec) -> &[u32] {
+        assert_eq!(observed.len(), self.width, "signature width mismatch");
+        let mut node = 0usize;
+        for bit in observed.iter() {
+            match self.nodes[node].children[usize::from(bit)] {
+                Some(next) => node = next as usize,
+                None => return &[],
+            }
+        }
+        &self.nodes[node].faults
+    }
+
+    /// Groups of faults sharing a signature (the indistinguished classes),
+    /// as a map from leaf signature count to number of groups of that size.
+    pub fn group_size_histogram(&self) -> HashMap<usize, usize> {
+        let mut histogram = HashMap::new();
+        for node in &self.nodes {
+            if !node.faults.is_empty() {
+                *histogram.entry(node.faults.len()).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::paper_example;
+    use crate::PassFailDictionary;
+
+    #[test]
+    fn detection_lists_match_pass_fail_signatures() {
+        let m = paper_example();
+        let lists = DetectionListDictionary::build(&m);
+        let pf = PassFailDictionary::build(&m);
+        for fault in 0..m.fault_count() {
+            assert_eq!(lists.signature(fault), *pf.signature(fault));
+        }
+        assert_eq!(lists.test_count(), 2);
+        assert_eq!(lists.detection_count(), 6);
+        // 6 detections × 2 bits per index (n = 4) = 12 bits.
+        assert_eq!(lists.size_bits(), 12);
+    }
+
+    #[test]
+    fn list_diagnosis_matches_signature_diagnosis() {
+        let m = paper_example();
+        let lists = DetectionListDictionary::build(&m);
+        let pf = PassFailDictionary::build(&m);
+        // Fault f0 fails only t1.
+        assert_eq!(lists.diagnose_exact(&[1]), vec![0]);
+        // f2, f3 fail both tests.
+        assert_eq!(lists.diagnose_exact(&[0, 1]), vec![2, 3]);
+        let report = pf.diagnose(&"11".parse().unwrap());
+        assert_eq!(report.exact, vec![2, 3]);
+    }
+
+    #[test]
+    fn trie_lookup_matches_linear_scan() {
+        let m = paper_example();
+        let pf = PassFailDictionary::build(&m);
+        let trie = SignatureTrie::build(pf.signatures());
+        for fault in 0..m.fault_count() {
+            let hits = trie.lookup(pf.signature(fault));
+            assert!(hits.contains(&(fault as u32)));
+            // Every hit's signature equals the probe.
+            for &hit in hits {
+                assert_eq!(pf.signature(hit as usize), pf.signature(fault));
+            }
+        }
+    }
+
+    #[test]
+    fn trie_histogram_counts_groups() {
+        let m = paper_example();
+        let pf = PassFailDictionary::build(&m);
+        let trie = SignatureTrie::build(pf.signatures());
+        let histogram = trie.group_size_histogram();
+        // Signatures: 01, 10, 11, 11 → two singletons and one pair.
+        assert_eq!(histogram.get(&1), Some(&2));
+        assert_eq!(histogram.get(&2), Some(&1));
+        assert_eq!(trie.width(), 2);
+        assert!(trie.node_count() >= 4);
+    }
+
+    #[test]
+    fn empty_trie_lookup() {
+        let trie = SignatureTrie::build(&[]);
+        assert_eq!(trie.lookup(&BitVec::new()), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn trie_rejects_wrong_width_probe() {
+        let m = paper_example();
+        let pf = PassFailDictionary::build(&m);
+        let trie = SignatureTrie::build(pf.signatures());
+        trie.lookup(&"101".parse().unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! Dictionary size accounting, exactly as in §2 of the paper.
+
+/// Storage requirements in bits of the three dictionary types for a circuit
+/// with `k` tests, `n` faults and `m` observed outputs.
+///
+/// Following the paper, the fault-free response (`k·m` bits) is *not*
+/// counted in any dictionary: every tester stores it regardless.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::DictionarySizes;
+///
+/// let s = DictionarySizes::new(2, 4, 2); // the paper's worked example
+/// assert_eq!(s.full, 16);           // k·n·m
+/// assert_eq!(s.pass_fail, 8);       // k·n
+/// assert_eq!(s.same_different, 12); // k·(n+m)
+/// assert_eq!(s.same_different - s.pass_fail, 4); // the k·m baseline cost
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DictionarySizes {
+    /// Tests `k`.
+    pub tests: u64,
+    /// Faults `n`.
+    pub faults: u64,
+    /// Observed outputs `m`.
+    pub outputs: u64,
+    /// Full dictionary: `k·n·m` bits.
+    pub full: u64,
+    /// Pass/fail dictionary: `k·n` bits.
+    pub pass_fail: u64,
+    /// Same/different dictionary: `k·(n+m)` bits (bit matrix plus one
+    /// baseline output vector per test).
+    pub same_different: u64,
+}
+
+impl DictionarySizes {
+    /// Computes the sizes for `k` tests, `n` faults, `m` outputs.
+    pub fn new(k: u64, n: u64, m: u64) -> Self {
+        Self {
+            tests: k,
+            faults: n,
+            outputs: m,
+            full: k * n * m,
+            pass_fail: k * n,
+            same_different: k * (n + m),
+        }
+    }
+
+    /// The extra storage of a same/different dictionary over a pass/fail
+    /// dictionary — `k·m` bits, "negligible" in the paper's words because
+    /// industrial designs have `m ≪ n`.
+    pub fn baseline_overhead(&self) -> u64 {
+        self.same_different - self.pass_fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_hold_for_assorted_shapes() {
+        for (k, n, m) in [(1, 1, 1), (106, 939, 38), (320, 6475, 250)] {
+            let s = DictionarySizes::new(k, n, m);
+            assert_eq!(s.full, k * n * m);
+            assert_eq!(s.pass_fail, k * n);
+            assert_eq!(s.same_different, k * (n + m));
+            assert_eq!(s.baseline_overhead(), k * m);
+            assert!(s.pass_fail <= s.same_different);
+            assert!(s.same_different <= s.full || m == 1);
+        }
+    }
+
+    #[test]
+    fn overhead_is_negligible_when_m_is_small() {
+        // The paper's argument: m is one to two orders below n.
+        let s = DictionarySizes::new(500, 10_000, 100);
+        assert!(s.baseline_overhead() * 100 <= s.pass_fail);
+    }
+}

@@ -1,0 +1,433 @@
+//! Structural fault collapsing.
+//!
+//! Two faults are *equivalent* when every input pattern produces identical
+//! output responses for both; a dictionary (of any kind) can never tell them
+//! apart, so only one representative per equivalence class is kept. The
+//! classic structural rules are:
+//!
+//! * AND: any input `s-a-0` ≡ output `s-a-0`; NAND: input `s-a-0` ≡ output
+//!   `s-a-1`; OR: input `s-a-1` ≡ output `s-a-1`; NOR: input `s-a-1` ≡
+//!   output `s-a-0`.
+//! * NOT: input `s-a-v` ≡ output `s-a-v̄`; BUF: input `s-a-v` ≡ output
+//!   `s-a-v`. A D flip-flop behaves like a buffer across the scan boundary.
+//! * XOR/XNOR admit no structural equivalences.
+//!
+//! *Dominance* collapsing (`f` dominates `g` when every test for `g` also
+//! detects `f`) is also provided; it further shrinks the list but — unlike
+//! equivalence — can merge faults that a dictionary *could* distinguish, so
+//! the paper's experiments (and this workspace's defaults) use equivalence
+//! collapsing only.
+
+use sdd_netlist::{Circuit, Driver, GateKind};
+
+use crate::{Fault, FaultId, FaultSite, FaultUniverse};
+
+/// The result of collapsing a [`FaultUniverse`]: one representative fault
+/// per equivalence class, plus the class map for the whole universe.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::FaultUniverse;
+/// let c17 = sdd_netlist::library::c17();
+/// let collapsed = FaultUniverse::enumerate(&c17).collapse_on(&c17);
+/// assert_eq!(collapsed.representatives().len(), 22);
+/// // Every fault maps to a representative in its own class:
+/// for (id, _) in FaultUniverse::enumerate(&c17).iter() {
+///     let rep = collapsed.representative(id);
+///     assert_eq!(collapsed.representative(rep), rep);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollapsedFaults {
+    representatives: Vec<FaultId>,
+    class_of: Vec<FaultId>,
+    faults: Vec<Fault>,
+}
+
+impl CollapsedFaults {
+    /// The representative faults, one per class, in universe order.
+    pub fn representatives(&self) -> &[FaultId] {
+        &self.representatives
+    }
+
+    /// The representative faults themselves (parallel to
+    /// [`representatives`](Self::representatives)).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The representative of the class containing `fault`.
+    pub fn representative(&self, fault: FaultId) -> FaultId {
+        self.class_of[fault.index()]
+    }
+
+    /// Number of equivalence classes.
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Returns `true` when there are no classes (empty universe).
+    pub fn is_empty(&self) -> bool {
+        self.representatives.is_empty()
+    }
+}
+
+impl FaultUniverse {
+    /// Equivalence-collapses the universe using `circuit`'s structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit this universe was enumerated
+    /// from (site indices out of range).
+    pub fn collapse_on(&self, circuit: &Circuit) -> CollapsedFaults {
+        let mut dsu = Dsu::new(self.len());
+        let index = SiteIndex::build(self, circuit);
+
+        for gate in circuit.nets() {
+            match circuit.driver(gate) {
+                Driver::Gate { kind, inputs } => {
+                    let arity = inputs.len();
+                    match kind {
+                        GateKind::Buf | GateKind::Not => {
+                            let invert = kind.inverts();
+                            for v in [false, true] {
+                                if let (Some(a), Some(b)) = (
+                                    index.pin_fault(circuit, gate, 0, v),
+                                    index.stem_fault(gate, v ^ invert),
+                                ) {
+                                    dsu.union(a, b);
+                                }
+                            }
+                        }
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                            let c = kind
+                                .controlling_value()
+                                .expect("AND/NAND/OR/NOR have controlling values");
+                            let out_value = c ^ kind.inverts();
+                            if let Some(out) = index.stem_fault(gate, out_value) {
+                                for pin in 0..arity {
+                                    if let Some(p) = index.pin_fault(circuit, gate, pin, c) {
+                                        dsu.union(p, out);
+                                    }
+                                }
+                            }
+                        }
+                        GateKind::Xor | GateKind::Xnor => {}
+                    }
+                }
+                // No rule for flip-flops: under full scan the data net is a
+                // pseudo primary *output* (observed directly at scan-out)
+                // while the Q net is a pseudo primary *input* (controlled at
+                // scan-in). D s-a-v and Q s-a-v sit on opposite sides of the
+                // scan boundary and are detected by different patterns, so —
+                // unlike a buffer — a DFF admits no structural equivalence.
+                Driver::Dff { .. } | Driver::Input => {}
+            }
+        }
+
+        self.finish_classes(dsu)
+    }
+
+    /// Dominance-collapses on top of equivalence collapsing.
+    ///
+    /// For each AND/NAND/OR/NOR gate, the output fault at the
+    /// non-controlled value (`s-a-c̄ ⊕ inv`) dominates each input fault at
+    /// the non-controlling value, so the output fault is dropped in favour
+    /// of the input faults. This is useful for *detection*-oriented fault
+    /// lists; diagnosis keeps equivalence collapsing because dominance
+    /// merges distinguishable faults.
+    pub fn collapse_dominance_on(&self, circuit: &Circuit) -> CollapsedFaults {
+        let equivalence = self.collapse_on(circuit);
+        let mut dsu = Dsu::new(self.len());
+        for (id, _) in self.iter() {
+            dsu.union(id, equivalence.representative(id));
+        }
+        let index = SiteIndex::build(self, circuit);
+        for gate in circuit.nets() {
+            if let Driver::Gate { kind, inputs } = circuit.driver(gate) {
+                if let Some(c) = kind.controlling_value() {
+                    let dominated_out = index.stem_fault(gate, !c ^ kind.inverts());
+                    if let Some(out) = dominated_out {
+                        for pin in 0..inputs.len() {
+                            if let Some(p) = index.pin_fault(circuit, gate, pin, !c) {
+                                dsu.union(out, p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_classes(dsu)
+    }
+
+    fn finish_classes(&self, mut dsu: Dsu) -> CollapsedFaults {
+        let mut class_of = vec![FaultId(0); self.len()];
+        // Normalize so the class map points at the smallest member of each
+        // class and representatives come out sorted.
+        let mut smallest = vec![FaultId(u32::MAX); self.len()];
+        for (id, _) in self.iter() {
+            let root = dsu.find(id);
+            if smallest[root.index()] == FaultId(u32::MAX) {
+                smallest[root.index()] = id;
+            }
+        }
+        let mut representatives = Vec::new();
+        let mut faults = Vec::new();
+        for (id, fault) in self.iter() {
+            let root = dsu.find(id);
+            class_of[id.index()] = smallest[root.index()];
+            if smallest[root.index()] == id {
+                representatives.push(id);
+                faults.push(fault);
+            }
+        }
+        CollapsedFaults {
+            representatives,
+            class_of,
+            faults,
+        }
+    }
+}
+
+/// Fast lookup from fault sites to fault ids.
+struct SiteIndex {
+    /// `stem[net][value]`
+    stem: Vec<[Option<FaultId>; 2]>,
+    /// `(gate, pin, value) → id` for branch faults.
+    branch: std::collections::HashMap<(u32, u32, bool), FaultId>,
+}
+
+impl SiteIndex {
+    fn build(universe: &FaultUniverse, circuit: &Circuit) -> Self {
+        let mut stem = vec![[None, None]; circuit.net_count()];
+        let mut branch = std::collections::HashMap::new();
+        for (id, fault) in universe.iter() {
+            match fault.site {
+                FaultSite::Stem(net) => {
+                    stem[net.index()][usize::from(fault.stuck_at)] = Some(id)
+                }
+                FaultSite::Branch { gate, pin } => {
+                    branch.insert((gate.0, pin, fault.stuck_at), id);
+                }
+            }
+        }
+        Self { stem, branch }
+    }
+
+    fn stem_fault(&self, net: sdd_netlist::NetId, value: bool) -> Option<FaultId> {
+        self.stem[net.index()][usize::from(value)]
+    }
+
+    /// The fault on a gate's input pin: the branch fault when the feeding
+    /// net has fan-out, otherwise the feeding net's stem fault (same line).
+    fn pin_fault(
+        &self,
+        circuit: &Circuit,
+        gate: sdd_netlist::NetId,
+        pin: usize,
+        value: bool,
+    ) -> Option<FaultId> {
+        if let Some(&id) = self.branch.get(&(gate.0, pin as u32, value)) {
+            return Some(id);
+        }
+        let source = circuit.driver(gate).fanin()[pin];
+        self.stem_fault(source, value)
+    }
+}
+
+/// Minimal union-find over fault ids.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, id: FaultId) -> FaultId {
+        let mut root = id.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cursor = id.0;
+        while self.parent[cursor as usize] != root {
+            let next = self.parent[cursor as usize];
+            self.parent[cursor as usize] = root;
+            cursor = next;
+        }
+        FaultId(root)
+    }
+
+    fn union(&mut self, a: FaultId, b: FaultId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Attach the larger id under the smaller for stable reps.
+            if ra.0 < rb.0 {
+                self.parent[rb.0 as usize] = ra.0;
+            } else {
+                self.parent[ra.0 as usize] = rb.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::library::c17;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn c17_collapses_to_22() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        assert_eq!(collapsed.len(), 22);
+        assert!(!collapsed.is_empty());
+        assert_eq!(collapsed.representatives().len(), collapsed.faults().len());
+    }
+
+    #[test]
+    fn class_map_is_idempotent_and_consistent() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        for (id, _) in u.iter() {
+            let rep = collapsed.representative(id);
+            assert_eq!(collapsed.representative(rep), rep, "rep of rep is rep");
+            assert!(collapsed.representatives().contains(&rep));
+        }
+    }
+
+    #[test]
+    fn representatives_are_smallest_in_class() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        for (id, _) in u.iter() {
+            assert!(collapsed.representative(id) <= id);
+        }
+    }
+
+    #[test]
+    fn nand_rule_merges_input_sa0_with_output_sa1() {
+        // y = NAND(a, b): a s-a-0 ≡ b s-a-0 ≡ y s-a-1.
+        let mut builder = CircuitBuilder::new("nand1");
+        let a = builder.input("a");
+        let b = builder.input("b");
+        let y = builder.gate("y", GateKind::Nand, vec![a, b]);
+        builder.output(y);
+        let c = builder.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        let fid = |site, stuck_at| u.id_of(Fault { site, stuck_at }).unwrap();
+        let a0 = fid(FaultSite::Stem(a), false);
+        let b0 = fid(FaultSite::Stem(b), false);
+        let y1 = fid(FaultSite::Stem(y), true);
+        assert_eq!(collapsed.representative(a0), collapsed.representative(b0));
+        assert_eq!(collapsed.representative(a0), collapsed.representative(y1));
+        // 6 faults total, 3 merge into 1 → 4 classes.
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn xor_has_no_equivalences() {
+        let mut builder = CircuitBuilder::new("xor1");
+        let a = builder.input("a");
+        let b = builder.input("b");
+        let y = builder.gate("y", GateKind::Xor, vec![a, b]);
+        builder.output(y);
+        let c = builder.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        assert_eq!(u.collapse_on(&c).len(), u.len());
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        // a -> NOT x -> NOT y (PO): a0≡x1≡y0, a1≡x0≡y1 → 2 classes.
+        let mut builder = CircuitBuilder::new("invchain");
+        let a = builder.input("a");
+        let x = builder.gate("x", GateKind::Not, vec![a]);
+        let y = builder.gate("y", GateKind::Not, vec![x]);
+        builder.output(y);
+        let c = builder.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        assert_eq!(u.len(), 6);
+        assert_eq!(u.collapse_on(&c).len(), 2);
+    }
+
+    #[test]
+    fn dff_blocks_collapsing_across_the_scan_boundary() {
+        // Under full scan the DFF data net is a pseudo output and Q a pseudo
+        // input: D s-a-v (observed at scan-out) and Q s-a-v (injected at
+        // scan-in) are distinct faults and must not merge. The buffer after
+        // Q still collapses with Q normally.
+        let mut builder = CircuitBuilder::new("dffbuf");
+        let a = builder.input("a");
+        let d = builder.gate("d", GateKind::Not, vec![a]);
+        let q = builder.dff("q", d);
+        let y = builder.gate("y", GateKind::Buf, vec![q]);
+        builder.output(y);
+        let c = builder.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        let fid = |site, stuck_at| u.id_of(Fault { site, stuck_at }).unwrap();
+        assert_ne!(
+            collapsed.representative(fid(FaultSite::Stem(d), false)),
+            collapsed.representative(fid(FaultSite::Stem(q), false)),
+            "D and Q faults are on opposite sides of the scan boundary"
+        );
+        assert_eq!(
+            collapsed.representative(fid(FaultSite::Stem(q), true)),
+            collapsed.representative(fid(FaultSite::Stem(y), true)),
+            "Q collapses through the buffer it feeds"
+        );
+    }
+
+    #[test]
+    fn fanout_blocks_collapsing_across_stem() {
+        // a feeds two NANDs; branch faults exist and collapse into their
+        // gates, but the stem faults of a stay separate classes.
+        let mut builder = CircuitBuilder::new("fan");
+        let a = builder.input("a");
+        let b = builder.input("b");
+        let x = builder.gate("x", GateKind::Nand, vec![a, b]);
+        let y = builder.gate("y", GateKind::Nand, vec![a, x]);
+        builder.output(x);
+        builder.output(y);
+        let c = builder.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        let fid = |site, stuck_at| u.id_of(Fault { site, stuck_at }).unwrap();
+        let a0 = fid(FaultSite::Stem(a), false);
+        let x1 = fid(FaultSite::Stem(x), true);
+        assert_ne!(
+            collapsed.representative(a0),
+            collapsed.representative(x1),
+            "stem fault must not merge through a fan-out branch"
+        );
+        // But the branch a->x s-a-0 does merge with x s-a-1.
+        let branch_a_x0 = fid(FaultSite::Branch { gate: x, pin: 0 }, false);
+        assert_eq!(
+            collapsed.representative(branch_a_x0),
+            collapsed.representative(x1)
+        );
+    }
+
+    #[test]
+    fn dominance_collapsing_is_at_least_as_small() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let eq = u.collapse_on(&c);
+        let dom = u.collapse_dominance_on(&c);
+        assert!(dom.len() <= eq.len(), "{} > {}", dom.len(), eq.len());
+        assert!(dom.len() < u.len());
+    }
+
+}

@@ -1,0 +1,142 @@
+//! Out-of-model defect descriptions.
+//!
+//! Dictionaries are built from *modeled* faults — single stuck-at lines —
+//! but real silicon misbehaves in richer ways. This module describes the
+//! classic out-of-model defects used to stress diagnosis (the paper's
+//! reference [7] diagnoses CMOS bridging faults with stuck-at
+//! dictionaries): multiple simultaneous stuck-at lines and two-net bridges.
+//! Simulation lives in `sdd-sim::reference::defect_response`.
+
+use std::fmt;
+
+use sdd_netlist::{Circuit, NetId};
+
+use crate::Fault;
+
+/// How a two-net bridge resolves conflicting drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Wired-AND: both nets read the AND of their driven values.
+    And,
+    /// Wired-OR: both nets read the OR of their driven values.
+    Or,
+    /// Net `a` wins: `b` reads `a`'s driven value (dominant bridge).
+    ADominates,
+    /// Net `b` wins: `a` reads `b`'s driven value.
+    BDominates,
+}
+
+impl fmt::Display for BridgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BridgeKind::And => "wired-AND",
+            BridgeKind::Or => "wired-OR",
+            BridgeKind::ADominates => "a-dominant",
+            BridgeKind::BDominates => "b-dominant",
+        })
+    }
+}
+
+/// A physical defect, possibly outside the single stuck-at model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defect {
+    /// A single stuck-at fault — the modeled case.
+    StuckAt(Fault),
+    /// Several stuck-at lines failing simultaneously.
+    MultipleStuckAt(Vec<Fault>),
+    /// A resistive/short bridge between two nets.
+    Bridge {
+        /// First bridged net.
+        a: NetId,
+        /// Second bridged net.
+        b: NetId,
+        /// Resolution function of the short.
+        kind: BridgeKind,
+    },
+}
+
+impl Defect {
+    /// Renders the defect with net names.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        match self {
+            Defect::StuckAt(fault) => fault.describe(circuit),
+            Defect::MultipleStuckAt(faults) => {
+                let parts: Vec<String> =
+                    faults.iter().map(|f| f.describe(circuit)).collect();
+                format!("multiple: {}", parts.join(" + "))
+            }
+            Defect::Bridge { a, b, kind } => format!(
+                "bridge({}, {}) {kind}",
+                circuit.net_name(*a),
+                circuit.net_name(*b)
+            ),
+        }
+    }
+
+    /// The stuck-at faults whose sites overlap this defect — the candidates
+    /// a stuck-at diagnosis is considered *successful* for (standard
+    /// bridging-diagnosis criterion: report a fault on one of the bridged
+    /// nets).
+    pub fn plausible_sites(&self) -> Vec<NetId> {
+        match self {
+            Defect::StuckAt(fault) => vec![site_net_of(fault)],
+            Defect::MultipleStuckAt(faults) => faults.iter().map(site_net_of).collect(),
+            Defect::Bridge { a, b, .. } => vec![*a, *b],
+        }
+    }
+}
+
+fn site_net_of(fault: &Fault) -> NetId {
+    match fault.site {
+        crate::FaultSite::Stem(net) => net,
+        crate::FaultSite::Branch { gate, .. } => gate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultSite, FaultUniverse};
+    use sdd_netlist::library::c17;
+
+    #[test]
+    fn describe_formats() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let f0 = u.fault(crate::FaultId(0));
+        let single = Defect::StuckAt(f0);
+        assert_eq!(single.describe(&c), f0.describe(&c));
+        let multi = Defect::MultipleStuckAt(vec![f0, u.fault(crate::FaultId(3))]);
+        assert!(multi.describe(&c).contains('+'));
+        let bridge = Defect::Bridge {
+            a: c.net("N10").unwrap(),
+            b: c.net("N11").unwrap(),
+            kind: BridgeKind::And,
+        };
+        assert_eq!(bridge.describe(&c), "bridge(N10, N11) wired-AND");
+    }
+
+    #[test]
+    fn plausible_sites_cover_the_defect() {
+        let c = c17();
+        let a = c.net("N10").unwrap();
+        let b = c.net("N16").unwrap();
+        let bridge = Defect::Bridge { a, b, kind: BridgeKind::Or };
+        assert_eq!(bridge.plausible_sites(), vec![a, b]);
+
+        let stem = Defect::StuckAt(Fault { site: FaultSite::Stem(a), stuck_at: true });
+        assert_eq!(stem.plausible_sites(), vec![a]);
+
+        let branch = Defect::StuckAt(Fault {
+            site: FaultSite::Branch { gate: b, pin: 0 },
+            stuck_at: false,
+        });
+        assert_eq!(branch.plausible_sites(), vec![b]);
+    }
+
+    #[test]
+    fn bridge_kind_display() {
+        assert_eq!(BridgeKind::ADominates.to_string(), "a-dominant");
+        assert_eq!(BridgeKind::Or.to_string(), "wired-OR");
+    }
+}

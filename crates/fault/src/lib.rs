@@ -1,0 +1,39 @@
+//! The single stuck-at fault model.
+//!
+//! A *fault* fixes one circuit line to a constant logic value. Lines are
+//! either *stems* (the output of a net's driver) or *branches* (an individual
+//! gate input pin fed by a net with fan-out greater than one — for fan-out-free
+//! nets the branch is physically the same line as the stem and is not
+//! enumerated separately).
+//!
+//! The module provides:
+//!
+//! * [`Fault`], [`FaultSite`], [`FaultId`] — the fault vocabulary shared by
+//!   the simulator, the test generator and the dictionaries;
+//! * [`FaultUniverse`] — enumeration of every stuck-at fault of a circuit;
+//! * [`FaultUniverse::collapse_on`] — structural equivalence collapsing (the
+//!   paper uses "the set of collapsed single stuck-at faults" as its fault
+//!   set `F`), plus optional dominance collapsing for ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use sdd_fault::FaultUniverse;
+//!
+//! let c17 = sdd_netlist::library::c17();
+//! let universe = FaultUniverse::enumerate(&c17);
+//! assert_eq!(universe.len(), 34);
+//! let collapsed = universe.collapse_on(&c17);
+//! assert_eq!(collapsed.representatives().len(), 22); // the classic c17 count
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod defect;
+mod model;
+
+pub use collapse::CollapsedFaults;
+pub use defect::{BridgeKind, Defect};
+pub use model::{Fault, FaultId, FaultSite, FaultUniverse};

@@ -1,0 +1,263 @@
+//! Fault sites, faults, and fault-universe enumeration.
+
+use std::fmt;
+
+use sdd_netlist::{Circuit, Driver, NetId};
+
+/// Dense index of a fault within a [`FaultUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultId(pub u32);
+
+impl FaultId {
+    /// The fault's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A physical line a stuck-at fault can sit on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The stem of a net: the output of whatever drives it.
+    Stem(NetId),
+    /// One gate input pin, identified by the gate's output net and the pin
+    /// index. Only enumerated when the feeding net has fan-out > 1;
+    /// otherwise the pin is the same physical line as the stem.
+    Branch {
+        /// Output net of the gate whose input pin carries the fault.
+        gate: NetId,
+        /// Zero-based pin index into the gate's fan-in list.
+        pin: u32,
+    },
+}
+
+/// A single stuck-at fault: a [`FaultSite`] fixed at a constant value.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::{Fault, FaultSite};
+/// use sdd_netlist::NetId;
+///
+/// let f = Fault { site: FaultSite::Stem(NetId(3)), stuck_at: true };
+/// assert!(f.stuck_at);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The constant value the line is stuck at.
+    pub stuck_at: bool,
+}
+
+impl Fault {
+    /// Renders the fault with circuit net names, e.g. `N11->N16 s-a-1`.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let value = u8::from(self.stuck_at);
+        match self.site {
+            FaultSite::Stem(net) => format!("{} s-a-{value}", circuit.net_name(net)),
+            FaultSite::Branch { gate, pin } => {
+                let source = circuit.driver(gate).fanin()[pin as usize];
+                format!(
+                    "{}->{} s-a-{value}",
+                    circuit.net_name(source),
+                    circuit.net_name(gate)
+                )
+            }
+        }
+    }
+}
+
+/// Every single stuck-at fault of one circuit, in a stable enumeration
+/// order (stem faults in net order, then branch faults in gate/pin order;
+/// `s-a-0` before `s-a-1` at each site).
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+    /// For branch sites, the feeding net (parallel to `faults`; stems map to
+    /// their own net). Used by collapsing and by the simulator.
+    source_net: Vec<NetId>,
+}
+
+impl FaultUniverse {
+    /// Enumerates all stuck-at faults of `circuit`.
+    ///
+    /// Branch faults are created only where the feeding net has fan-out
+    /// greater than one (counting gate pins, flip-flop data pins, and
+    /// primary-output listings), matching the standard fault universe used
+    /// with collapsed fault lists.
+    pub fn enumerate(circuit: &Circuit) -> Self {
+        let fanout = circuit.fanout_counts();
+        let mut faults = Vec::new();
+        let mut source_net = Vec::new();
+        for net in circuit.nets() {
+            for stuck_at in [false, true] {
+                faults.push(Fault {
+                    site: FaultSite::Stem(net),
+                    stuck_at,
+                });
+                source_net.push(net);
+            }
+        }
+        for gate in circuit.nets() {
+            if let Driver::Gate { inputs, .. } = circuit.driver(gate) {
+                for (pin, &source) in inputs.iter().enumerate() {
+                    if fanout[source.index()] > 1 {
+                        for stuck_at in [false, true] {
+                            faults.push(Fault {
+                                site: FaultSite::Branch {
+                                    gate,
+                                    pin: pin as u32,
+                                },
+                                stuck_at,
+                            });
+                            source_net.push(source);
+                        }
+                    }
+                }
+            }
+        }
+        Self { faults, source_net }
+    }
+
+    /// Number of faults in the universe.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the circuit somehow has no faults (it cannot: every
+    /// valid circuit has at least one net).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given id.
+    pub fn fault(&self, id: FaultId) -> Fault {
+        self.faults[id.index()]
+    }
+
+    /// All faults in enumeration order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The net whose value the fault corrupts at its site (the branch's
+    /// feeding net, or the stem's own net).
+    pub fn site_net(&self, id: FaultId) -> NetId {
+        self.source_net[id.index()]
+    }
+
+    /// Iterates over `(id, fault)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultId, Fault)> + '_ {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId(i as u32), f))
+    }
+
+    /// Finds the id of a fault, if it is in the universe.
+    pub fn id_of(&self, fault: Fault) -> Option<FaultId> {
+        self.faults
+            .iter()
+            .position(|&f| f == fault)
+            .map(|i| FaultId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::library::c17;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn c17_universe_size() {
+        // 11 nets × 2 + 3 fan-out-2 nets × 2 pins × 2 values = 22 + 12 = 34.
+        let u = FaultUniverse::enumerate(&c17());
+        assert_eq!(u.len(), 34);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn stems_precede_branches_and_sa0_precedes_sa1() {
+        let u = FaultUniverse::enumerate(&c17());
+        assert!(!u.fault(FaultId(0)).stuck_at);
+        assert!(u.fault(FaultId(1)).stuck_at);
+        assert!(matches!(u.fault(FaultId(0)).site, FaultSite::Stem(_)));
+        let first_branch = u
+            .iter()
+            .position(|(_, f)| matches!(f.site, FaultSite::Branch { .. }))
+            .unwrap();
+        assert_eq!(first_branch, 22);
+    }
+
+    #[test]
+    fn branch_faults_only_on_fanout_stems() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let fanout = c.fanout_counts();
+        for (_, f) in u.iter() {
+            if let FaultSite::Branch { gate, pin } = f.site {
+                let source = c.driver(gate).fanin()[pin as usize];
+                assert!(fanout[source.index()] > 1, "branch on fan-out-free net");
+            }
+        }
+    }
+
+    #[test]
+    fn site_net_matches_definition() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        for (id, f) in u.iter() {
+            match f.site {
+                FaultSite::Stem(net) => assert_eq!(u.site_net(id), net),
+                FaultSite::Branch { gate, pin } => {
+                    assert_eq!(u.site_net(id), c.driver(gate).fanin()[pin as usize])
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describe_uses_net_names() {
+        let c = c17();
+        let u = FaultUniverse::enumerate(&c);
+        let stem = u.fault(FaultId(1));
+        assert_eq!(stem.describe(&c), "N1 s-a-1");
+        let (branch_id, _) = u
+            .iter()
+            .find(|(_, f)| matches!(f.site, FaultSite::Branch { .. }))
+            .unwrap();
+        let text = u.fault(branch_id).describe(&c);
+        assert!(text.contains("->"), "{text}");
+    }
+
+    #[test]
+    fn id_of_round_trips() {
+        let u = FaultUniverse::enumerate(&c17());
+        for (id, f) in u.iter() {
+            assert_eq!(u.id_of(f), Some(id));
+        }
+    }
+
+    #[test]
+    fn po_fanout_counts_toward_branching() {
+        // Net feeds both a PO and one gate: fan-out 2, so the gate pin gets
+        // branch faults even though only one *gate* consumes the net.
+        let mut b = CircuitBuilder::new("po_branch");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Not, vec![a]);
+        b.output(a);
+        b.output(g);
+        let c = b.finish().unwrap();
+        let u = FaultUniverse::enumerate(&c);
+        // 2 nets × 2 stems + branch a->g × 2 = 6.
+        assert_eq!(u.len(), 6);
+    }
+}

@@ -1,0 +1,178 @@
+//! Transposed pattern blocks for parallel-pattern simulation.
+
+use crate::BitVec;
+
+/// Number of patterns simulated in parallel by one machine word.
+pub const LANES: usize = 64;
+
+/// A block of up to [`LANES`] input patterns, transposed so that each signal
+/// carries one `u64` whose bit `p` is the signal's value under pattern `p`.
+///
+/// Parallel-pattern single-fault propagation (PPSFP) simulates the fault-free
+/// circuit and then each fault over a whole block at once; the transposition
+/// is what turns 64 pattern evaluations into one word-wide gate evaluation.
+///
+/// # Example
+///
+/// ```
+/// use sdd_logic::{BitVec, PatternBlock};
+///
+/// let t0: BitVec = "00".parse()?; // two inputs
+/// let t1: BitVec = "11".parse()?;
+/// let block = PatternBlock::from_patterns(2, &[t0, t1]);
+/// assert_eq!(block.pattern_count(), 2);
+/// // Input 0 is 0 under pattern 0 and 1 under pattern 1 → word 0b10.
+/// assert_eq!(block.input_word(0) & 0b11, 0b10);
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// One word per input; bit `p` = value of the input under pattern `p`.
+    words: Vec<u64>,
+    pattern_count: usize,
+}
+
+impl PatternBlock {
+    /// Transposes `patterns` (each of length `inputs`) into a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] patterns are given, or if any pattern's
+    /// length differs from `inputs`.
+    pub fn from_patterns(inputs: usize, patterns: &[BitVec]) -> Self {
+        assert!(
+            patterns.len() <= LANES,
+            "a block holds at most {LANES} patterns, got {}",
+            patterns.len()
+        );
+        let mut words = vec![0u64; inputs];
+        for (p, pattern) in patterns.iter().enumerate() {
+            assert_eq!(
+                pattern.len(),
+                inputs,
+                "pattern {p} has {} bits, circuit has {inputs} inputs",
+                pattern.len()
+            );
+            for (i, bit) in pattern.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << p;
+                }
+            }
+        }
+        Self {
+            words,
+            pattern_count: patterns.len(),
+        }
+    }
+
+    /// Number of patterns in the block (≤ [`LANES`]).
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of inputs each pattern assigns.
+    pub fn input_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The transposed word for input `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn input_word(&self, index: usize) -> u64 {
+        self.words[index]
+    }
+
+    /// Mask with one bit set per valid pattern lane.
+    pub fn lane_mask(&self) -> u64 {
+        if self.pattern_count == LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.pattern_count) - 1
+        }
+    }
+
+    /// Splits a pattern list into blocks of at most [`LANES`] patterns.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_logic::{BitVec, PatternBlock};
+    /// let patterns: Vec<BitVec> = (0..100).map(|_| BitVec::zeros(3)).collect();
+    /// let blocks = PatternBlock::blocks(3, &patterns);
+    /// assert_eq!(blocks.len(), 2);
+    /// assert_eq!(blocks[0].pattern_count(), 64);
+    /// assert_eq!(blocks[1].pattern_count(), 36);
+    /// ```
+    pub fn blocks(inputs: usize, patterns: &[BitVec]) -> Vec<Self> {
+        patterns
+            .chunks(LANES)
+            .map(|chunk| Self::from_patterns(inputs, chunk))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn transposition_matches_definition() {
+        let block = PatternBlock::from_patterns(3, &[bv("101"), bv("011"), bv("110")]);
+        // input 0: pattern values 1,0,1 → 0b101
+        assert_eq!(block.input_word(0), 0b101);
+        // input 1: pattern values 0,1,1 → 0b110
+        assert_eq!(block.input_word(1), 0b110);
+        // input 2: pattern values 1,1,0 → 0b011
+        assert_eq!(block.input_word(2), 0b011);
+        assert_eq!(block.pattern_count(), 3);
+        assert_eq!(block.input_count(), 3);
+        assert_eq!(block.lane_mask(), 0b111);
+    }
+
+    #[test]
+    fn full_block_lane_mask_is_all_ones() {
+        let patterns: Vec<BitVec> = (0..LANES).map(|_| bv("1")).collect();
+        let block = PatternBlock::from_patterns(1, &patterns);
+        assert_eq!(block.lane_mask(), u64::MAX);
+        assert_eq!(block.input_word(0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let block = PatternBlock::from_patterns(4, &[]);
+        assert_eq!(block.pattern_count(), 0);
+        assert_eq!(block.lane_mask(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_patterns_panics() {
+        let patterns: Vec<BitVec> = (0..65).map(|_| bv("0")).collect();
+        PatternBlock::from_patterns(1, &patterns);
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit has 2 inputs")]
+    fn wrong_width_panics() {
+        PatternBlock::from_patterns(2, &[bv("101")]);
+    }
+
+    #[test]
+    fn blocks_partition_preserves_order() {
+        let patterns: Vec<BitVec> = (0..130)
+            .map(|i| if i % 2 == 0 { bv("0") } else { bv("1") })
+            .collect();
+        let blocks = PatternBlock::blocks(1, &patterns);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[2].pattern_count(), 2);
+        // pattern 64 is even → 0; check it landed in lane 0 of block 1.
+        assert_eq!(blocks[1].input_word(0) & 1, 0);
+        assert_eq!(blocks[1].input_word(0) >> 1 & 1, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the logic-value layer.
+
+use proptest::prelude::*;
+use sdd_logic::{BitVec, PatternBlock, V5};
+
+fn arb_bitvec(max_len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), 0..max_len).prop_map(BitVec::from_iter)
+}
+
+fn arb_v5() -> impl Strategy<Value = V5> {
+    prop_oneof![
+        Just(V5::Zero),
+        Just(V5::One),
+        Just(V5::X),
+        Just(V5::D),
+        Just(V5::Db),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(v in arb_bitvec(300)) {
+        let text = v.to_string();
+        let back: BitVec = text.parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn push_get_agree(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let v: BitVec = bits.iter().copied().collect();
+        prop_assert_eq!(v.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), Some(b));
+        }
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn hamming_is_a_metric(a in arb_bitvec(200), b in arb_bitvec(200), c in arb_bitvec(200)) {
+        // Only comparable lengths matter; force equal lengths by truncation.
+        let n = a.len().min(b.len()).min(c.len());
+        let a: BitVec = a.iter().take(n).collect();
+        let b: BitVec = b.iter().take(n).collect();
+        let c: BitVec = c.iter().take(n).collect();
+        let dab = a.hamming_distance(&b).unwrap();
+        let dba = b.hamming_distance(&a).unwrap();
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert_eq!(a.hamming_distance(&a).unwrap(), 0, "identity");
+        prop_assert_eq!(dab == 0, a == b, "separation");
+        let dac = a.hamming_distance(&c).unwrap();
+        let dcb = c.hamming_distance(&b).unwrap();
+        prop_assert!(dab <= dac + dcb, "triangle inequality");
+    }
+
+    #[test]
+    fn xor_popcount_is_hamming(a in arb_bitvec(200), b in arb_bitvec(200)) {
+        let n = a.len().min(b.len());
+        let a: BitVec = a.iter().take(n).collect();
+        let b: BitVec = b.iter().take(n).collect();
+        prop_assert_eq!((&a ^ &b).count_ones(), a.hamming_distance(&b).unwrap());
+    }
+
+    #[test]
+    fn double_complement_is_identity(v in arb_bitvec(200)) {
+        prop_assert_eq!(!&!&v, v);
+    }
+
+    #[test]
+    fn toggle_is_involution(v in arb_bitvec(200), index in 0usize..200) {
+        prop_assume!(index < v.len().max(1) && !v.is_empty());
+        let index = index % v.len();
+        let mut w = v.clone();
+        w.toggle(index);
+        prop_assert_ne!(&w, &v);
+        w.toggle(index);
+        prop_assert_eq!(w, v);
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_equality(a in arb_bitvec(100), b in arb_bitvec(100)) {
+        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn block_transposition_round_trip(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 5), 1..64
+        )
+    ) {
+        let vecs: Vec<BitVec> = patterns.iter().map(|p| p.iter().copied().collect()).collect();
+        let block = PatternBlock::from_patterns(5, &vecs);
+        for (p, pattern) in patterns.iter().enumerate() {
+            for (i, &bit) in pattern.iter().enumerate() {
+                prop_assert_eq!(block.input_word(i) >> p & 1 == 1, bit);
+            }
+        }
+        prop_assert_eq!(block.lane_mask().count_ones() as usize, patterns.len());
+    }
+
+    #[test]
+    fn v5_de_morgan(a in arb_v5(), b in arb_v5()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn v5_operations_sound_on_pairs(a in arb_v5(), b in arb_v5()) {
+        // Whenever the result is fully determined, it must agree with the
+        // boolean operation applied to each machine separately, for every
+        // completion of unknown operands.
+        for (ga, fa) in completions(a) {
+            for (gb, fb) in completions(b) {
+                let and = a.and(b);
+                if let (Some(g), Some(f)) = (and.good(), and.faulty()) {
+                    prop_assert_eq!(g, ga && gb);
+                    prop_assert_eq!(f, fa && fb);
+                }
+                let xor = a.xor(b);
+                if let (Some(g), Some(f)) = (xor.good(), xor.faulty()) {
+                    prop_assert_eq!(g, ga ^ gb);
+                    prop_assert_eq!(f, fa ^ fb);
+                }
+            }
+        }
+    }
+}
+
+/// All concrete (good, faulty) pairs a composite value may stand for.
+fn completions(v: V5) -> Vec<(bool, bool)> {
+    match (v.good(), v.faulty()) {
+        (Some(g), Some(f)) => vec![(g, f)],
+        _ => vec![(false, false), (false, true), (true, false), (true, true)],
+    }
+}

@@ -1,0 +1,362 @@
+//! Reader and writer for the ISCAS'85/'89 `.bench` netlist format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G17 = NAND(G0, G8)
+//! G8  = DFF(G17)
+//! ```
+//!
+//! [`parse`] accepts the format as distributed with the ISCAS benchmarks
+//! (case-insensitive keywords, flexible whitespace, `BUF`/`BUFF` synonyms)
+//! and [`write()`](self::write) produces a canonical form that [`parse`]
+//! round-trips.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetId, NetlistError};
+
+/// Parses `.bench` text into a validated [`Circuit`].
+///
+/// The circuit name is taken from a leading `# name` comment when present,
+/// otherwise `"bench"`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and any validation
+/// error for structurally bad netlists (undriven nets, cycles, …).
+///
+/// # Example
+///
+/// ```
+/// let c = sdd_netlist::bench::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// assert_eq!(c.gate_count(), 1);
+/// # Ok::<(), sdd_netlist::NetlistError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut name = None;
+    let mut builder: Option<CircuitBuilder> = None;
+    // Deferred statements: (line, kind) applied once the builder exists.
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if name.is_none() {
+                let trimmed = comment.trim();
+                if !trimmed.is_empty() && !trimmed.contains(' ') {
+                    name = Some(trimmed.to_owned());
+                }
+            }
+            continue;
+        }
+        let builder = builder.get_or_insert_with(|| {
+            CircuitBuilder::new(name.clone().unwrap_or_else(|| "bench".to_owned()))
+        });
+
+        if let Some(arg) = keyword_arg(line, "INPUT") {
+            let signal = parse_signal(arg, line_no)?;
+            builder.input(signal);
+        } else if let Some(arg) = keyword_arg(line, "OUTPUT") {
+            let signal = parse_signal(arg, line_no)?;
+            outputs.push((line_no, signal.to_owned()));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let target = parse_signal(lhs.trim(), line_no)?.to_owned();
+            let (func, args) = parse_call(rhs.trim(), line_no)?;
+            let inputs: Vec<NetId> = args.iter().map(|a| builder.net(a)).collect();
+            match func.to_ascii_uppercase().as_str() {
+                "DFF" => {
+                    if inputs.len() != 1 {
+                        return Err(NetlistError::Parse {
+                            line: line_no,
+                            message: format!("DFF takes one input, got {}", inputs.len()),
+                        });
+                    }
+                    builder.dff(&target, inputs[0]);
+                }
+                other => {
+                    let kind = gate_kind(other).ok_or_else(|| NetlistError::Parse {
+                        line: line_no,
+                        message: format!("unknown gate type {other:?}"),
+                    })?;
+                    builder.gate(&target, kind, inputs);
+                }
+            }
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized statement {line:?}"),
+            });
+        }
+    }
+
+    let mut builder = builder.ok_or(NetlistError::Parse {
+        line: 1,
+        message: "empty netlist".to_owned(),
+    })?;
+    for (_, signal) in outputs {
+        let net = builder.net(&signal);
+        builder.output(net);
+    }
+    builder.finish()
+}
+
+/// Writes a circuit in canonical `.bench` form.
+///
+/// The output begins with `# <name>` and round-trips through [`parse`].
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::bench;
+/// let c = bench::parse(sdd_netlist::library::C17_BENCH)?;
+/// let text = bench::write(&c);
+/// let back = bench::parse(&text)?;
+/// assert_eq!(back.gate_count(), c.gate_count());
+/// # Ok::<(), sdd_netlist::NetlistError>(())
+/// ```
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &input in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net_name(input));
+    }
+    for &output in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net_name(output));
+    }
+    for net in circuit.nets() {
+        match circuit.driver(net) {
+            crate::Driver::Input => {}
+            crate::Driver::Dff { data } => {
+                let _ = writeln!(
+                    out,
+                    "{} = DFF({})",
+                    circuit.net_name(net),
+                    circuit.net_name(*data)
+                );
+            }
+            crate::Driver::Gate { kind, inputs } => {
+                let args: Vec<&str> = inputs.iter().map(|&i| circuit.net_name(i)).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    circuit.net_name(net),
+                    kind.bench_name(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+fn keyword_arg<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line
+        .get(..keyword.len())
+        .filter(|head| head.eq_ignore_ascii_case(keyword))
+        .map(|_| line[keyword.len()..].trim_start())?;
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner.trim())
+}
+
+fn parse_signal(token: &str, line: usize) -> Result<&str, NetlistError> {
+    let token = token.trim();
+    let valid = !token.is_empty()
+        && token
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '[' || c == ']');
+    if valid {
+        Ok(token)
+    } else {
+        Err(NetlistError::Parse {
+            line,
+            message: format!("invalid signal name {token:?}"),
+        })
+    }
+}
+
+fn parse_call(text: &str, line: usize) -> Result<(String, Vec<String>), NetlistError> {
+    let open = text.find('(').ok_or_else(|| NetlistError::Parse {
+        line,
+        message: format!("expected GATE(args) on right-hand side, got {text:?}"),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| NetlistError::Parse {
+        line,
+        message: "missing closing parenthesis".to_owned(),
+    })?;
+    if close < open {
+        return Err(NetlistError::Parse {
+            line,
+            message: "mismatched parentheses".to_owned(),
+        });
+    }
+    let func = text[..open].trim().to_owned();
+    let mut args = Vec::new();
+    let inner = text[open + 1..close].trim();
+    if !inner.is_empty() {
+        for piece in inner.split(',') {
+            args.push(parse_signal(piece, line)?.to_owned());
+        }
+    }
+    if args.is_empty() {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("gate {func:?} has no inputs"),
+        });
+    }
+    Ok((func, args))
+}
+
+fn gate_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "AND" => GateKind::And,
+        "NAND" => GateKind::Nand,
+        "OR" => GateKind::Or,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "NOT" | "INV" => GateKind::Not,
+        "BUF" | "BUFF" => GateKind::Buf,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::C17_BENCH;
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17_BENCH).unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.input_count(), 5);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.dff_count(), 0);
+    }
+
+    #[test]
+    fn parses_sequential_with_dff() {
+        let text = "# tiny\nINPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = NOR(a, q)\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.dff_count(), 1);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_whitespace_tolerant() {
+        let text = "input( a )\noutput( y )\ny = nand( a , a )\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.input_count(), 1);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn buf_and_buff_are_synonyms() {
+        for spelling in ["BUF", "BUFF", "buff"] {
+            let text = format!("INPUT(a)\nOUTPUT(y)\ny = {spelling}(a)\n");
+            let c = parse(&text).unwrap();
+            assert!(matches!(
+                c.driver(c.net("y").unwrap()),
+                crate::Driver::Gate {
+                    kind: GateKind::Buf,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn output_may_precede_driver() {
+        let text = "OUTPUT(y)\nINPUT(a)\ny = NOT(a)\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("FROB"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_multi_input_dff() {
+        let err = parse("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_signal_name() {
+        let err = parse("INPUT(a b)\nOUTPUT(y)\ny = NOT(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = parse("INPUT(a)\nOUTPUT(a)\nwat\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_text() {
+        assert!(matches!(parse("  \n# only comments\n"), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_input_gate() {
+        let err = parse("INPUT(a)\nOUTPUT(y)\ny = AND()\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn write_round_trips_structure() {
+        let c = parse(C17_BENCH).unwrap();
+        let text = write(&c);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), c.name());
+        assert_eq!(back.input_count(), c.input_count());
+        assert_eq!(back.output_count(), c.output_count());
+        assert_eq!(back.gate_count(), c.gate_count());
+        // Same structure net-by-net (ids may differ; compare by name).
+        for net in c.nets() {
+            let name = c.net_name(net);
+            let other = back.net(name).expect("net survives round trip");
+            match (c.driver(net), back.driver(other)) {
+                (crate::Driver::Input, crate::Driver::Input) => {}
+                (
+                    crate::Driver::Gate { kind: k1, inputs: i1 },
+                    crate::Driver::Gate { kind: k2, inputs: i2 },
+                ) => {
+                    assert_eq!(k1, k2);
+                    let n1: Vec<&str> = i1.iter().map(|&i| c.net_name(i)).collect();
+                    let n2: Vec<&str> = i2.iter().map(|&i| back.net_name(i)).collect();
+                    assert_eq!(n1, n2);
+                }
+                (crate::Driver::Dff { data: d1 }, crate::Driver::Dff { data: d2 }) => {
+                    assert_eq!(c.net_name(*d1), back.net_name(*d2));
+                }
+                (a, b) => panic!("driver mismatch for {name}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comment_name_requires_single_token() {
+        let c = parse("# two words\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        assert_eq!(c.name(), "bench", "multi-word comments are not names");
+    }
+}

@@ -1,0 +1,226 @@
+//! The full-scan combinational view of a circuit.
+
+use crate::{Circuit, Driver, NetId};
+
+/// A circuit as the tester sees it under full scan.
+///
+/// Flip-flop output nets become *pseudo primary inputs* (they are loaded
+/// through the scan chain) and flip-flop data nets become *pseudo primary
+/// outputs* (they are unloaded through the scan chain). The remaining logic
+/// is purely combinational, and this view carries a levelized evaluation
+/// order for compiled simulation.
+///
+/// The number of observed outputs `m = #PO + #DFF` is exactly the `m` of the
+/// paper's dictionary-size formulas.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::{bench, CombView};
+///
+/// let circuit = bench::parse("INPUT(a)\nOUTPUT(o)\nq = DFF(o)\no = NAND(a, q)\n")?;
+/// let view = CombView::new(&circuit);
+/// assert_eq!(view.inputs().len(), 2);  // a + pseudo-input q
+/// assert_eq!(view.outputs().len(), 2); // o + pseudo-output (q's data net = o)
+/// # Ok::<(), sdd_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CombView {
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    order: Vec<NetId>,
+    level: Vec<u32>,
+    input_position: Vec<Option<u32>>,
+}
+
+impl CombView {
+    /// Builds the full-scan view of `circuit`.
+    ///
+    /// Inputs are the primary inputs followed by the flip-flop outputs;
+    /// outputs are the primary outputs followed by the flip-flop data nets.
+    /// The evaluation order is levelized: every gate appears after all of
+    /// its fan-in nets.
+    pub fn new(circuit: &Circuit) -> Self {
+        let inputs: Vec<NetId> = circuit
+            .inputs()
+            .iter()
+            .chain(circuit.dffs())
+            .copied()
+            .collect();
+        let outputs: Vec<NetId> = circuit
+            .outputs()
+            .iter()
+            .copied()
+            .chain(circuit.dffs().iter().map(|&q| match circuit.driver(q) {
+                Driver::Dff { data } => *data,
+                _ => unreachable!("dff list holds only DFF-driven nets"),
+            }))
+            .collect();
+
+        // Levelize: level(input) = 0, level(gate) = 1 + max(level of fanin).
+        let mut level = vec![0u32; circuit.net_count()];
+        let mut order = Vec::with_capacity(circuit.net_count());
+        // Kahn's algorithm over combinational edges.
+        let mut remaining = vec![0usize; circuit.net_count()];
+        let mut fanout: Vec<Vec<NetId>> = vec![Vec::new(); circuit.net_count()];
+        for net in circuit.nets() {
+            if let Driver::Gate { inputs, .. } = circuit.driver(net) {
+                remaining[net.index()] = inputs.len();
+                for &source in inputs {
+                    fanout[source.index()].push(net);
+                }
+            }
+        }
+        let mut ready: Vec<NetId> = inputs.clone();
+        let mut cursor = 0;
+        while cursor < ready.len() {
+            let net = ready[cursor];
+            cursor += 1;
+            order.push(net);
+            for &sink in &fanout[net.index()] {
+                let slot = &mut remaining[sink.index()];
+                *slot -= 1;
+                level[sink.index()] = level[sink.index()].max(level[net.index()] + 1);
+                if *slot == 0 {
+                    ready.push(sink);
+                }
+            }
+        }
+        debug_assert_eq!(
+            order.len(),
+            circuit.net_count(),
+            "validated circuits are acyclic, so levelization covers every net"
+        );
+
+        let mut input_position = vec![None; circuit.net_count()];
+        for (pos, &net) in inputs.iter().enumerate() {
+            input_position[net.index()] = Some(pos as u32);
+        }
+
+        Self {
+            inputs,
+            outputs,
+            order,
+            level,
+            input_position,
+        }
+    }
+
+    /// Pattern inputs: primary inputs followed by pseudo primary inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Observed outputs: primary outputs followed by pseudo primary outputs.
+    ///
+    /// This is the output set whose width is the paper's `m`.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All nets in a levelized order (inputs first, every gate after its
+    /// fan-ins). Compiled simulation evaluates nets in exactly this order.
+    pub fn order(&self) -> &[NetId] {
+        &self.order
+    }
+
+    /// The logic level of `net` (0 for inputs).
+    pub fn level(&self, net: NetId) -> u32 {
+        self.level[net.index()]
+    }
+
+    /// The position of `net` within [`inputs`](Self::inputs), if it is one.
+    pub fn input_position(&self, net: NetId) -> Option<usize> {
+        self.input_position[net.index()].map(|p| p as usize)
+    }
+
+    /// The largest logic level in the view (circuit depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    fn sequential_sample() -> Circuit {
+        // a, b inputs; q DFF; g1 = a NAND q; g2 = g1 XOR b; q.d = g2; PO = g1.
+        let mut b = CircuitBuilder::new("seq");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let q = b.net("q");
+        let g1 = b.gate("g1", GateKind::Nand, vec![a, q]);
+        let g2 = b.gate("g2", GateKind::Xor, vec![g1, bb]);
+        b.dff("q", g2);
+        b.output(g1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn inputs_and_outputs_follow_scan_convention() {
+        let c = sequential_sample();
+        let v = CombView::new(&c);
+        let names: Vec<&str> = v.inputs().iter().map(|&n| c.net_name(n)).collect();
+        assert_eq!(names, ["a", "b", "q"], "PIs then PPIs");
+        let out_names: Vec<&str> = v.outputs().iter().map(|&n| c.net_name(n)).collect();
+        assert_eq!(out_names, ["g1", "g2"], "POs then PPOs (DFF data nets)");
+    }
+
+    #[test]
+    fn order_is_topological() {
+        let c = sequential_sample();
+        let v = CombView::new(&c);
+        let pos: std::collections::HashMap<NetId, usize> = v
+            .order()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        assert_eq!(pos.len(), c.net_count(), "every net appears once");
+        for net in c.nets() {
+            for &fi in c.driver(net).fanin() {
+                if let crate::Driver::Gate { .. } = c.driver(net) {
+                    assert!(pos[&fi] < pos[&net], "fanin before gate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let c = sequential_sample();
+        let v = CombView::new(&c);
+        let g1 = c.net("g1").unwrap();
+        let g2 = c.net("g2").unwrap();
+        let a = c.net("a").unwrap();
+        assert_eq!(v.level(a), 0);
+        assert_eq!(v.level(g1), 1);
+        assert_eq!(v.level(g2), 2);
+        assert_eq!(v.depth(), 2);
+    }
+
+    #[test]
+    fn input_positions() {
+        let c = sequential_sample();
+        let v = CombView::new(&c);
+        let q = c.net("q").unwrap();
+        let g1 = c.net("g1").unwrap();
+        assert_eq!(v.input_position(q), Some(2));
+        assert_eq!(v.input_position(g1), None);
+    }
+
+    #[test]
+    fn purely_combinational_circuit_has_matching_counts() {
+        let mut b = CircuitBuilder::new("comb");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Not, vec![a]);
+        b.output(g);
+        let c = b.finish().unwrap();
+        let v = CombView::new(&c);
+        assert_eq!(v.inputs().len(), 1);
+        assert_eq!(v.outputs().len(), 1);
+        assert_eq!(v.order().len(), 2);
+    }
+}

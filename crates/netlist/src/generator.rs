@@ -1,0 +1,421 @@
+//! Deterministic generator of ISCAS'89-shaped synthetic benchmark circuits.
+//!
+//! The original ISCAS'89 netlists are distributed as data files, not code;
+//! this reproduction cannot ship them, so it generates *stand-ins* with the
+//! same interface shape: matched primary-input, primary-output, flip-flop
+//! and (approximate) gate counts, realistic gate-type mix, fan-in
+//! distribution, locality, and reconvergent fan-out. Dictionary resolution
+//! experiments depend on those aggregates rather than on exact topology —
+//! see `DESIGN.md` §5. Real `.bench` files can always be used instead via
+//! [`bench::parse`](crate::bench::parse).
+//!
+//! Generation is fully deterministic for a given `(profile, seed)` pair.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetId};
+
+/// The interface shape of a benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Benchmark name, e.g. `"s953"`.
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// D flip-flops.
+    pub dffs: usize,
+    /// Target combinational gate count (generated count is within a few
+    /// percent; merge gates added to keep all logic observable).
+    pub gates: usize,
+}
+
+/// Interface shapes of the sixteen ISCAS'89 circuits used in the paper's
+/// Table 6 (sizes as commonly reported for the benchmark suite).
+pub const ISCAS89_PROFILES: [Profile; 16] = [
+    Profile { name: "s208", inputs: 10, outputs: 1, dffs: 8, gates: 96 },
+    Profile { name: "s298", inputs: 3, outputs: 6, dffs: 14, gates: 119 },
+    Profile { name: "s344", inputs: 9, outputs: 11, dffs: 15, gates: 160 },
+    Profile { name: "s382", inputs: 3, outputs: 6, dffs: 21, gates: 158 },
+    Profile { name: "s386", inputs: 7, outputs: 7, dffs: 6, gates: 159 },
+    Profile { name: "s400", inputs: 3, outputs: 6, dffs: 21, gates: 162 },
+    Profile { name: "s420", inputs: 18, outputs: 1, dffs: 16, gates: 218 },
+    Profile { name: "s510", inputs: 19, outputs: 7, dffs: 6, gates: 211 },
+    Profile { name: "s526", inputs: 3, outputs: 6, dffs: 21, gates: 193 },
+    Profile { name: "s641", inputs: 35, outputs: 24, dffs: 19, gates: 379 },
+    Profile { name: "s820", inputs: 18, outputs: 19, dffs: 5, gates: 289 },
+    Profile { name: "s953", inputs: 16, outputs: 23, dffs: 29, gates: 395 },
+    Profile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529 },
+    Profile { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657 },
+    Profile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779 },
+    Profile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 5597 },
+];
+
+/// Interface shapes of the ten ISCAS'85 combinational benchmarks (sizes as
+/// commonly reported). Not used by the paper's Table 6, but handy for
+/// combinational-only studies.
+pub const ISCAS85_PROFILES: [Profile; 10] = [
+    Profile { name: "c432", inputs: 36, outputs: 7, dffs: 0, gates: 160 },
+    Profile { name: "c499", inputs: 41, outputs: 32, dffs: 0, gates: 202 },
+    Profile { name: "c880", inputs: 60, outputs: 26, dffs: 0, gates: 383 },
+    Profile { name: "c1355", inputs: 41, outputs: 32, dffs: 0, gates: 546 },
+    Profile { name: "c1908", inputs: 33, outputs: 25, dffs: 0, gates: 880 },
+    Profile { name: "c2670", inputs: 233, outputs: 140, dffs: 0, gates: 1193 },
+    Profile { name: "c3540", inputs: 50, outputs: 22, dffs: 0, gates: 1669 },
+    Profile { name: "c5315", inputs: 178, outputs: 123, dffs: 0, gates: 2307 },
+    Profile { name: "c6288", inputs: 32, outputs: 32, dffs: 0, gates: 2416 },
+    Profile { name: "c7552", inputs: 207, outputs: 108, dffs: 0, gates: 3512 },
+];
+
+/// Looks up a profile by benchmark name, searching the ISCAS'89 suite then
+/// the ISCAS'85 suite.
+///
+/// # Example
+///
+/// ```
+/// let p = sdd_netlist::generator::profile("s298").unwrap();
+/// assert_eq!(p.dffs, 14);
+/// let c = sdd_netlist::generator::profile("c6288").unwrap();
+/// assert_eq!(c.dffs, 0);
+/// assert!(sdd_netlist::generator::profile("b17").is_none());
+/// ```
+pub fn profile(name: &str) -> Option<&'static Profile> {
+    ISCAS89_PROFILES
+        .iter()
+        .chain(&ISCAS85_PROFILES)
+        .find(|p| p.name == name)
+}
+
+/// Generates a synthetic circuit with the given interface shape.
+///
+/// Properties guaranteed by construction:
+///
+/// * exact `inputs`, `outputs`, `dffs` counts; gate count within a few
+///   percent of `profile.gates`;
+/// * acyclic combinational logic (flip-flop outputs are sources, data pins
+///   sinks);
+/// * every net drives at least one gate, flip-flop, or primary output, so
+///   no logic is trivially unobservable;
+/// * deterministic: the same `(profile, seed)` always yields the same
+///   circuit.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::generator::{generate, profile};
+/// let p = profile("s298").unwrap();
+/// let a = generate(p, 1);
+/// let b = generate(p, 1);
+/// assert_eq!(sdd_netlist::bench::write(&a), sdd_netlist::bench::write(&b));
+/// assert_eq!(a.dff_count(), 14);
+/// ```
+pub fn generate(profile: &Profile, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hash_name(profile.name));
+    let mut b = CircuitBuilder::new(profile.name);
+
+    // Sources: primary inputs and flip-flop outputs.
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..profile.inputs {
+        pool.push(b.input(&format!("i{i}")));
+    }
+    let ff_outputs: Vec<NetId> = (0..profile.dffs).map(|i| b.net(&format!("q{i}"))).collect();
+    pool.extend(&ff_outputs);
+
+    // Estimated signal probability per net (independence assumption),
+    // used to steer gate choices away from near-constant signals: deep
+    // unconstrained random logic otherwise drifts toward constants, making
+    // large fractions of its faults untestable — unlike real benchmarks.
+    let mut prob: Vec<f64> = vec![0.5; pool.len()];
+
+    // Track which nets have no fan-out yet, to keep logic observable.
+    let mut unused: Vec<NetId> = pool.clone();
+    let mut used = vec![false; pool.len() * 2 + profile.gates + 8];
+
+    let sinks = profile.outputs + profile.dffs;
+    // Reserve a little budget so merge gates rarely overshoot the target.
+    let core_gates = profile.gates.saturating_sub(profile.gates / 40).max(1);
+
+    let consume = |net: NetId, unused: &mut Vec<NetId>, used: &mut Vec<bool>| {
+        if net.index() >= used.len() {
+            used.resize(net.index() + 1, false);
+        }
+        if !used[net.index()] {
+            used[net.index()] = true;
+            if let Some(pos) = unused.iter().position(|&u| u == net) {
+                unused.swap_remove(pos);
+            }
+        }
+    };
+
+    for g in 0..core_gates {
+        // Retry a few (kind, fan-in, inputs) draws, keeping the candidate
+        // whose estimated output probability is most balanced.
+        let mut best: Option<(GateKind, Vec<NetId>, f64)> = None;
+        for attempt in 0..6 {
+            let kind = pick_kind(&mut rng);
+            let fanin = if kind.is_unary() {
+                1
+            } else {
+                match rng.gen_range(0..10) {
+                    0..=7 => 2,
+                    8 => 3,
+                    _ => 4,
+                }
+            };
+            let mut inputs = Vec::with_capacity(fanin);
+            // First pin: prefer a not-yet-used net so nothing dangles.
+            let first = if !unused.is_empty() && rng.gen_bool(0.8) {
+                unused[rng.gen_range(0..unused.len())]
+            } else {
+                pick_local(&pool, &mut rng)
+            };
+            inputs.push(first);
+            while inputs.len() < fanin {
+                let candidate = pick_local(&pool, &mut rng);
+                if !inputs.contains(&candidate) {
+                    inputs.push(candidate);
+                } else if pool.len() <= fanin {
+                    break; // tiny circuits: accept fewer pins
+                }
+            }
+            let p = estimate_probability(kind, inputs.iter().map(|n| prob[n.index()]));
+            let balance = (p - 0.5).abs();
+            if best.as_ref().is_none_or(|(_, _, bp)| balance < (bp - 0.5).abs()) {
+                best = Some((kind, inputs, p));
+            }
+            if balance <= 0.35 || attempt == 5 {
+                break;
+            }
+        }
+        let (kind, inputs, p) = best.expect("at least one candidate drawn");
+        for &i in &inputs {
+            consume(i, &mut unused, &mut used);
+        }
+        let out = b.gate(&format!("g{g}"), kind, inputs);
+        pool.push(out);
+        unused.push(out);
+        if out.index() >= prob.len() {
+            prob.resize(out.index() + 1, 0.5);
+        }
+        prob[out.index()] = p;
+    }
+
+    // Merge surplus unobserved nets until at most `sinks` remain. XOR keeps
+    // merge outputs balanced and every merged pin observable.
+    let mut merge_index = 0;
+    while unused.len() > sinks {
+        let take = usize::min(unused.len() - sinks + 1, 3).max(2);
+        let mut inputs = Vec::with_capacity(take);
+        for _ in 0..take {
+            let pos = rng.gen_range(0..unused.len());
+            inputs.push(unused.swap_remove(pos));
+        }
+        for &i in &inputs {
+            consume(i, &mut unused, &mut used);
+        }
+        let out = b.gate(&format!("m{merge_index}"), GateKind::Xor, inputs.clone());
+        merge_index += 1;
+        pool.push(out);
+        unused.push(out);
+        if out.index() >= prob.len() {
+            prob.resize(out.index() + 1, 0.5);
+        }
+        prob[out.index()] =
+            estimate_probability(GateKind::Xor, inputs.iter().map(|n| prob[n.index()]));
+    }
+
+    // Assign primary outputs and flip-flop data pins: unobserved nets first,
+    // then random late nets.
+    let mut sink_nets: Vec<NetId> = unused.clone();
+    while sink_nets.len() < sinks {
+        let candidate = pick_local(&pool, &mut rng);
+        if !sink_nets.contains(&candidate) {
+            sink_nets.push(candidate);
+        }
+    }
+    // Shuffle deterministically so POs and FFs both get deep and shallow nets.
+    for i in (1..sink_nets.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sink_nets.swap(i, j);
+    }
+    for &net in sink_nets.iter().take(profile.outputs) {
+        b.output(net);
+    }
+    for (i, &net) in sink_nets
+        .iter()
+        .skip(profile.outputs)
+        .take(profile.dffs)
+        .enumerate()
+    {
+        b.dff(&format!("q{i}"), net);
+    }
+
+    b.finish()
+        .expect("generator constructs valid circuits by construction")
+}
+
+/// Generates the named ISCAS'89-shaped circuit with the default seed used
+/// across the workspace's experiments.
+///
+/// # Example
+///
+/// ```
+/// let c = sdd_netlist::generator::iscas89("s344", 0).unwrap();
+/// assert_eq!(c.input_count(), 9);
+/// ```
+pub fn iscas89(name: &str, seed: u64) -> Option<Circuit> {
+    profile(name).map(|p| generate(p, seed))
+}
+
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    // Weighted mix resembling ISCAS'89 gate statistics (NAND/NOR heavy,
+    // some inverters and buffers, a sprinkle of XOR).
+    match rng.gen_range(0..100) {
+        0..=27 => GateKind::Nand,
+        28..=43 => GateKind::Nor,
+        44..=58 => GateKind::And,
+        59..=73 => GateKind::Or,
+        74..=86 => GateKind::Not,
+        87..=91 => GateKind::Buf,
+        92..=96 => GateKind::Xor,
+        _ => GateKind::Xnor,
+    }
+}
+
+/// Estimated output signal probability under an input-independence
+/// assumption — good enough to steer generation away from near-constants.
+fn estimate_probability(kind: GateKind, inputs: impl Iterator<Item = f64>) -> f64 {
+    match kind {
+        GateKind::And => inputs.product(),
+        GateKind::Nand => 1.0 - inputs.product::<f64>(),
+        GateKind::Or => 1.0 - inputs.map(|p| 1.0 - p).product::<f64>(),
+        GateKind::Nor => inputs.map(|p| 1.0 - p).product(),
+        GateKind::Xor => inputs.fold(0.0, |acc, p| acc * (1.0 - p) + p * (1.0 - acc)),
+        GateKind::Xnor => 1.0 - inputs.fold(0.0, |acc, p| acc * (1.0 - p) + p * (1.0 - acc)),
+        GateKind::Not => 1.0 - inputs.sum::<f64>(),
+        GateKind::Buf => inputs.sum(),
+    }
+}
+
+/// Picks a net with locality: mostly from the most recent window (building
+/// depth), occasionally from anywhere (creating long reconvergent paths).
+fn pick_local(pool: &[NetId], rng: &mut StdRng) -> NetId {
+    let window = pool.len().min(48);
+    if rng.gen_bool(0.72) {
+        pool[pool.len() - window + rng.gen_range(0..window)]
+    } else {
+        pool[rng.gen_range(0..pool.len())]
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CombView;
+
+    #[test]
+    fn profiles_cover_table6_circuits() {
+        assert_eq!(ISCAS89_PROFILES.len(), 16);
+        for name in [
+            "s208", "s298", "s344", "s382", "s386", "s400", "s420", "s510", "s526", "s641",
+            "s820", "s953", "s1196", "s1423", "s5378", "s9234",
+        ] {
+            assert!(profile(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("s386").unwrap();
+        let a = crate::bench::write(&generate(p, 7));
+        let b = crate::bench::write(&generate(p, 7));
+        assert_eq!(a, b);
+        let c = crate::bench::write(&generate(p, 8));
+        assert_ne!(a, c, "different seeds give different circuits");
+    }
+
+    #[test]
+    fn interface_counts_match_profile() {
+        for p in &ISCAS89_PROFILES[..8] {
+            let c = generate(p, 0);
+            assert_eq!(c.input_count(), p.inputs, "{}", p.name);
+            assert_eq!(c.output_count(), p.outputs, "{}", p.name);
+            assert_eq!(c.dff_count(), p.dffs, "{}", p.name);
+            let slack = p.gates / 10 + 8;
+            assert!(
+                c.gate_count().abs_diff(p.gates) <= slack,
+                "{}: {} gates vs target {}",
+                p.name,
+                c.gate_count(),
+                p.gates
+            );
+        }
+    }
+
+    #[test]
+    fn every_net_is_observed() {
+        let p = profile("s298").unwrap();
+        let c = generate(p, 3);
+        let counts = c.fanout_counts();
+        for net in c.nets() {
+            let is_output = c.outputs().contains(&net);
+            assert!(
+                counts[net.index()] > 0 || is_output,
+                "net {} dangles",
+                c.net_name(net)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_circuits_are_valid_and_deep() {
+        let p = profile("s641").unwrap();
+        let c = generate(p, 0);
+        let v = CombView::new(&c);
+        assert!(v.depth() >= 5, "depth {} too shallow to be realistic", v.depth());
+        assert_eq!(v.inputs().len(), p.inputs + p.dffs);
+        assert_eq!(v.outputs().len(), p.outputs + p.dffs);
+    }
+
+    #[test]
+    fn bench_round_trip_of_generated_circuit() {
+        let p = profile("s208").unwrap();
+        let c = generate(p, 0);
+        let text = crate::bench::write(&c);
+        let back = crate::bench::parse(&text).unwrap();
+        assert_eq!(back.gate_count(), c.gate_count());
+        assert_eq!(back.dff_count(), c.dff_count());
+    }
+
+    #[test]
+    fn iscas89_convenience() {
+        assert!(iscas89("s9234", 0).is_some());
+        assert!(iscas89("nope", 0).is_none());
+    }
+
+    #[test]
+    fn iscas85_profiles_are_combinational() {
+        assert_eq!(ISCAS85_PROFILES.len(), 10);
+        for p in &ISCAS85_PROFILES {
+            assert_eq!(p.dffs, 0, "{}", p.name);
+        }
+        let c = generate(profile("c432").unwrap(), 1);
+        assert_eq!(c.dff_count(), 0);
+        assert_eq!(c.input_count(), 36);
+        assert_eq!(c.output_count(), 7);
+        let v = CombView::new(&c);
+        assert_eq!(v.inputs().len(), 36, "no pseudo inputs without DFFs");
+    }
+}

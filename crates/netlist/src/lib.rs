@@ -1,0 +1,43 @@
+//! Gate-level netlists for test generation and fault diagnosis.
+//!
+//! This crate provides the circuit substrate the rest of the workspace runs
+//! on:
+//!
+//! * [`Circuit`] — a validated, signal-oriented gate-level netlist with
+//!   primary inputs, primary outputs, D flip-flops and combinational gates.
+//! * [`bench`](mod@bench) — a reader and writer for the ISCAS'85/'89 `.bench` format,
+//!   so real benchmark files drop in unchanged.
+//! * [`CombView`] — the full-scan combinational view of a circuit (flip-flop
+//!   outputs become pseudo primary inputs, flip-flop data pins pseudo primary
+//!   outputs), with a levelized evaluation order for compiled simulation.
+//! * [`generator`] — a deterministic, seeded generator of ISCAS'89-*shaped*
+//!   synthetic circuits, used as stand-ins for the original benchmarks
+//!   (see `DESIGN.md` §5 for why this substitution is faithful).
+//! * [`library`] — small embedded reference circuits (ISCAS'85 c17 and a
+//!   two-output demonstration circuit) used by examples and ground-truth
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sdd_netlist::{bench, CombView};
+//!
+//! let circuit = bench::parse(sdd_netlist::library::C17_BENCH)?;
+//! assert_eq!(circuit.input_count(), 5);
+//! assert_eq!(circuit.output_count(), 2);
+//! let view = CombView::new(&circuit);
+//! assert_eq!(view.inputs().len(), 5); // no flip-flops in c17
+//! # Ok::<(), sdd_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod circuit;
+mod comb;
+pub mod generator;
+pub mod library;
+
+pub use circuit::{Circuit, CircuitBuilder, Driver, GateKind, NetId, NetlistError};
+pub use comb::CombView;

@@ -1,0 +1,101 @@
+//! Small embedded reference circuits.
+//!
+//! These are used by examples, documentation, and ground-truth tests. The
+//! larger ISCAS'89 benchmarks are produced by the [`generator`](crate::generator)
+//! module (see `DESIGN.md` §5 for the substitution rationale); this module
+//! holds circuits small enough to embed verbatim.
+
+use crate::{bench, Circuit};
+
+/// The ISCAS'85 benchmark c17 — six NAND gates, five inputs, two outputs —
+/// in its standard `.bench` form. This is a real benchmark circuit, embedded
+/// verbatim, used as ground truth for the simulator and fault model.
+pub const C17_BENCH: &str = "\
+# c17
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+";
+
+/// A small sequential demonstration circuit with two flip-flops, used in
+/// examples: a 2-bit state machine with observable next-state logic.
+pub const DEMO_SEQ_BENCH: &str = "\
+# demo_seq
+INPUT(en)
+INPUT(d0)
+INPUT(d1)
+OUTPUT(y0)
+OUTPUT(y1)
+q0 = DFF(n0)
+q1 = DFF(n1)
+s0 = XOR(d0, q0)
+s1 = XOR(d1, q1)
+n0 = AND(en, s0)
+n1 = AND(en, s1)
+c0 = NAND(q0, q1)
+y0 = NOR(n0, c0)
+y1 = OR(n1, s0)
+";
+
+/// Parses and returns c17.
+///
+/// # Example
+///
+/// ```
+/// let c17 = sdd_netlist::library::c17();
+/// assert_eq!(c17.gate_count(), 6);
+/// ```
+pub fn c17() -> Circuit {
+    bench::parse(C17_BENCH).expect("embedded c17 netlist is valid")
+}
+
+/// Parses and returns the sequential demo circuit.
+///
+/// # Example
+///
+/// ```
+/// let demo = sdd_netlist::library::demo_seq();
+/// assert_eq!(demo.dff_count(), 2);
+/// ```
+pub fn demo_seq() -> Circuit {
+    bench::parse(DEMO_SEQ_BENCH).expect("embedded demo netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CombView;
+
+    #[test]
+    fn c17_shape() {
+        let c = c17();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.input_count(), 5);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.net_count(), 11);
+        let v = CombView::new(&c);
+        assert_eq!(v.depth(), 3);
+    }
+
+    #[test]
+    fn demo_seq_shape() {
+        let c = demo_seq();
+        assert_eq!(c.input_count(), 3);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.dff_count(), 2);
+        let v = CombView::new(&c);
+        assert_eq!(v.inputs().len(), 5, "3 PI + 2 PPI");
+        assert_eq!(v.outputs().len(), 4, "2 PO + 2 PPO");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the netlist layer: generator validity, bench
+//! round-trips, and levelization invariants.
+
+use proptest::prelude::*;
+use sdd_netlist::generator::{generate, Profile};
+use sdd_netlist::{bench, CombView, Driver};
+
+fn arb_profile() -> impl Strategy<Value = (Profile, u64)> {
+    (1usize..8, 1usize..5, 0usize..6, 5usize..80, 0u64..10_000).prop_map(
+        |(inputs, outputs, dffs, gates, seed)| {
+            (Profile { name: "prop", inputs, outputs, dffs, gates }, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_circuits_validate_and_match_interface((profile, seed) in arb_profile()) {
+        let c = generate(&profile, seed);
+        prop_assert_eq!(c.input_count(), profile.inputs);
+        prop_assert_eq!(c.output_count(), profile.outputs);
+        prop_assert_eq!(c.dff_count(), profile.dffs);
+        // Everything observable.
+        let counts = c.fanout_counts();
+        for net in c.nets() {
+            prop_assert!(
+                counts[net.index()] > 0 || c.outputs().contains(&net),
+                "dangling net"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_round_trip_is_lossless((profile, seed) in arb_profile()) {
+        let c = generate(&profile, seed);
+        let text = bench::write(&c);
+        let back = bench::parse(&text).unwrap();
+        // Net ids are assigned by first mention, so a re-written file may
+        // order gate lines differently — but it must contain exactly the
+        // same statements.
+        let mut lines_a: Vec<&str> = text.lines().collect();
+        let rewritten = bench::write(&back);
+        let mut lines_b: Vec<&str> = rewritten.lines().collect();
+        lines_a.sort_unstable();
+        lines_b.sort_unstable();
+        prop_assert_eq!(lines_a, lines_b);
+        prop_assert_eq!(back.net_count(), c.net_count());
+        prop_assert_eq!(back.gate_count(), c.gate_count());
+        // Name-for-name identical structure.
+        for net in c.nets() {
+            let name = c.net_name(net);
+            let other = back.net(name).expect("net survives");
+            match (c.driver(net), back.driver(other)) {
+                (Driver::Input, Driver::Input) => {}
+                (Driver::Dff { data: d1 }, Driver::Dff { data: d2 }) => {
+                    prop_assert_eq!(c.net_name(*d1), back.net_name(*d2));
+                }
+                (Driver::Gate { kind: k1, inputs: i1 }, Driver::Gate { kind: k2, inputs: i2 }) => {
+                    prop_assert_eq!(k1, k2);
+                    let n1: Vec<&str> = i1.iter().map(|&i| c.net_name(i)).collect();
+                    let n2: Vec<&str> = i2.iter().map(|&i| back.net_name(i)).collect();
+                    prop_assert_eq!(n1, n2);
+                }
+                _ => prop_assert!(false, "driver kind changed for {}", name),
+            }
+        }
+    }
+
+    #[test]
+    fn levelization_is_topological_and_complete((profile, seed) in arb_profile()) {
+        let c = generate(&profile, seed);
+        let view = CombView::new(&c);
+        prop_assert_eq!(view.order().len(), c.net_count());
+        let mut position = vec![usize::MAX; c.net_count()];
+        for (i, &net) in view.order().iter().enumerate() {
+            position[net.index()] = i;
+        }
+        for net in c.nets() {
+            if let Driver::Gate { inputs, .. } = c.driver(net) {
+                for &source in inputs {
+                    prop_assert!(position[source.index()] < position[net.index()]);
+                    prop_assert!(view.level(source) < view.level(net));
+                }
+            }
+        }
+        prop_assert_eq!(view.inputs().len(), profile.inputs + profile.dffs);
+        prop_assert_eq!(view.outputs().len(), profile.outputs + profile.dffs);
+    }
+
+    #[test]
+    fn same_seed_same_circuit_different_seed_usually_differs((profile, seed) in arb_profile()) {
+        let a = bench::write(&generate(&profile, seed));
+        let b = bench::write(&generate(&profile, seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! A miniature DPLL SAT solver.
+//!
+//! Test generation is a satisfiability question: "is there an input
+//! assignment under which the faulty circuit's output differs from the
+//! fault-free one?" The [`sdd-atpg`] crate encodes that *miter* as CNF and
+//! asks this solver. Keeping the solver tiny and dependency-free is
+//! deliberate — ATPG instances from the benchmark sizes in this workspace
+//! are easy for plain DPLL with watched literals.
+//!
+//! # Example
+//!
+//! ```
+//! use sdd_sat::{Cnf, Lit, Outcome, Solver};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.fresh();
+//! let b = cnf.fresh();
+//! cnf.clause([a.positive(), b.positive()]); // a ∨ b
+//! cnf.clause([a.negative()]);               // ¬a
+//! match Solver::new(cnf).solve() {
+//!     Outcome::Sat(model) => {
+//!         assert!(!model[a.index()]);
+//!         assert!(model[b.index()]);
+//!     }
+//!     Outcome::Unsat => unreachable!(),
+//! }
+//! ```
+//!
+//! [`sdd-atpg`]: https://example.invalid/same-different
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+
+pub use solver::{Cnf, Lit, Outcome, Solver, Var};

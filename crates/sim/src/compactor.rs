@@ -1,0 +1,263 @@
+//! Space compaction of test responses.
+//!
+//! Industrial scan designs rarely observe every scan cell directly: an XOR
+//! *space compactor* folds the `m` outputs into `c ≪ m` signature bits per
+//! test. The paper notes this shrinks `m` — and with it both the baseline
+//! storage of a same/different dictionary and the size of a full dictionary
+//! — at some cost in resolution (aliasing: two different responses can
+//! compact to the same signature).
+//!
+//! [`SpaceCompactor::apply`] transforms a simulated [`ResponseMatrix`] into
+//! the matrix a tester behind the compactor would see, so every dictionary
+//! and procedure in the workspace runs unchanged on compacted responses.
+
+use std::collections::HashMap;
+
+use sdd_logic::BitVec;
+
+use crate::ResponseMatrix;
+
+/// An XOR space compactor: each compacted output is the parity of a group
+/// of original outputs.
+///
+/// # Example
+///
+/// ```
+/// use sdd_sim::SpaceCompactor;
+///
+/// let c = SpaceCompactor::modular(5, 2);
+/// assert_eq!(c.compacted_outputs(), 2);
+/// // Outputs 0,2,4 fold into signature bit 0; outputs 1,3 into bit 1.
+/// assert_eq!(c.groups()[0], vec![0, 2, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceCompactor {
+    groups: Vec<Vec<u32>>,
+    inputs: usize,
+}
+
+impl SpaceCompactor {
+    /// Builds a compactor from explicit output groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty, any group is empty, or an output index
+    /// is `>= inputs`.
+    pub fn new(inputs: usize, groups: Vec<Vec<u32>>) -> Self {
+        assert!(!groups.is_empty(), "a compactor needs at least one group");
+        for group in &groups {
+            assert!(!group.is_empty(), "empty compactor group");
+            for &o in group {
+                assert!((o as usize) < inputs, "output {o} out of range {inputs}");
+            }
+        }
+        Self { groups, inputs }
+    }
+
+    /// The standard modular compactor: output `i` feeds signature bit
+    /// `i mod c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` or `c > m`.
+    pub fn modular(m: usize, c: usize) -> Self {
+        assert!(c > 0 && c <= m, "need 0 < c <= m, got c={c}, m={m}");
+        let mut groups = vec![Vec::new(); c];
+        for o in 0..m {
+            groups[o % c].push(o as u32);
+        }
+        Self::new(m, groups)
+    }
+
+    /// Number of original outputs.
+    pub fn original_outputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of compacted signature bits.
+    pub fn compacted_outputs(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The output groups.
+    pub fn groups(&self) -> &[Vec<u32>] {
+        &self.groups
+    }
+
+    /// Compacts one output vector into its signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `response.len()` differs from the original output count.
+    pub fn compact(&self, response: &BitVec) -> BitVec {
+        assert_eq!(response.len(), self.inputs, "response width mismatch");
+        self.groups
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .fold(false, |acc, &o| acc ^ response.bit(o as usize))
+            })
+            .collect()
+    }
+
+    /// Transforms a simulated response matrix into what the tester sees
+    /// behind this compactor. Response classes that alias under compaction
+    /// merge, so every dictionary built on the result reflects compaction
+    /// losses faithfully.
+    ///
+    /// Full-dictionary resolution is monotone under compaction (equal
+    /// signatures stay equal), but *pass/fail* resolution is not: masking a
+    /// detection for only one member of an indistinguished pair splits the
+    /// pair. Aliasing genuinely moves information around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix's output count differs from the compactor's.
+    pub fn apply(&self, matrix: &ResponseMatrix) -> ResponseMatrix {
+        assert_eq!(
+            matrix.output_count(),
+            self.inputs,
+            "matrix output width mismatch"
+        );
+        let good: Vec<BitVec> = (0..matrix.test_count())
+            .map(|t| self.compact(matrix.good_response(t)))
+            .collect();
+        let responses: Vec<Vec<BitVec>> = (0..matrix.test_count())
+            .map(|t| {
+                // Compact each class once, then expand per fault.
+                let compacted: Vec<BitVec> = (0..matrix.class_count(t) as u32)
+                    .map(|class| self.compact(&matrix.response(t, class)))
+                    .collect();
+                (0..matrix.fault_count())
+                    .map(|f| compacted[matrix.class(t, f) as usize].clone())
+                    .collect()
+            })
+            .collect();
+        ResponseMatrix::from_responses(good, &responses)
+    }
+
+    /// How many response classes of `matrix` alias (merge) under this
+    /// compactor, summed over tests — a direct measure of compaction loss.
+    pub fn aliased_classes(&self, matrix: &ResponseMatrix) -> usize {
+        let mut aliased = 0;
+        for t in 0..matrix.test_count() {
+            let mut seen: HashMap<BitVec, u32> = HashMap::new();
+            for class in 0..matrix.class_count(t) as u32 {
+                let sig = self.compact(&matrix.response(t, class));
+                if seen.insert(sig, class).is_some() {
+                    aliased += 1;
+                }
+            }
+        }
+        aliased
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_fault::FaultUniverse;
+    use sdd_netlist::{library, CombView};
+
+    fn c17_matrix() -> ResponseMatrix {
+        let c = library::c17();
+        let view = CombView::new(&c);
+        let u = FaultUniverse::enumerate(&c);
+        let collapsed = u.collapse_on(&c);
+        let tests: Vec<BitVec> = (0u32..32)
+            .map(|w| (0..5).map(|i| w >> i & 1 == 1).collect())
+            .collect();
+        ResponseMatrix::simulate(&c, &view, &u, collapsed.representatives(), &tests)
+    }
+
+    #[test]
+    fn modular_grouping() {
+        let c = SpaceCompactor::modular(7, 3);
+        assert_eq!(c.groups(), &[vec![0, 3, 6], vec![1, 4], vec![2, 5]]);
+        assert_eq!(c.original_outputs(), 7);
+        assert_eq!(c.compacted_outputs(), 3);
+    }
+
+    #[test]
+    fn compact_is_parity() {
+        let c = SpaceCompactor::modular(4, 2);
+        let r: BitVec = "1101".parse().unwrap();
+        // group 0 = bits 0,2 → 1^0 = 1; group 1 = bits 1,3 → 1^1 = 0.
+        assert_eq!(c.compact(&r).to_string(), "10");
+    }
+
+    #[test]
+    fn identity_compactor_changes_nothing() {
+        let matrix = c17_matrix();
+        let c = SpaceCompactor::modular(2, 2);
+        let compacted = c.apply(&matrix);
+        assert_eq!(compacted.output_count(), 2);
+        assert_eq!(
+            compacted.full_partition().indistinguished_pairs(),
+            matrix.full_partition().indistinguished_pairs()
+        );
+        assert_eq!(c.aliased_classes(&matrix), 0);
+        for t in 0..matrix.test_count() {
+            assert_eq!(compacted.class_count(t), matrix.class_count(t));
+        }
+    }
+
+    #[test]
+    fn full_compaction_degrades_to_one_parity_bit() {
+        let matrix = c17_matrix();
+        let c = SpaceCompactor::modular(2, 1);
+        let compacted = c.apply(&matrix);
+        assert_eq!(compacted.output_count(), 1);
+        // Resolution can only get worse (or stay equal).
+        assert!(
+            compacted.full_partition().indistinguished_pairs()
+                >= matrix.full_partition().indistinguished_pairs()
+        );
+        // With one signature bit, at most two classes exist per test.
+        for t in 0..compacted.test_count() {
+            assert!(compacted.class_count(t) <= 2);
+        }
+    }
+
+    #[test]
+    fn pass_fail_behind_lossless_compactor_is_unchanged() {
+        // An aliasing-free compaction preserves detection: the detect bit is
+        // response != good, and distinct classes stay distinct.
+        let matrix = c17_matrix();
+        let c = SpaceCompactor::modular(2, 2);
+        let compacted = c.apply(&matrix);
+        assert_eq!(
+            compacted.pass_fail_partition().indistinguished_pairs(),
+            matrix.pass_fail_partition().indistinguished_pairs()
+        );
+    }
+
+    #[test]
+    fn detection_never_appears_from_nothing() {
+        // Compaction can hide detections (even-parity errors) but can never
+        // invent one.
+        let matrix = c17_matrix();
+        let c = SpaceCompactor::modular(2, 1);
+        let compacted = c.apply(&matrix);
+        for t in 0..matrix.test_count() {
+            for f in 0..matrix.fault_count() {
+                if compacted.detects(t, f) {
+                    assert!(matrix.detects(t, f), "test {t} fault {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_group_panics() {
+        SpaceCompactor::new(2, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < c <= m")]
+    fn zero_groups_panics() {
+        SpaceCompactor::modular(4, 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Deductive fault simulation (Armstrong, 1972).
+//!
+//! Where PPSFP re-simulates the circuit once per fault, deductive
+//! simulation processes *one pattern* and propagates, per net, the **fault
+//! list** — the set of faults whose presence would complement that net's
+//! value. One topological pass deduces the detected-fault set for every
+//! fault at once:
+//!
+//! * a fault flips an AND-like gate with no controlling input iff it flips
+//!   any input;
+//! * with controlling inputs present, it must flip *all* controlling inputs
+//!   and *no* non-controlling one;
+//! * it flips an XOR iff it flips an odd number of inputs (symmetric
+//!   difference);
+//! * every net's own stem fault at the complement of its good value flips
+//!   it, and a branch fault flips just its pin.
+//!
+//! This is an independent oracle for the event-driven
+//! [`Engine`](crate::Engine): the two algorithms share no propagation code,
+//! so agreement between them is strong evidence of correctness. It is also
+//! the faster choice when `k` is small and `n` is huge.
+
+use sdd_fault::{FaultId, FaultSite, FaultUniverse};
+use sdd_logic::BitVec;
+use sdd_netlist::{Circuit, CombView, Driver, GateKind};
+
+/// Per-output fault lists for one pattern: `lists[o]` holds the faults that
+/// complement observed output `o`, sorted by id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeducedEffects {
+    /// Fault lists per view output.
+    pub output_lists: Vec<Vec<FaultId>>,
+}
+
+impl DeducedEffects {
+    /// All faults detected by the pattern (union of the output lists),
+    /// sorted and deduplicated.
+    pub fn detected(&self) -> Vec<FaultId> {
+        let mut all: Vec<FaultId> = self.output_lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// The faulty response `fault` would produce, reconstructed from the
+    /// fault-free response.
+    pub fn faulty_response(&self, good: &BitVec, fault: FaultId) -> BitVec {
+        let mut response = good.clone();
+        for (o, list) in self.output_lists.iter().enumerate() {
+            if list.binary_search(&fault).is_ok() {
+                response.toggle(o);
+            }
+        }
+        response
+    }
+}
+
+/// Runs one deductive simulation pass for `pattern`, returning the fault
+/// list of every observed output.
+///
+/// # Panics
+///
+/// Panics if `pattern`'s width differs from the view's input count.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, CombView};
+/// use sdd_sim::deductive;
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let effects = deductive::deduce(&c17, &view, &universe, &"10111".parse()?);
+/// assert!(!effects.detected().is_empty());
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+pub fn deduce(
+    circuit: &Circuit,
+    view: &CombView,
+    universe: &FaultUniverse,
+    pattern: &BitVec,
+) -> DeducedEffects {
+    assert_eq!(
+        pattern.len(),
+        view.inputs().len(),
+        "pattern width must match view inputs"
+    );
+
+    // Stem and branch fault lookups.
+    let mut stem = vec![[None::<FaultId>; 2]; circuit.net_count()];
+    let mut branch: std::collections::HashMap<(u32, u32, bool), FaultId> =
+        std::collections::HashMap::new();
+    for (id, fault) in universe.iter() {
+        match fault.site {
+            FaultSite::Stem(net) => stem[net.index()][usize::from(fault.stuck_at)] = Some(id),
+            FaultSite::Branch { gate, pin } => {
+                branch.insert((gate.0, pin, fault.stuck_at), id);
+            }
+        }
+    }
+
+    let mut value = vec![false; circuit.net_count()];
+    let mut lists: Vec<Vec<FaultId>> = vec![Vec::new(); circuit.net_count()];
+
+    for &net in view.order() {
+        let (v, mut list) = match circuit.driver(net) {
+            Driver::Input | Driver::Dff { .. } => {
+                let pos = view.input_position(net).expect("sources are inputs");
+                (pattern.bit(pos), Vec::new())
+            }
+            Driver::Gate { kind, inputs } => {
+                // Effective pin values and pin fault lists.
+                let pins: Vec<(bool, Vec<FaultId>)> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &source)| {
+                        let pv = value[source.index()];
+                        let mut pl = lists[source.index()].clone();
+                        // A branch fault at the complement of the pin's
+                        // good value flips the pin (and only the pin). The
+                        // same-polarity branch fault has no effect here and
+                        // is never inherited from upstream (it does not sit
+                        // on the source line), so nothing to remove.
+                        if let Some(&bf) = branch.get(&(net.0, pin as u32, !pv)) {
+                            insert_sorted(&mut pl, bf);
+                        }
+                        (pv, pl)
+                    })
+                    .collect();
+                let good = kind.eval(&pins.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+                let list = gate_flip_list(*kind, &pins);
+                (good, list)
+            }
+        };
+        // The net's own stem fault at the complement of its good value
+        // flips it. The same-polarity stem fault is a no-op under this
+        // pattern and cannot have been inherited (it enters only here), so
+        // there is nothing to remove.
+        if let Some(flip) = stem[net.index()][usize::from(!v)] {
+            insert_sorted(&mut list, flip);
+        }
+        value[net.index()] = v;
+        lists[net.index()] = list;
+    }
+
+    DeducedEffects {
+        output_lists: view
+            .outputs()
+            .iter()
+            .map(|&o| lists[o.index()].clone())
+            .collect(),
+    }
+}
+
+/// Fault list of a gate output from its pins' values and fault lists.
+fn gate_flip_list(kind: GateKind, pins: &[(bool, Vec<FaultId>)]) -> Vec<FaultId> {
+    match kind {
+        GateKind::Not | GateKind::Buf => pins[0].1.clone(),
+        GateKind::Xor | GateKind::Xnor => {
+            // A fault flips the parity iff it flips an odd number of pins.
+            pins.iter()
+                .fold(Vec::new(), |acc, (_, pl)| symmetric_difference(&acc, pl))
+        }
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = kind.controlling_value().expect("controlled gate");
+            let controlling: Vec<&Vec<FaultId>> = pins
+                .iter()
+                .filter(|&&(v, _)| v == c)
+                .map(|(_, pl)| pl)
+                .collect();
+            let non_controlling: Vec<&Vec<FaultId>> = pins
+                .iter()
+                .filter(|&&(v, _)| v != c)
+                .map(|(_, pl)| pl)
+                .collect();
+            if controlling.is_empty() {
+                // All pins non-controlling: any flip flips the output.
+                let mut acc = Vec::new();
+                for pl in non_controlling {
+                    acc = union(&acc, pl);
+                }
+                acc
+            } else {
+                // Must flip every controlling pin and no non-controlling one.
+                let mut acc = controlling[0].clone();
+                for pl in &controlling[1..] {
+                    acc = intersection(&acc, pl);
+                }
+                for pl in non_controlling {
+                    acc = difference(&acc, pl);
+                }
+                acc
+            }
+        }
+    }
+}
+
+fn insert_sorted(list: &mut Vec<FaultId>, id: FaultId) {
+    if let Err(pos) = list.binary_search(&id) {
+        list.insert(pos, id);
+    }
+}
+
+fn union(a: &[FaultId], b: &[FaultId]) -> Vec<FaultId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+fn intersection(a: &[FaultId], b: &[FaultId]) -> Vec<FaultId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
+}
+
+fn difference(a: &[FaultId], b: &[FaultId]) -> Vec<FaultId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn symmetric_difference(a: &[FaultId], b: &[FaultId]) -> Vec<FaultId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sdd_netlist::generator;
+    use sdd_netlist::library::{c17, demo_seq};
+
+    fn check_against_reference(circuit: &Circuit, view: &CombView, pattern: &BitVec) {
+        let universe = FaultUniverse::enumerate(circuit);
+        let effects = deduce(circuit, view, &universe, pattern);
+        let good = reference::good_response(circuit, view, pattern);
+        for (id, fault) in universe.iter() {
+            let expected = reference::faulty_response(circuit, view, fault, pattern);
+            let deduced = effects.faulty_response(&good, id);
+            assert_eq!(
+                deduced,
+                expected,
+                "{} under {pattern}",
+                fault.describe(circuit)
+            );
+        }
+        // detected() is exactly the set of faults with a differing response.
+        let detected = effects.detected();
+        for (id, fault) in universe.iter() {
+            let differs = reference::faulty_response(circuit, view, fault, pattern) != good;
+            assert_eq!(detected.binary_search(&id).is_ok(), differs);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_c17_exhaustively() {
+        let c = c17();
+        let view = CombView::new(&c);
+        for w in 0u32..32 {
+            let pattern: BitVec = (0..5).map(|i| w >> i & 1 == 1).collect();
+            check_against_reference(&c, &view, &pattern);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_sequential_demo() {
+        let c = demo_seq();
+        let view = CombView::new(&c);
+        let width = view.inputs().len();
+        for w in 0u32..(1 << width) {
+            let pattern: BitVec = (0..width).map(|i| w >> i & 1 == 1).collect();
+            check_against_reference(&c, &view, &pattern);
+        }
+    }
+
+    #[test]
+    fn matches_ppsfp_engine_on_generated_circuit() {
+        use sdd_logic::PatternBlock;
+        let c = generator::iscas89("s344", 9).unwrap();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let width = view.inputs().len();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let patterns: Vec<BitVec> = (0..16)
+            .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let mut engine = crate::Engine::new(&c, &view);
+        engine.load_block(&PatternBlock::from_patterns(width, &patterns));
+        for (lane, pattern) in patterns.iter().enumerate() {
+            let effects = deduce(&c, &view, &universe, pattern);
+            let detected = effects.detected();
+            for (id, fault) in universe.iter() {
+                let ppsfp = engine.run_fault(fault).detect >> lane & 1 == 1;
+                let deductive = detected.binary_search(&id).is_ok();
+                assert_eq!(
+                    ppsfp,
+                    deductive,
+                    "{} lane {lane}: ppsfp={ppsfp} deductive={deductive}",
+                    fault.describe(&c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_helpers() {
+        let f = |v: &[u32]| v.iter().map(|&x| FaultId(x)).collect::<Vec<_>>();
+        assert_eq!(union(&f(&[1, 3]), &f(&[2, 3, 4])), f(&[1, 2, 3, 4]));
+        assert_eq!(intersection(&f(&[1, 3, 5]), &f(&[3, 4, 5])), f(&[3, 5]));
+        assert_eq!(difference(&f(&[1, 3, 5]), &f(&[3])), f(&[1, 5]));
+        assert_eq!(
+            symmetric_difference(&f(&[1, 3]), &f(&[3, 4])),
+            f(&[1, 4])
+        );
+        let mut v = f(&[1, 5]);
+        insert_sorted(&mut v, FaultId(3));
+        insert_sorted(&mut v, FaultId(3));
+        assert_eq!(v, f(&[1, 3, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn wrong_width_panics() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        deduce(&c, &view, &universe, &"101".parse().unwrap());
+    }
+}

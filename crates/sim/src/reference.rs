@@ -1,0 +1,487 @@
+//! A scalar, obviously-correct reference simulator.
+//!
+//! One pattern, plain `bool`s, straight-line evaluation in levelized order.
+//! The production [`Engine`](crate::Engine) is checked against this in
+//! tests; diagnosis uses it for one-off faulty responses where setting up a
+//! pattern block is not worth it.
+
+use sdd_logic::BitVec;
+use sdd_netlist::{Circuit, CombView, Driver, NetId};
+
+use sdd_fault::{BridgeKind, Defect, Fault, FaultSite};
+
+/// Simulates the fault-free circuit for one pattern.
+///
+/// The pattern assigns [`CombView::inputs`] in order; the response covers
+/// [`CombView::outputs`] in order.
+///
+/// # Panics
+///
+/// Panics if `pattern.len()` differs from the number of view inputs.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::{library, CombView};
+/// use sdd_sim::reference;
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let response = reference::good_response(&c17, &view, &"00000".parse()?);
+/// assert_eq!(response.len(), 2);
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+pub fn good_response(circuit: &Circuit, view: &CombView, pattern: &BitVec) -> BitVec {
+    response_with(circuit, view, pattern, None)
+}
+
+/// Simulates the circuit with `fault` injected, for one pattern.
+///
+/// # Panics
+///
+/// Panics if `pattern.len()` differs from the number of view inputs.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::{Fault, FaultSite, FaultUniverse};
+/// use sdd_netlist::{library, CombView};
+/// use sdd_sim::reference;
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let n22 = c17.net("N22").unwrap();
+/// let fault = Fault { site: FaultSite::Stem(n22), stuck_at: true };
+/// let pattern = "10111".parse()?;
+/// let good = reference::good_response(&c17, &view, &pattern);
+/// let bad = reference::faulty_response(&c17, &view, fault, &pattern);
+/// assert_eq!(bad.bit(0), true, "output N22 is forced to 1");
+/// assert_eq!(bad.bit(1), good.bit(1), "output N23 is unaffected");
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+pub fn faulty_response(
+    circuit: &Circuit,
+    view: &CombView,
+    fault: Fault,
+    pattern: &BitVec,
+) -> BitVec {
+    response_with(circuit, view, pattern, Some(fault))
+}
+
+fn response_with(
+    circuit: &Circuit,
+    view: &CombView,
+    pattern: &BitVec,
+    fault: Option<Fault>,
+) -> BitVec {
+    assert_eq!(
+        pattern.len(),
+        view.inputs().len(),
+        "pattern width must match view inputs"
+    );
+    let mut value = vec![false; circuit.net_count()];
+    for net in view.order() {
+        let net = *net;
+        let mut v = match circuit.driver(net) {
+            Driver::Input | Driver::Dff { .. } => {
+                let pos = view
+                    .input_position(net)
+                    .expect("sources are view inputs");
+                pattern.bit(pos)
+            }
+            Driver::Gate { kind, inputs } => {
+                let pins: Vec<bool> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &source)| pin_value(fault, net, pin, value[source.index()]))
+                    .collect();
+                kind.eval(&pins)
+            }
+        };
+        if let Some(Fault {
+            site: FaultSite::Stem(s),
+            stuck_at,
+        }) = fault
+        {
+            if s == net {
+                v = stuck_at;
+            }
+        }
+        value[net.index()] = v;
+    }
+    view.outputs()
+        .iter()
+        .map(|&o| value[o.index()])
+        .collect()
+}
+
+/// Simulates the circuit with an arbitrary (possibly out-of-model)
+/// [`Defect`] injected, for one pattern.
+///
+/// Multiple stuck-at lines are forced simultaneously. Bridges resolve the
+/// *read* value of both nets from their driven values (wired-AND/OR or
+/// dominant); evaluation iterates to a fixpoint, so non-feedback bridges are
+/// exact. A feedback bridge that oscillates settles on the last sweep's
+/// values (real silicon would be analog or sequential there).
+///
+/// # Panics
+///
+/// Panics if `pattern.len()` differs from the number of view inputs.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::{BridgeKind, Defect};
+/// use sdd_netlist::{library, CombView};
+/// use sdd_sim::reference;
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let bridge = Defect::Bridge {
+///     a: c17.net("N10").unwrap(),
+///     b: c17.net("N16").unwrap(),
+///     kind: BridgeKind::And,
+/// };
+/// let r = reference::defect_response(&c17, &view, &bridge, &"10111".parse()?);
+/// assert_eq!(r.len(), 2);
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+pub fn defect_response(
+    circuit: &Circuit,
+    view: &CombView,
+    defect: &Defect,
+    pattern: &BitVec,
+) -> BitVec {
+    assert_eq!(
+        pattern.len(),
+        view.inputs().len(),
+        "pattern width must match view inputs"
+    );
+    let faults: &[Fault] = match defect {
+        Defect::StuckAt(fault) => std::slice::from_ref(fault),
+        Defect::MultipleStuckAt(faults) => faults,
+        Defect::Bridge { .. } => &[],
+    };
+    let bridge = match defect {
+        Defect::Bridge { a, b, kind } => Some((*a, *b, *kind)),
+        _ => None,
+    };
+
+    // Driven values; reads go through the bridge resolution.
+    let mut driven = vec![false; circuit.net_count()];
+    let read = |driven: &[bool], net: NetId| -> bool {
+        let raw = driven[net.index()];
+        match bridge {
+            Some((a, b, kind)) if net == a || net == b => {
+                let (va, vb) = (driven[a.index()], driven[b.index()]);
+                match kind {
+                    BridgeKind::And => va && vb,
+                    BridgeKind::Or => va || vb,
+                    BridgeKind::ADominates => va,
+                    BridgeKind::BDominates => vb,
+                }
+            }
+            _ => raw,
+        }
+    };
+
+    // Iterate to fixpoint (one sweep suffices without a bridge; a
+    // non-feedback bridge needs at most two).
+    let max_sweeps = if bridge.is_some() {
+        (view.depth() as usize + 2).max(2)
+    } else {
+        1
+    };
+    for _ in 0..max_sweeps {
+        let mut changed = false;
+        for &net in view.order() {
+            let mut v = match circuit.driver(net) {
+                Driver::Input | Driver::Dff { .. } => {
+                    let pos = view.input_position(net).expect("sources are view inputs");
+                    pattern.bit(pos)
+                }
+                Driver::Gate { kind, inputs } => {
+                    let pins: Vec<bool> = inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, &source)| {
+                            let wire = read(&driven, source);
+                            faults
+                                .iter()
+                                .find_map(|f| match f.site {
+                                    FaultSite::Branch { gate, pin: fp }
+                                        if gate == net && fp as usize == pin =>
+                                    {
+                                        Some(f.stuck_at)
+                                    }
+                                    _ => None,
+                                })
+                                .unwrap_or(wire)
+                        })
+                        .collect();
+                    kind.eval(&pins)
+                }
+            };
+            for fault in faults {
+                if let FaultSite::Stem(s) = fault.site {
+                    if s == net {
+                        v = fault.stuck_at;
+                    }
+                }
+            }
+            if driven[net.index()] != v {
+                driven[net.index()] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    view.outputs().iter().map(|&o| read(&driven, o)).collect()
+}
+
+fn pin_value(fault: Option<Fault>, gate: NetId, pin: usize, wire: bool) -> bool {
+    match fault {
+        Some(Fault {
+            site: FaultSite::Branch { gate: fg, pin: fp },
+            stuck_at,
+        }) if fg == gate && fp as usize == pin => stuck_at,
+        _ => wire,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_fault::FaultUniverse;
+    use sdd_netlist::library::{c17, demo_seq};
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn c17_truth_spot_checks() {
+        // c17: N22 = NAND(N10,N16), N23 = NAND(N16,N19),
+        // N10 = NAND(N1,N3), N11 = NAND(N3,N6), N16 = NAND(N2,N11),
+        // N19 = NAND(N11,N7). Inputs in order N1,N2,N3,N6,N7.
+        let c = c17();
+        let view = CombView::new(&c);
+        // All zeros: N10=1,N11=1,N16=1,N19=1 → N22 = NAND(1,1)=0, N23=0.
+        assert_eq!(good_response(&c, &view, &bv("00000")).to_string(), "00");
+        // N1..N7 = 1,0,1,1,1: N10=0, N11=0, N16=1, N19=1 → N22=1, N23=0.
+        assert_eq!(good_response(&c, &view, &bv("10111")).to_string(), "10");
+        // 0,1,1,0,1: N10=1, N11=1, N16=0, N19=0 → N22=1, N23=1.
+        assert_eq!(good_response(&c, &view, &bv("01101")).to_string(), "11");
+    }
+
+    #[test]
+    fn exhaustive_c17_against_direct_formula() {
+        let c = c17();
+        let view = CombView::new(&c);
+        for word in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| word >> i & 1 == 1).collect();
+            let (n1, n2, n3, n6, n7) = (bits[0], bits[1], bits[2], bits[3], bits[4]);
+            let n10 = !(n1 && n3);
+            let n11 = !(n3 && n6);
+            let n16 = !(n2 && n11);
+            let n19 = !(n11 && n7);
+            let n22 = !(n10 && n16);
+            let n23 = !(n16 && n19);
+            let pattern: BitVec = bits.iter().copied().collect();
+            let response = good_response(&c, &view, &pattern);
+            assert_eq!(response.bit(0), n22, "N22 for {pattern}");
+            assert_eq!(response.bit(1), n23, "N23 for {pattern}");
+        }
+    }
+
+    #[test]
+    fn stem_fault_on_output_forces_it() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let n22 = c.net("N22").unwrap();
+        for stuck_at in [false, true] {
+            let fault = Fault {
+                site: FaultSite::Stem(n22),
+                stuck_at,
+            };
+            for word in 0u32..32 {
+                let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
+                let r = faulty_response(&c, &view, fault, &pattern);
+                assert_eq!(r.bit(0), stuck_at);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem_fault() {
+        // N11 fans out to N16 and N19. Branch N11->N16 s-a-1 corrupts only
+        // the N16 side; stem N11 s-a-1 corrupts both.
+        let c = c17();
+        let view = CombView::new(&c);
+        let n16 = c.net("N16").unwrap();
+        let branch = Fault {
+            site: FaultSite::Branch { gate: n16, pin: 1 },
+            stuck_at: true,
+        };
+        let stem = Fault {
+            site: FaultSite::Stem(c.net("N11").unwrap()),
+            stuck_at: true,
+        };
+        // Inputs N1,N2,N3,N6,N7 = 0 0 1 1 1: N11 = 0 normally. The stem
+        // fault corrupts both N16's and N19's pins; the branch fault only
+        // N16's, so the two faults disagree at N23 (via N19).
+        let pattern = bv("00111");
+        let rb = faulty_response(&c, &view, branch, &pattern);
+        let rs = faulty_response(&c, &view, stem, &pattern);
+        let good = good_response(&c, &view, &pattern);
+        assert_ne!(rb, rs, "branch and stem faults behave differently");
+        assert_ne!(rs, good);
+    }
+
+    #[test]
+    fn undetectable_when_effect_masked() {
+        // N10 s-a-1 with N1=0: N10 is already 1, no effect anywhere.
+        let c = c17();
+        let view = CombView::new(&c);
+        let fault = Fault {
+            site: FaultSite::Stem(c.net("N10").unwrap()),
+            stuck_at: true,
+        };
+        let pattern = bv("00000");
+        assert_eq!(
+            faulty_response(&c, &view, fault, &pattern),
+            good_response(&c, &view, &pattern)
+        );
+    }
+
+    #[test]
+    fn sequential_view_exposes_state_faults() {
+        let c = demo_seq();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        // Some fault must be detectable through a pseudo output only.
+        let width = view.inputs().len();
+        let mut found = false;
+        for (_, fault) in universe.iter() {
+            for word in 0u32..(1 << width) {
+                let pattern: BitVec = (0..width).map(|i| word >> i & 1 == 1).collect();
+                let good = good_response(&c, &view, &pattern);
+                let bad = faulty_response(&c, &view, fault, &pattern);
+                if good != bad {
+                    // Detected: difference may be on PPO bits (index ≥ #PO).
+                    if (c.output_count()..good.len()).any(|o| good.bit(o) != bad.bit(o)) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "some fault is observable only through scan cells");
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn wrong_width_panics() {
+        let c = c17();
+        let view = CombView::new(&c);
+        good_response(&c, &view, &bv("101"));
+    }
+
+    #[test]
+    fn defect_single_stuck_at_matches_faulty_response() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        for (_, fault) in universe.iter() {
+            for word in 0u32..32 {
+                let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
+                assert_eq!(
+                    defect_response(&c, &view, &Defect::StuckAt(fault), &pattern),
+                    faulty_response(&c, &view, fault, &pattern)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_stuck_at_combines_effects() {
+        // Force both outputs: N22 s-a-1 and N23 s-a-0 together.
+        let c = c17();
+        let view = CombView::new(&c);
+        let defect = Defect::MultipleStuckAt(vec![
+            Fault { site: FaultSite::Stem(c.net("N22").unwrap()), stuck_at: true },
+            Fault { site: FaultSite::Stem(c.net("N23").unwrap()), stuck_at: false },
+        ]);
+        for word in 0u32..32 {
+            let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
+            let r = defect_response(&c, &view, &defect, &pattern);
+            assert_eq!(r.to_string(), "10");
+        }
+    }
+
+    #[test]
+    fn wired_and_bridge_resolution() {
+        // Bridge N10 and N11 (siblings, no feedback) wired-AND: both nets
+        // read N10 & N11 everywhere they are consumed.
+        let c = c17();
+        let view = CombView::new(&c);
+        let a = c.net("N10").unwrap();
+        let b = c.net("N11").unwrap();
+        let defect = Defect::Bridge { a, b, kind: BridgeKind::And };
+        for word in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| word >> i & 1 == 1).collect();
+            let (n1, n2, n3, n6, n7) = (bits[0], bits[1], bits[2], bits[3], bits[4]);
+            let n10 = !(n1 && n3);
+            let n11 = !(n3 && n6);
+            let shorted = n10 && n11;
+            let n16 = !(n2 && shorted);
+            let n19 = !(shorted && n7);
+            let n22 = !(shorted && n16);
+            let n23 = !(n16 && n19);
+            let pattern: BitVec = bits.iter().copied().collect();
+            let r = defect_response(&c, &view, &defect, &pattern);
+            assert_eq!(r.bit(0), n22, "N22 for {pattern}");
+            assert_eq!(r.bit(1), n23, "N23 for {pattern}");
+        }
+    }
+
+    #[test]
+    fn dominant_bridge_is_asymmetric() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let a = c.net("N10").unwrap();
+        let b = c.net("N11").unwrap();
+        let ad = Defect::Bridge { a, b, kind: BridgeKind::ADominates };
+        let bd = Defect::Bridge { a, b, kind: BridgeKind::BDominates };
+        // Find a pattern where they differ (N10 != N11 and both observable).
+        let mut differ = false;
+        for word in 0u32..32 {
+            let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
+            if defect_response(&c, &view, &ad, &pattern)
+                != defect_response(&c, &view, &bd, &pattern)
+            {
+                differ = true;
+                break;
+            }
+        }
+        assert!(differ, "dominance direction must matter somewhere");
+    }
+
+    #[test]
+    fn bridge_between_agreeing_nets_is_benign() {
+        // A net bridged with itself — degenerate but legal — changes nothing.
+        let c = c17();
+        let view = CombView::new(&c);
+        let a = c.net("N16").unwrap();
+        let defect = Defect::Bridge { a, b: a, kind: BridgeKind::And };
+        for word in 0u32..32 {
+            let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
+            assert_eq!(
+                defect_response(&c, &view, &defect, &pattern),
+                good_response(&c, &view, &pattern)
+            );
+        }
+    }
+}

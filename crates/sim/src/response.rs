@@ -1,0 +1,390 @@
+//! Response-class matrices: the distilled fault-simulation result that
+//! fault dictionaries are built from.
+
+use std::collections::HashMap;
+
+use sdd_fault::{FaultId, FaultUniverse};
+use sdd_logic::{BitVec, PatternBlock, LANES};
+use sdd_netlist::{Circuit, CombView};
+
+use crate::Engine;
+
+/// For every test and every fault, *which* output vector the faulty circuit
+/// produces — encoded as a small per-test class label rather than the vector
+/// itself.
+///
+/// Class `0` is always the fault-free response `z_ff,j`; faults sharing a
+/// class under a test produce identical output vectors there. The paper's
+/// candidate set `Z_j` is exactly the set of classes of test `j`, and every
+/// dictionary question (pass/fail bits, same/different bits with any
+/// baseline, full-dictionary resolution) reduces to label comparisons.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, CombView};
+/// use sdd_sim::ResponseMatrix;
+/// use sdd_logic::BitVec;
+///
+/// let c17 = library::c17();
+/// let view = CombView::new(&c17);
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let collapsed = universe.collapse_on(&c17);
+/// let tests: Vec<BitVec> = vec!["10111".parse()?, "01101".parse()?];
+/// let m = ResponseMatrix::simulate(&c17, &view, &universe, collapsed.representatives(), &tests);
+/// // The response of class 0 is the fault-free response:
+/// assert_eq!(m.response(0, 0), *m.good_response(0));
+/// # Ok::<(), sdd_logic::ParseBitVecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResponseMatrix {
+    fault_count: usize,
+    output_count: usize,
+    /// Row-major `class[test * fault_count + fault]`.
+    class: Vec<u32>,
+    /// Per test: class id → sorted list of flipped output positions
+    /// (class 0 = empty).
+    distinct: Vec<Vec<Vec<u32>>>,
+    good: Vec<BitVec>,
+}
+
+impl ResponseMatrix {
+    /// Fault-simulates `faults` (given as ids into `universe`) against
+    /// `tests` and builds the class matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any test's width differs from the view's input count.
+    pub fn simulate(
+        circuit: &Circuit,
+        view: &CombView,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        tests: &[BitVec],
+    ) -> Self {
+        let width = view.inputs().len();
+        let fault_count = faults.len();
+        let mut class = vec![0u32; tests.len() * fault_count];
+        let mut distinct: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new()]; tests.len()];
+        let mut interner: Vec<HashMap<Vec<u32>, u32>> =
+            (0..tests.len()).map(|_| HashMap::new()).collect();
+        let mut good = Vec::with_capacity(tests.len());
+
+        let mut engine = Engine::new(circuit, view);
+        let mut lane_diffs: Vec<Vec<u32>> = (0..LANES).map(|_| Vec::new()).collect();
+
+        for (block_index, chunk) in tests.chunks(LANES).enumerate() {
+            let base = block_index * LANES;
+            engine.load_block(&PatternBlock::from_patterns(width, chunk));
+            for lane in 0..chunk.len() {
+                good.push(engine.good_response(lane));
+            }
+            for (fault_pos, &fault_id) in faults.iter().enumerate() {
+                let effect = engine.run_fault(universe.fault(fault_id));
+                if effect.detect == 0 {
+                    continue; // all lanes stay class 0
+                }
+                for diffs in &mut lane_diffs[..chunk.len()] {
+                    diffs.clear();
+                }
+                for &(pos, word) in &effect.output_diffs {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        lane_diffs[lane].push(pos);
+                    }
+                }
+                for (lane, diffs) in lane_diffs[..chunk.len()].iter().enumerate() {
+                    if diffs.is_empty() {
+                        continue;
+                    }
+                    let test = base + lane;
+                    let next = distinct[test].len() as u32;
+                    let label = *interner[test]
+                        .entry(diffs.clone())
+                        .or_insert_with(|| {
+                            distinct[test].push(diffs.clone());
+                            next
+                        });
+                    class[test * fault_count + fault_pos] = label;
+                }
+            }
+        }
+
+        Self {
+            fault_count,
+            output_count: view.outputs().len(),
+            class,
+            distinct,
+            good,
+        }
+    }
+
+    /// Builds a matrix from explicit responses instead of simulation: one
+    /// fault-free response and one faulty response per fault, for each test.
+    /// Useful for worked examples and tests.
+    ///
+    /// Class labels follow the same convention as simulation: class 0 is the
+    /// fault-free response, further classes in first-occurrence order
+    /// scanning faults in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths are inconsistent or response widths differ.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_logic::BitVec;
+    /// use sdd_sim::ResponseMatrix;
+    ///
+    /// let bv = |s: &str| s.parse::<BitVec>().unwrap();
+    /// // One test, fault-free response 00; two faults responding 00 and 10.
+    /// let m = ResponseMatrix::from_responses(
+    ///     vec![bv("00")],
+    ///     &[vec![bv("00"), bv("10")]],
+    /// );
+    /// assert!(!m.detects(0, 0));
+    /// assert!(m.detects(0, 1));
+    /// ```
+    pub fn from_responses(good: Vec<BitVec>, responses: &[Vec<BitVec>]) -> Self {
+        assert_eq!(good.len(), responses.len(), "one response row per test");
+        let fault_count = responses.first().map_or(0, Vec::len);
+        let output_count = good.first().map_or(0, BitVec::len);
+        let mut class = vec![0u32; good.len() * fault_count];
+        let mut distinct: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new()]; good.len()];
+        for (test, row) in responses.iter().enumerate() {
+            assert_eq!(row.len(), fault_count, "ragged fault row in test {test}");
+            let mut interner: HashMap<Vec<u32>, u32> = HashMap::new();
+            for (fault, response) in row.iter().enumerate() {
+                assert_eq!(response.len(), output_count, "response width mismatch");
+                let diff: Vec<u32> = (0..output_count)
+                    .filter(|&o| response.bit(o) != good[test].bit(o))
+                    .map(|o| o as u32)
+                    .collect();
+                if diff.is_empty() {
+                    continue;
+                }
+                let next = distinct[test].len() as u32;
+                class[test * fault_count + fault] = *interner
+                    .entry(diff.clone())
+                    .or_insert_with(|| {
+                        distinct[test].push(diff.clone());
+                        next
+                    });
+            }
+        }
+        Self {
+            fault_count,
+            output_count,
+            class,
+            distinct,
+            good,
+        }
+    }
+
+    /// Number of tests.
+    pub fn test_count(&self) -> usize {
+        self.good.len()
+    }
+
+    /// Number of faults (rows are indexed by position in the fault list
+    /// passed to [`simulate`](Self::simulate), not by [`FaultId`]).
+    pub fn fault_count(&self) -> usize {
+        self.fault_count
+    }
+
+    /// Number of observed outputs (`m` in the paper's size formulas).
+    pub fn output_count(&self) -> usize {
+        self.output_count
+    }
+
+    /// The response class of fault `fault` under test `test`; `0` means the
+    /// fault-free response (the test does not detect the fault).
+    pub fn class(&self, test: usize, fault: usize) -> u32 {
+        self.class[test * self.fault_count + fault]
+    }
+
+    /// All fault classes of one test, indexed by fault position.
+    pub fn classes(&self, test: usize) -> &[u32] {
+        &self.class[test * self.fault_count..(test + 1) * self.fault_count]
+    }
+
+    /// Number of distinct output vectors that occur under `test` (the size
+    /// of the paper's candidate set `Z_j`, counting the fault-free vector).
+    pub fn class_count(&self, test: usize) -> usize {
+        self.distinct[test].len()
+    }
+
+    /// Returns `true` when `test` detects `fault`.
+    pub fn detects(&self, test: usize, fault: usize) -> bool {
+        self.class(test, fault) != 0
+    }
+
+    /// The fault-free response of `test`.
+    pub fn good_response(&self, test: usize) -> &BitVec {
+        &self.good[test]
+    }
+
+    /// Materializes the output vector of response class `class` under
+    /// `test`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a class of `test`.
+    pub fn response(&self, test: usize, class: u32) -> BitVec {
+        let mut response = self.good[test].clone();
+        for &pos in &self.distinct[test][class as usize] {
+            response.toggle(pos as usize);
+        }
+        response
+    }
+
+    /// How many tests detect each fault.
+    pub fn detection_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.fault_count];
+        for test in 0..self.test_count() {
+            for (fault, &c) in self.classes(test).iter().enumerate() {
+                if c != 0 {
+                    counts[fault] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Positions of faults never detected by any test (undetectable by this
+    /// test set — possibly redundant faults).
+    pub fn undetected_faults(&self) -> Vec<usize> {
+        self.detection_counts()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sdd_netlist::library::c17;
+
+    fn setup(tests: &[&str]) -> (Circuit, CombView, FaultUniverse, Vec<FaultId>, ResponseMatrix) {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let patterns: Vec<BitVec> = tests.iter().map(|s| s.parse().unwrap()).collect();
+        let ids = collapsed.representatives().to_vec();
+        let m = ResponseMatrix::simulate(&c, &view, &universe, &ids, &patterns);
+        (c, view, universe, ids, m)
+    }
+
+    fn setup_exhaustive() -> (Circuit, CombView, FaultUniverse, Vec<FaultId>, ResponseMatrix, Vec<BitVec>) {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let patterns: Vec<BitVec> = (0u32..32)
+            .map(|w| (0..5).map(|i| w >> i & 1 == 1).collect())
+            .collect();
+        let ids = collapsed.representatives().to_vec();
+        let m = ResponseMatrix::simulate(&c, &view, &universe, &ids, &patterns);
+        (c, view, universe, ids, m, patterns)
+    }
+
+    #[test]
+    fn shape_is_consistent() {
+        let (_, _, _, ids, m) = setup(&["10111", "01101", "00000"]);
+        assert_eq!(m.test_count(), 3);
+        assert_eq!(m.fault_count(), ids.len());
+        assert_eq!(m.output_count(), 2);
+        for t in 0..3 {
+            assert_eq!(m.classes(t).len(), ids.len());
+            assert!(m.class_count(t) >= 1);
+        }
+    }
+
+    #[test]
+    fn classes_agree_with_reference_responses() {
+        let (c, view, universe, ids, m, patterns) = setup_exhaustive();
+        for (t, pattern) in patterns.iter().enumerate() {
+            let good = reference::good_response(&c, &view, pattern);
+            assert_eq!(*m.good_response(t), good);
+            let responses: Vec<BitVec> = ids
+                .iter()
+                .map(|&id| reference::faulty_response(&c, &view, universe.fault(id), pattern))
+                .collect();
+            for (a, ra) in responses.iter().enumerate() {
+                // Class 0 ⇔ equals fault-free.
+                assert_eq!(m.class(t, a) == 0, *ra == good, "test {t} fault {a}");
+                // Materialized response matches the reference.
+                assert_eq!(m.response(t, m.class(t, a)), *ra);
+                for (b, rb) in responses.iter().enumerate().skip(a + 1) {
+                    assert_eq!(
+                        m.class(t, a) == m.class(t, b),
+                        ra == rb,
+                        "test {t} faults {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_count_counts_distinct_vectors() {
+        let (c, view, universe, ids, m, patterns) = setup_exhaustive();
+        for (t, pattern) in patterns.iter().enumerate() {
+            let mut vectors: Vec<BitVec> = ids
+                .iter()
+                .map(|&id| reference::faulty_response(&c, &view, universe.fault(id), pattern))
+                .collect();
+            vectors.push(reference::good_response(&c, &view, pattern));
+            vectors.sort();
+            vectors.dedup();
+            assert_eq!(m.class_count(t), vectors.len(), "test {t}");
+        }
+    }
+
+    #[test]
+    fn detection_counts_match_manual_count() {
+        let (_, _, _, _, m, _) = setup_exhaustive();
+        let counts = m.detection_counts();
+        for (fault, &count) in counts.iter().enumerate() {
+            let manual = (0..m.test_count()).filter(|&t| m.detects(t, fault)).count() as u32;
+            assert_eq!(count, manual);
+        }
+        // Every collapsed c17 fault is detectable by exhaustive patterns.
+        assert!(m.undetected_faults().is_empty());
+    }
+
+    #[test]
+    fn more_than_64_tests_cross_block_boundary() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        // 96 tests: the 32 exhaustive patterns three times.
+        let patterns: Vec<BitVec> = (0u32..96)
+            .map(|w| (0..5).map(|i| (w % 32) >> i & 1 == 1).collect())
+            .collect();
+        let ids = collapsed.representatives().to_vec();
+        let m = ResponseMatrix::simulate(&c, &view, &universe, &ids, &patterns);
+        assert_eq!(m.test_count(), 96);
+        // Repetition: test t and t+32 have identical structure.
+        for t in 0..32 {
+            assert_eq!(m.good_response(t), m.good_response(t + 32));
+            assert_eq!(m.class_count(t), m.class_count(t + 32));
+            for f in 0..m.fault_count() {
+                assert_eq!(
+                    m.response(t, m.class(t, f)),
+                    m.response(t + 32, m.class(t + 32, f))
+                );
+            }
+        }
+    }
+}

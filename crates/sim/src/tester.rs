@@ -1,0 +1,343 @@
+//! The tester's view of responses: scan chains and fail logs.
+//!
+//! Production testers do not hand diagnosis a tidy response matrix — they
+//! emit a *datalog* of failing observations: "test 17, scan chain 2, cell
+//! 31 read the wrong value". This module models that boundary:
+//!
+//! * [`ScanChains`] assigns every flip-flop to a position on a scan chain,
+//!   mapping each observed output of a [`CombView`] to a tester-visible
+//!   [`Observation`];
+//! * [`FailLog`] is the datalog: the set of failing observations per test,
+//!   convertible losslessly to and from observed response vectors given the
+//!   fault-free responses (which the tester always knows).
+//!
+//! Diagnosis flows read a fail log, reconstruct the observed responses, and
+//! proceed with any dictionary in this workspace.
+
+use std::fmt;
+
+use sdd_logic::BitVec;
+use sdd_netlist::{Circuit, NetId};
+
+/// One tester-visible observation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Observation {
+    /// A primary output, by position in the circuit's output list.
+    PrimaryOutput(u32),
+    /// A scan cell, addressed by chain and position (0 = first cell
+    /// shifted out).
+    ScanCell {
+        /// Scan chain index.
+        chain: u32,
+        /// Position along the chain.
+        position: u32,
+    },
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::PrimaryOutput(po) => write!(f, "PO{po}"),
+            Observation::ScanCell { chain, position } => write!(f, "chain{chain}[{position}]"),
+        }
+    }
+}
+
+/// An assignment of every flip-flop to a scan-chain position.
+///
+/// # Example
+///
+/// ```
+/// use sdd_sim::ScanChains;
+///
+/// let demo = sdd_netlist::library::demo_seq();
+/// let chains = ScanChains::balanced(&demo, 2);
+/// assert_eq!(chains.chain_count(), 2);
+/// assert_eq!(chains.cell_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChains {
+    /// Flip-flop output nets in shift order, per chain.
+    chains: Vec<Vec<NetId>>,
+}
+
+impl ScanChains {
+    /// Puts all flip-flops on one chain, in declaration order.
+    pub fn single(circuit: &Circuit) -> Self {
+        Self::balanced(circuit, 1)
+    }
+
+    /// Distributes the flip-flops round-robin over `count` chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn balanced(circuit: &Circuit, count: usize) -> Self {
+        assert!(count > 0, "at least one scan chain");
+        let mut chains = vec![Vec::new(); count];
+        for (i, &q) in circuit.dffs().iter().enumerate() {
+            chains[i % count].push(q);
+        }
+        Self { chains }
+    }
+
+    /// Number of chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total number of scan cells.
+    pub fn cell_count(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// The cells of chain `chain`, in shift order.
+    pub fn chain(&self, chain: usize) -> &[NetId] {
+        &self.chains[chain]
+    }
+
+    /// Maps a view-output position (PO's first, then flip-flop data nets in
+    /// declaration order) to its tester observation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range for the view.
+    pub fn observation_of(&self, circuit: &Circuit, output: usize) -> Observation {
+        let pos = circuit.output_count();
+        if output < pos {
+            return Observation::PrimaryOutput(output as u32);
+        }
+        let dff_index = output - pos;
+        assert!(dff_index < circuit.dff_count(), "output {output} out of range");
+        let q = circuit.dffs()[dff_index];
+        for (chain, cells) in self.chains.iter().enumerate() {
+            if let Some(position) = cells.iter().position(|&c| c == q) {
+                return Observation::ScanCell {
+                    chain: chain as u32,
+                    position: position as u32,
+                };
+            }
+        }
+        unreachable!("every flip-flop is on a chain")
+    }
+
+    /// The view-output position observed at `observation` — the inverse of
+    /// [`observation_of`](Self::observation_of).
+    ///
+    /// Returns `None` for out-of-range observations.
+    pub fn output_of(&self, circuit: &Circuit, observation: Observation) -> Option<usize> {
+        match observation {
+            Observation::PrimaryOutput(po) => {
+                ((po as usize) < circuit.output_count()).then_some(po as usize)
+            }
+            Observation::ScanCell { chain, position } => {
+                let q = *self
+                    .chains
+                    .get(chain as usize)?
+                    .get(position as usize)?;
+                let dff_index = circuit.dffs().iter().position(|&c| c == q)?;
+                Some(circuit.output_count() + dff_index)
+            }
+        }
+    }
+}
+
+/// One failing observation in a tester datalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailEntry {
+    /// The failing test's index.
+    pub test: u32,
+    /// Where the wrong value was observed.
+    pub observation: Observation,
+}
+
+/// A tester datalog: every observation that mismatched the expected value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailLog {
+    /// Failing observations, sorted by test then observation.
+    pub entries: Vec<FailEntry>,
+}
+
+impl FailLog {
+    /// Builds the log a tester would emit: every position where `observed`
+    /// differs from the fault-free `expected`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or width.
+    pub fn from_responses(
+        circuit: &Circuit,
+        chains: &ScanChains,
+        observed: &[BitVec],
+        expected: &[BitVec],
+    ) -> Self {
+        assert_eq!(observed.len(), expected.len(), "one response per test");
+        let mut entries = Vec::new();
+        for (test, (seen, good)) in observed.iter().zip(expected).enumerate() {
+            assert_eq!(seen.len(), good.len(), "response width mismatch");
+            for output in 0..seen.len() {
+                if seen.bit(output) != good.bit(output) {
+                    entries.push(FailEntry {
+                        test: test as u32,
+                        observation: chains.observation_of(circuit, output),
+                    });
+                }
+            }
+        }
+        entries.sort_unstable();
+        Self { entries }
+    }
+
+    /// Reconstructs the observed responses from the log and the fault-free
+    /// responses — what a diagnosis tool does with a datalog.
+    ///
+    /// Unknown observation points are ignored (testers sometimes log
+    /// entries for masked cells).
+    pub fn to_responses(
+        &self,
+        circuit: &Circuit,
+        chains: &ScanChains,
+        expected: &[BitVec],
+    ) -> Vec<BitVec> {
+        let mut responses: Vec<BitVec> = expected.to_vec();
+        for entry in &self.entries {
+            if let Some(output) = chains.output_of(circuit, entry.observation) {
+                if let Some(response) = responses.get_mut(entry.test as usize) {
+                    if output < response.len() {
+                        response.toggle(output);
+                    }
+                }
+            }
+        }
+        responses
+    }
+
+    /// Number of failing observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the device passed every test.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The failing tests, deduplicated, in order.
+    pub fn failing_tests(&self) -> Vec<u32> {
+        let mut tests: Vec<u32> = self.entries.iter().map(|e| e.test).collect();
+        tests.dedup();
+        tests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sdd_fault::FaultUniverse;
+    use sdd_netlist::generator;
+    use sdd_netlist::library::demo_seq;
+
+    fn all_patterns(width: usize) -> Vec<BitVec> {
+        (0u32..1 << width)
+            .map(|w| (0..width).map(|i| w >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn observation_mapping_round_trips() {
+        let c = generator::iscas89("s298", 1).unwrap();
+        let view = sdd_netlist::CombView::new(&c);
+        for count in [1, 2, 5] {
+            let chains = ScanChains::balanced(&c, count);
+            assert_eq!(chains.cell_count(), c.dff_count());
+            for output in 0..view.outputs().len() {
+                let obs = chains.observation_of(&c, output);
+                assert_eq!(chains.output_of(&c, obs), Some(output), "{obs}");
+            }
+        }
+    }
+
+    #[test]
+    fn primary_outputs_map_to_po_observations() {
+        let c = demo_seq();
+        let chains = ScanChains::single(&c);
+        assert_eq!(chains.observation_of(&c, 0), Observation::PrimaryOutput(0));
+        assert_eq!(chains.observation_of(&c, 1), Observation::PrimaryOutput(1));
+        assert!(matches!(
+            chains.observation_of(&c, 2),
+            Observation::ScanCell { chain: 0, position: 0 }
+        ));
+    }
+
+    #[test]
+    fn fail_log_round_trips_responses() {
+        let c = demo_seq();
+        let view = sdd_netlist::CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let chains = ScanChains::balanced(&c, 2);
+        let tests = all_patterns(view.inputs().len());
+        let expected: Vec<BitVec> = tests
+            .iter()
+            .map(|t| reference::good_response(&c, &view, t))
+            .collect();
+        for (_, fault) in universe.iter() {
+            let observed: Vec<BitVec> = tests
+                .iter()
+                .map(|t| reference::faulty_response(&c, &view, fault, t))
+                .collect();
+            let log = FailLog::from_responses(&c, &chains, &observed, &expected);
+            let back = log.to_responses(&c, &chains, &expected);
+            assert_eq!(back, observed, "{}", fault.describe(&c));
+        }
+    }
+
+    #[test]
+    fn passing_device_has_empty_log() {
+        let c = demo_seq();
+        let view = sdd_netlist::CombView::new(&c);
+        let chains = ScanChains::single(&c);
+        let tests = all_patterns(view.inputs().len());
+        let expected: Vec<BitVec> = tests
+            .iter()
+            .map(|t| reference::good_response(&c, &view, t))
+            .collect();
+        let log = FailLog::from_responses(&c, &chains, &expected, &expected);
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.failing_tests().is_empty());
+    }
+
+    #[test]
+    fn failing_tests_are_deduplicated_and_sorted() {
+        let log = FailLog {
+            entries: vec![
+                FailEntry { test: 1, observation: Observation::PrimaryOutput(0) },
+                FailEntry { test: 1, observation: Observation::PrimaryOutput(1) },
+                FailEntry { test: 4, observation: Observation::PrimaryOutput(0) },
+            ],
+        };
+        assert_eq!(log.failing_tests(), vec![1, 4]);
+    }
+
+    #[test]
+    fn unknown_observations_are_ignored_on_reconstruction() {
+        let c = demo_seq();
+        let chains = ScanChains::single(&c);
+        let expected = vec![BitVec::zeros(4)];
+        let log = FailLog {
+            entries: vec![FailEntry {
+                test: 0,
+                observation: Observation::ScanCell { chain: 9, position: 0 },
+            }],
+        };
+        let back = log.to_responses(&c, &chains, &expected);
+        assert_eq!(back, expected, "bogus observation silently dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan chain")]
+    fn zero_chains_panics() {
+        ScanChains::balanced(&demo_seq(), 0);
+    }
+}

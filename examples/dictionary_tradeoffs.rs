@@ -1,0 +1,59 @@
+//! Size-versus-resolution sweep: how the same/different dictionary's
+//! advantage over pass/fail grows with the test set.
+//!
+//! The paper observes that the improvement is larger for larger test sets
+//! (which is why 10-detection sets shine). This example sweeps n-detection
+//! test sets for n = 1, 2, 5, 10 on one circuit and prints the trade-off.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example dictionary_tradeoffs [circuit]
+//! ```
+
+use same_different::atpg::AtpgOptions;
+use same_different::dict::{
+    replace_baselines, select_baselines, DictionarySizes, Procedure1Options,
+};
+use same_different::Experiment;
+
+fn main() {
+    let circuit = std::env::args().nth(1).unwrap_or_else(|| "s386".to_owned());
+    let exp = Experiment::iscas89(&circuit, 1).expect("known circuit");
+    let n_faults = exp.faults().len();
+    let m = exp.view().outputs().len();
+    println!(
+        "circuit {}: {} collapsed faults, {} observed outputs\n",
+        exp.circuit().name(),
+        n_faults,
+        m
+    );
+    println!(
+        "{:>3} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "n", "tests", "p/f bits", "s/d bits", "full", "p/f", "s/d P1", "s/d P2"
+    );
+
+    for n in [1u32, 2, 5, 10] {
+        let tests = exp.detection_tests(n, &AtpgOptions::default());
+        let matrix = exp.simulate(&tests.tests);
+        let sizes = DictionarySizes::new(tests.len() as u64, n_faults as u64, m as u64);
+        let full = matrix.full_partition().indistinguished_pairs();
+        let pf = matrix.pass_fail_partition().indistinguished_pairs();
+        let mut selection = select_baselines(
+            &matrix,
+            &Procedure1Options { calls1: 20, ..Procedure1Options::default() },
+        );
+        let p1 = selection.indistinguished_pairs;
+        let p2 = replace_baselines(&matrix, &mut selection.baselines);
+        println!(
+            "{n:>3} {:>6} {:>12} {:>12} {full:>10} {pf:>10} {p1:>10} {p2:>10}",
+            tests.len(),
+            sizes.pass_fail,
+            sizes.same_different,
+        );
+    }
+    println!(
+        "\ncolumns `full`/`p/f`/`s/d`: fault pairs left indistinguished.\n\
+         Expect the p/f − s/d gap to widen as n grows, with s/d approaching `full`."
+    );
+}

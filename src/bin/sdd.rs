@@ -1,0 +1,369 @@
+//! `sdd` — command-line front end for the same-different workspace.
+//!
+//! ```text
+//! sdd generate <circuit> [--seed N] [-o out.bench]      emit a synthetic benchmark
+//! sdd info <file.bench>                                 circuit and fault statistics
+//! sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]
+//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]
+//! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
+//! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt --observed obs.txt
+//! ```
+//!
+//! Test files hold one input pattern per line (`0`/`1` characters, one per
+//! view input: primary inputs then flip-flop pseudo-inputs). Observation
+//! files hold one output response per line (primary outputs then flip-flop
+//! pseudo-outputs), in test order.
+
+use std::fs;
+use std::process::ExitCode;
+
+use same_different::atpg::AtpgOptions;
+use same_different::dict::{
+    io as dict_io, replace_baselines, select_baselines, Procedure1Options,
+    SameDifferentDictionary,
+};
+use same_different::logic::BitVec;
+use same_different::netlist::{bench, generator};
+use same_different::Experiment;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("atpg") => cmd_atpg(&args[1..]),
+        Some("dictionary") => cmd_dictionary(&args[1..]),
+        Some("inject") => cmd_inject(&args[1..]),
+        Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("usage: sdd <generate|info|atpg|dictionary|diagnose> ...");
+            eprintln!("see the crate docs or README for details");
+            return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sdd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument list; returns remaining
+/// positional arguments.
+fn parse_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    'outer: while let Some(arg) = iter.next() {
+        for (name, slot) in flags.iter_mut() {
+            if arg == name {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{name} requires a value"))?;
+                **slot = Some(value.clone());
+                continue 'outer;
+            }
+        }
+        if arg.starts_with('-') {
+            return Err(format!("unknown option {arg:?}"));
+        }
+        positional.push(arg.clone());
+    }
+    Ok(positional)
+}
+
+fn load_circuit(path: &str) -> Result<same_different::netlist::Circuit, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    bench::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_patterns(path: &str, width: usize, what: &str) -> Result<Vec<BitVec>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut patterns = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let p: BitVec = line
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if p.len() != width {
+            return Err(format!(
+                "{path}:{}: {what} has {} bits, expected {width}",
+                i + 1,
+                p.len()
+            ));
+        }
+        patterns.push(p);
+    }
+    if patterns.is_empty() {
+        return Err(format!("{path}: no {what}s found"));
+    }
+    Ok(patterns)
+}
+
+fn emit(output: Option<String>, content: &str) -> Result<(), String> {
+    match output {
+        Some(path) => fs::write(&path, content).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut seed = None;
+    let mut output = None;
+    let positional = parse_flags(args, &mut [("--seed", &mut seed), ("-o", &mut output)])?;
+    let [name] = positional.as_slice() else {
+        return Err("usage: sdd generate <circuit> [--seed N] [-o out.bench]".into());
+    };
+    let seed: u64 = seed.map_or(Ok(1), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let profile = generator::profile(name).ok_or_else(|| {
+        format!(
+            "unknown circuit {name:?}; known: {}",
+            generator::ISCAS89_PROFILES
+                .iter()
+                .chain(&generator::ISCAS85_PROFILES)
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    emit(output, &bench::write(&generator::generate(profile, seed)))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: sdd info <file.bench>".into());
+    };
+    let exp = Experiment::new(load_circuit(path)?);
+    let c = exp.circuit();
+    println!("circuit:          {}", c.name());
+    println!("primary inputs:   {}", c.input_count());
+    println!("primary outputs:  {}", c.output_count());
+    println!("flip-flops:       {}", c.dff_count());
+    println!("gates:            {}", c.gate_count());
+    println!("nets:             {}", c.net_count());
+    println!("view inputs:      {} (PI + PPI)", exp.view().inputs().len());
+    println!("view outputs:     {} (PO + PPO = m)", exp.view().outputs().len());
+    println!("logic depth:      {}", exp.view().depth());
+    println!("faults:           {} ({} collapsed)", exp.universe().len(), exp.faults().len());
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), String> {
+    let mut ttype = None;
+    let mut seed = None;
+    let mut output = None;
+    let positional = parse_flags(
+        args,
+        &mut [("--ttype", &mut ttype), ("--seed", &mut seed), ("-o", &mut output)],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]".into());
+    };
+    let seed: u64 = seed.map_or(Ok(1), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let exp = Experiment::new(load_circuit(path)?);
+    let options = AtpgOptions { seed, ..AtpgOptions::default() };
+    let ttype = ttype.unwrap_or_else(|| "diag".to_owned());
+    let set = if ttype == "diag" {
+        exp.diagnostic_tests(&options)
+    } else if let Some(n) = ttype
+        .strip_suffix("det")
+        .and_then(|n| n.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+    {
+        exp.detection_tests(n, &options)
+    } else {
+        return Err(format!("unknown --ttype {ttype:?} (diag or <n>det, e.g. 1det, 10det)"));
+    };
+    let report = same_different::atpg::CoverageReport::measure(
+        exp.circuit(),
+        exp.view(),
+        exp.universe(),
+        exp.faults(),
+        &set,
+    );
+    eprintln!("{report}");
+    let mut content = String::new();
+    for test in &set.tests {
+        content.push_str(&test.to_string());
+        content.push('\n');
+    }
+    emit(output, &content)
+}
+
+fn cmd_dictionary(args: &[String]) -> Result<(), String> {
+    let mut tests_path = None;
+    let mut calls1 = None;
+    let mut output = None;
+    let positional = parse_flags(
+        args,
+        &mut [("--tests", &mut tests_path), ("--calls1", &mut calls1), ("-o", &mut output)],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]".into());
+    };
+    let tests_path = tests_path.ok_or("missing --tests")?;
+    let calls1: usize = calls1.map_or(Ok(20), |s| s.parse().map_err(|_| "bad --calls1"))?;
+
+    let exp = Experiment::new(load_circuit(path)?);
+    let tests = load_patterns(&tests_path, exp.view().inputs().len(), "test pattern")?;
+    let matrix = exp.simulate(&tests);
+    let mut selection = select_baselines(
+        &matrix,
+        &Procedure1Options { calls1, ..Procedure1Options::default() },
+    );
+    let indistinguished = replace_baselines(&matrix, &mut selection.baselines);
+    let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
+    eprintln!(
+        "same/different dictionary: {} bits, {} of {} fault pairs indistinguished \
+         (pass/fail would leave {})",
+        dictionary.size_bits(),
+        indistinguished,
+        exp.faults().len() * (exp.faults().len() - 1) / 2,
+        matrix.pass_fail_partition().indistinguished_pairs(),
+    );
+    emit(output, &dict_io::write_same_different(&dictionary))
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let mut tests_path = None;
+    let mut fault_sel = None;
+    let mut seed = None;
+    let mut output = None;
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--tests", &mut tests_path),
+            ("--fault", &mut fault_sel),
+            ("--seed", &mut seed),
+            ("-o", &mut output),
+        ],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err(
+            "usage: sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]"
+                .into(),
+        );
+    };
+    let seed: u64 = seed.map_or(Ok(0), |s| s.parse().map_err(|_| "bad --seed"))?;
+    let exp = Experiment::new(load_circuit(path)?);
+    let tests = load_patterns(
+        &tests_path.ok_or("missing --tests")?,
+        exp.view().inputs().len(),
+        "test pattern",
+    )?;
+    let position = match fault_sel.as_deref() {
+        None | Some("random") => {
+            // Splitmix-style hash keeps this dependency-free and stable.
+            let mixed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x1234_5678);
+            (mixed % exp.faults().len() as u64) as usize
+        }
+        Some(k) => {
+            let k: usize = k.parse().map_err(|_| "bad --fault (index or `random`)")?;
+            if k >= exp.faults().len() {
+                return Err(format!(
+                    "fault index {k} out of range ({} collapsed faults)",
+                    exp.faults().len()
+                ));
+            }
+            k
+        }
+    };
+    let fault = exp.universe().fault(exp.faults()[position]);
+    eprintln!(
+        "injected fault #{position}: {}",
+        fault.describe(exp.circuit())
+    );
+    let mut content = String::new();
+    for test in &tests {
+        let response = same_different::sim::reference::faulty_response(
+            exp.circuit(),
+            exp.view(),
+            fault,
+            test,
+        );
+        content.push_str(&response.to_string());
+        content.push('\n');
+    }
+    emit(output, &content)
+}
+
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    let mut tests_path = None;
+    let mut dict_path = None;
+    let mut observed_path = None;
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--tests", &mut tests_path),
+            ("--dict", &mut dict_path),
+            ("--observed", &mut observed_path),
+        ],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err(
+            "usage: sdd diagnose <file.bench> --tests tests.txt --dict dict.txt --observed obs.txt"
+                .into(),
+        );
+    };
+    let exp = Experiment::new(load_circuit(path)?);
+    let tests = load_patterns(
+        &tests_path.ok_or("missing --tests")?,
+        exp.view().inputs().len(),
+        "test pattern",
+    )?;
+    let dict_text = {
+        let p = dict_path.ok_or("missing --dict")?;
+        fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?
+    };
+    let dictionary =
+        dict_io::read_same_different(&dict_text).map_err(|e| e.to_string())?;
+    let observed = load_patterns(
+        &observed_path.ok_or("missing --observed")?,
+        exp.view().outputs().len(),
+        "observed response",
+    )?;
+    if observed.len() != tests.len() {
+        return Err(format!(
+            "{} observed responses for {} tests",
+            observed.len(),
+            tests.len()
+        ));
+    }
+    if dictionary.fault_count() != exp.faults().len() {
+        return Err(format!(
+            "dictionary covers {} faults but the circuit has {} collapsed faults",
+            dictionary.fault_count(),
+            exp.faults().len()
+        ));
+    }
+
+    let report = dictionary.diagnose(&observed);
+    if report.exact.is_empty() {
+        println!(
+            "no exact match; {} nearest candidate(s) at signature distance {}:",
+            report.nearest.len(),
+            report.distance
+        );
+    } else {
+        println!("{} exact candidate(s):", report.exact.len());
+    }
+    for &pos in report.candidates() {
+        let fault = exp.universe().fault(exp.faults()[pos]);
+        println!("  {}", fault.describe(exp.circuit()));
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Integration tests driving the `sdd` binary end to end through its
+//! public command-line interface, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sdd(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sdd"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("sdd binary runs")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdd-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_flow_generate_atpg_dictionary_inject_diagnose() {
+    let dir = workdir("flow");
+
+    let out = sdd(&dir, &["generate", "s208", "--seed", "3", "-o", "c.bench"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = sdd(&dir, &["info", "c.bench"]);
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout);
+    assert!(info.contains("circuit:          s208"), "{info}");
+    assert!(info.contains("collapsed"), "{info}");
+
+    let out = sdd(&dir, &["atpg", "c.bench", "--ttype", "diag", "-o", "tests.txt"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = sdd(
+        &dir,
+        &["dictionary", "c.bench", "--tests", "tests.txt", "--calls1", "3", "-o", "dict.txt"],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dict = std::fs::read_to_string(dir.join("dict.txt")).unwrap();
+    assert!(dict.starts_with("same-different-dictionary v1"));
+
+    let out = sdd(
+        &dir,
+        &["inject", "c.bench", "--tests", "tests.txt", "--fault", "5", "-o", "obs.txt"],
+    );
+    assert!(out.status.success());
+    let injected = String::from_utf8_lossy(&out.stderr);
+    let fault_name = injected
+        .trim()
+        .split(": ")
+        .nth(1)
+        .expect("inject reports the fault")
+        .to_owned();
+
+    let out = sdd(
+        &dir,
+        &["diagnose", "c.bench", "--tests", "tests.txt", "--dict", "dict.txt", "--observed", "obs.txt"],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let verdict = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        verdict.contains(&fault_name),
+        "diagnosis {verdict:?} must include the injected fault {fault_name:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dir = workdir("errors");
+
+    let out = sdd(&dir, &["bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = sdd(&dir, &["info", "missing.bench"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing.bench"));
+
+    let out = sdd(&dir, &["generate", "b17"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit"));
+
+    let out = sdd(&dir, &["dictionary", "x.bench"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tests"));
+
+    // Malformed test file.
+    std::fs::write(dir.join("c.bench"), "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+    std::fs::write(dir.join("bad.txt"), "01x\n").unwrap();
+    let out = sdd(&dir, &["dictionary", "c.bench", "--tests", "bad.txt"]);
+    assert!(!out.status.success());
+
+    // Wrong pattern width.
+    std::fs::write(dir.join("wide.txt"), "0101\n").unwrap();
+    let out = sdd(&dir, &["dictionary", "c.bench", "--tests", "wide.txt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected 1"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_is_deterministic_and_parseable() {
+    let dir = workdir("gen");
+    for _ in 0..2 {
+        let out = sdd(&dir, &["generate", "s344", "--seed", "42"]);
+        assert!(out.status.success());
+    }
+    let a = sdd(&dir, &["generate", "s344", "--seed", "42"]).stdout;
+    let b = sdd(&dir, &["generate", "s344", "--seed", "42"]).stdout;
+    assert_eq!(a, b);
+    let text = String::from_utf8(a).unwrap();
+    let circuit = same_different::netlist::bench::parse(&text).unwrap();
+    assert_eq!(circuit.name(), "s344");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,126 @@
+//! The qualitative claims of the paper's §4 (Table 6 discussion), checked
+//! end-to-end on ISCAS'89-shaped circuits with both test-set types.
+//!
+//! Absolute pair counts depend on the synthetic stand-in circuits (see
+//! DESIGN.md §5); these tests pin down the *shape* of the results, which is
+//! what the paper argues from.
+
+use same_different::atpg::AtpgOptions;
+use same_different::dict::{
+    replace_baselines, select_baselines, DictionarySizes, Procedure1Options,
+};
+use same_different::Experiment;
+
+struct Row {
+    tests: usize,
+    sizes: DictionarySizes,
+    full: u64,
+    pass_fail: u64,
+    sd_rand: u64,
+    sd_repl: u64,
+}
+
+fn run_row(exp: &Experiment, ten_detect: bool) -> Row {
+    let atpg = AtpgOptions::default();
+    let tests = if ten_detect {
+        exp.detection_tests(10, &atpg)
+    } else {
+        exp.diagnostic_tests(&atpg)
+    };
+    let matrix = exp.simulate(&tests.tests);
+    let mut selection = select_baselines(
+        &matrix,
+        &Procedure1Options { calls1: 15, ..Procedure1Options::default() },
+    );
+    let sd_rand = selection.indistinguished_pairs;
+    let sd_repl = replace_baselines(&matrix, &mut selection.baselines);
+    Row {
+        tests: tests.len(),
+        sizes: DictionarySizes::new(
+            tests.len() as u64,
+            exp.faults().len() as u64,
+            exp.view().outputs().len() as u64,
+        ),
+        full: matrix.full_partition().indistinguished_pairs(),
+        pass_fail: matrix.pass_fail_partition().indistinguished_pairs(),
+        sd_rand,
+        sd_repl,
+    }
+}
+
+fn check_circuit(name: &str) {
+    let exp = Experiment::iscas89(name, 1).expect("known circuit");
+    let diag = run_row(&exp, false);
+    let tdet = run_row(&exp, true);
+
+    for (label, row) in [("diag", &diag), ("10det", &tdet)] {
+        // Size ordering and exact formulas (§2).
+        assert!(row.sizes.pass_fail < row.sizes.same_different, "{name}/{label}");
+        assert!(row.sizes.same_different < row.sizes.full, "{name}/{label}");
+        assert_eq!(
+            row.sizes.baseline_overhead(),
+            row.tests as u64 * exp.view().outputs().len() as u64
+        );
+
+        // Resolution ordering: full ≤ s/d ≤ pass/fail, Procedure 2 ≤ Procedure 1.
+        assert!(row.full <= row.sd_repl, "{name}/{label}: full best possible");
+        assert!(row.sd_repl <= row.sd_rand, "{name}/{label}: P2 only improves");
+        assert!(
+            row.sd_rand <= row.pass_fail,
+            "{name}/{label}: s/d at least matches pass/fail"
+        );
+    }
+
+    // The 10-detection set is larger than the diagnostic set (paper: "the
+    // 10-detection test set is typically larger").
+    assert!(
+        tdet.tests > diag.tests,
+        "{name}: 10det ({}) should exceed diag ({})",
+        tdet.tests,
+        diag.tests
+    );
+
+    // "Nevertheless, the same/different dictionary based on the
+    // 10-detection test set is smaller than the full dictionary based on
+    // the diagnostic test set."
+    assert!(
+        tdet.sizes.same_different < diag.sizes.full,
+        "{name}: s/d(10det) {} !< full(diag) {}",
+        tdet.sizes.same_different,
+        diag.sizes.full
+    );
+
+    // The s/d improvement over pass/fail is larger with the larger
+    // (10-detection) test set — the paper's central empirical observation.
+    let gain_diag = diag.pass_fail - diag.sd_repl;
+    let gain_tdet = tdet.pass_fail - tdet.sd_repl;
+    assert!(
+        gain_tdet >= gain_diag,
+        "{name}: gain should grow with test-set size ({gain_tdet} vs {gain_diag})"
+    );
+
+    // With a 10-detection set the s/d dictionary gets close to (sometimes
+    // reaches) the full dictionary's resolution.
+    assert!(
+        tdet.sd_repl <= tdet.full + (tdet.pass_fail - tdet.full) / 2,
+        "{name}: 10det s/d ({}) should close most of the p/f ({}) → full ({}) gap",
+        tdet.sd_repl,
+        tdet.pass_fail,
+        tdet.full
+    );
+}
+
+#[test]
+fn claims_hold_on_s208() {
+    check_circuit("s208");
+}
+
+#[test]
+fn claims_hold_on_s386() {
+    check_circuit("s386");
+}
+
+#[test]
+fn claims_hold_on_s298() {
+    check_circuit("s298");
+}
