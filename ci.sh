@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace. No network access required: the
+# workspace has no third-party dependencies.
+#
+#   ./ci.sh          full gate: build, test, fmt, clippy
+#   ./ci.sh quick    build + root-package tests only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --offline --release --workspace"
+cargo build --offline --release --workspace --all-targets
+
+if [ "${1:-}" = "quick" ]; then
+    step "cargo test --offline -q (root package)"
+    cargo test --offline -q
+    step "quick gate passed"
+    exit 0
+fi
+
+step "cargo test --offline --release --workspace -q"
+cargo test --offline --release --workspace -q
+
+step "cargo fmt --check"
+if ! cargo fmt --version >/dev/null 2>&1; then
+    echo "rustfmt not installed; skipping"
+else
+    cargo fmt --all --check
+fi
+
+step "cargo clippy -D warnings"
+if ! cargo clippy --version >/dev/null 2>&1; then
+    echo "clippy not installed; skipping"
+else
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+step "ci gate passed"

@@ -19,15 +19,17 @@
 //! Singleton groups can never split again, so skipping them is lossless,
 //! and on large circuits the active set collapses quickly.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sdd_logic::Prng;
 
 use sdd_fault::{FaultId, FaultUniverse};
 use sdd_logic::{BitVec, LANES};
 use sdd_netlist::{Circuit, CombView};
 use sdd_sim::{Partition, ResponseMatrix};
 
-use crate::{generate_detection, random_patterns, AtpgOptions, FillMode, GeneratedTestSet, Podem, PodemOutcome};
+use crate::{
+    generate_detection, random_patterns, AtpgOptions, FillMode, GeneratedTestSet, Podem,
+    PodemOutcome,
+};
 
 /// How many of the largest indistinguished groups the targeted phase works
 /// on. Bounds deterministic effort on very large circuits; random
@@ -65,7 +67,7 @@ pub fn generate_diagnostic(
     options: &AtpgOptions,
 ) -> GeneratedTestSet {
     let width = view.inputs().len();
-    let mut rng = StdRng::seed_from_u64(options.seed ^ 0xD1A6);
+    let mut rng = Prng::seed_from_u64(options.seed ^ 0xD1A6);
 
     let base = generate_detection(circuit, view, universe, faults, 1, options);
     let mut tests = base.tests;
@@ -80,7 +82,13 @@ pub fn generate_diagnostic(
         }
         let candidates = random_patterns(width, LANES, &mut rng);
         let added = admit_refining(
-            circuit, view, universe, faults, &candidates, &mut tests, &mut partition,
+            circuit,
+            view,
+            universe,
+            faults,
+            &candidates,
+            &mut tests,
+            &mut partition,
         );
         if added == 0 {
             stale += 1;
@@ -115,14 +123,26 @@ pub fn generate_diagnostic(
             }
             if candidates.len() >= LANES {
                 admit_refining(
-                    circuit, view, universe, faults, &candidates, &mut tests, &mut partition,
+                    circuit,
+                    view,
+                    universe,
+                    faults,
+                    &candidates,
+                    &mut tests,
+                    &mut partition,
                 );
                 candidates.clear();
             }
         }
         if !candidates.is_empty() {
             admit_refining(
-                circuit, view, universe, faults, &candidates, &mut tests, &mut partition,
+                circuit,
+                view,
+                universe,
+                faults,
+                &candidates,
+                &mut tests,
+                &mut partition,
             );
         }
     }
@@ -205,7 +225,10 @@ mod tests {
         let achieved = ResponseMatrix::simulate(&c, &view, &universe, faults, &set.tests)
             .full_partition()
             .indistinguished_pairs();
-        assert_eq!(achieved, bound, "diagnostic set must reach the exhaustive bound on c17");
+        assert_eq!(
+            achieved, bound,
+            "diagnostic set must reach the exhaustive bound on c17"
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! complete: with an unlimited backtrack budget, `Untestable` is a proof of
 //! redundancy.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sdd_logic::Prng;
 
 use sdd_fault::{Fault, FaultSite};
 use sdd_logic::{BitVec, V5};
@@ -53,7 +52,6 @@ impl PodemOutcome {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use sdd_atpg::{Podem, PodemOutcome};
 /// use sdd_fault::FaultUniverse;
 /// use sdd_netlist::{library, CombView};
@@ -62,7 +60,7 @@ impl PodemOutcome {
 /// let view = CombView::new(&c17);
 /// let universe = FaultUniverse::enumerate(&c17);
 /// let mut podem = Podem::new(&c17, &view);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = sdd_logic::Prng::seed_from_u64(0);
 /// let fault = universe.fault(sdd_fault::FaultId(0));
 /// match podem.generate(fault, &mut rng) {
 ///     PodemOutcome::Test(test) => assert_eq!(test.len(), 5),
@@ -124,7 +122,7 @@ impl<'a> Podem<'a> {
     }
 
     /// Attempts to generate a test for `fault`.
-    pub fn generate(&mut self, fault: Fault, rng: &mut StdRng) -> PodemOutcome {
+    pub fn generate(&mut self, fault: Fault, rng: &mut Prng) -> PodemOutcome {
         match self.generate_cube(fault, rng) {
             CubeOutcome::Cube(cube) => PodemOutcome::Test(self.fill_cube(&cube, rng)),
             CubeOutcome::Untestable => PodemOutcome::Untestable,
@@ -136,7 +134,7 @@ impl<'a> Podem<'a> {
     /// assignment PODEM actually needed, with don't-cares left unassigned.
     /// Cubes feed static compaction ([`merge_cubes`]): compatible cubes
     /// merge into one pattern that detects both targets.
-    pub fn generate_cube(&mut self, fault: Fault, rng: &mut StdRng) -> CubeOutcome {
+    pub fn generate_cube(&mut self, fault: Fault, rng: &mut Prng) -> CubeOutcome {
         let input_count = self.view.inputs().len();
         let mut assignment: Vec<Option<bool>> = vec![None; input_count];
         let mut decisions: Vec<Decision> = Vec::new();
@@ -148,7 +146,11 @@ impl<'a> Podem<'a> {
                 return CubeOutcome::Cube(TestCube(assignment));
             }
             let feasible = self.feasible(fault);
-            let objective = if feasible { self.objective(fault, rng) } else { None };
+            let objective = if feasible {
+                self.objective(fault, rng)
+            } else {
+                None
+            };
             match objective {
                 Some((net, target)) => {
                     let (input, value) = self.backtrace(net, target, rng);
@@ -322,16 +324,14 @@ impl<'a> Podem<'a> {
     }
 
     /// Picks the next objective `(net, good-machine target value)`.
-    fn objective(&mut self, fault: Fault, rng: &mut StdRng) -> Option<(NetId, bool)> {
+    fn objective(&mut self, fault: Fault, rng: &mut Prng) -> Option<(NetId, bool)> {
         let site = self.site_value(fault);
         if !site.is_fault_effect() {
             // Activation objective: drive the site's good value opposite the
             // stuck value.
             let net = match fault.site {
                 FaultSite::Stem(s) => s,
-                FaultSite::Branch { gate, pin } => {
-                    self.circuit.driver(gate).fanin()[pin as usize]
-                }
+                FaultSite::Branch { gate, pin } => self.circuit.driver(gate).fanin()[pin as usize],
             };
             return Some((net, !fault.stuck_at));
         }
@@ -364,7 +364,7 @@ impl<'a> Podem<'a> {
     }
 
     /// Walks an objective back to an unassigned input.
-    fn backtrace(&self, mut net: NetId, mut target: bool, rng: &mut StdRng) -> (usize, bool) {
+    fn backtrace(&self, mut net: NetId, mut target: bool, rng: &mut Prng) -> (usize, bool) {
         loop {
             if let Some(pos) = self.view.input_position(net) {
                 return (pos, target);
@@ -424,7 +424,7 @@ impl<'a> Podem<'a> {
     }
 
     /// Fills a cube's don't-cares per the configured [`FillMode`].
-    pub fn fill_cube(&self, cube: &TestCube, rng: &mut StdRng) -> BitVec {
+    pub fn fill_cube(&self, cube: &TestCube, rng: &mut Prng) -> BitVec {
         cube.0
             .iter()
             .map(|a| match (a, self.fill) {
@@ -459,13 +459,10 @@ impl TestCube {
 
     /// Two cubes are compatible when no input is assigned opposite values.
     pub fn compatible(&self, other: &TestCube) -> bool {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| match (a, b) {
-                (Some(x), Some(y)) => x == y,
-                _ => true,
-            })
+        self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        })
     }
 
     /// The union of two compatible cubes.
@@ -476,13 +473,7 @@ impl TestCube {
     pub fn merge(&self, other: &TestCube) -> TestCube {
         assert_eq!(self.len(), other.len(), "cube width mismatch");
         assert!(self.compatible(other), "merging incompatible cubes");
-        TestCube(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a.or(*b))
-                .collect(),
-        )
+        TestCube(self.0.iter().zip(&other.0).map(|(a, b)| a.or(*b)).collect())
     }
 
     /// Fills don't-cares with `0` (deterministic).
@@ -519,7 +510,6 @@ impl CubeOutcome {
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use sdd_atpg::{merge_cubes, Podem};
 /// use sdd_fault::FaultUniverse;
 /// use sdd_netlist::{library, CombView};
@@ -528,7 +518,7 @@ impl CubeOutcome {
 /// let view = CombView::new(&c17);
 /// let universe = FaultUniverse::enumerate(&c17);
 /// let mut podem = Podem::new(&c17, &view);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = sdd_logic::Prng::seed_from_u64(0);
 /// let cubes: Vec<_> = universe
 ///     .iter()
 ///     .filter_map(|(_, f)| podem.generate_cube(f, &mut rng).cube().cloned())
@@ -569,20 +559,24 @@ fn force(wire: V5, stuck_at: bool) -> V5 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use sdd_fault::FaultUniverse;
     use sdd_netlist::library::{c17, demo_seq};
     use sdd_netlist::{generator, CircuitBuilder};
     use sdd_sim::reference;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xA7)
+    fn rng() -> Prng {
+        Prng::seed_from_u64(0xA7)
     }
 
     fn verify_test(circuit: &Circuit, view: &CombView, fault: Fault, test: &BitVec) {
         let good = reference::good_response(circuit, view, test);
         let bad = reference::faulty_response(circuit, view, fault, test);
-        assert_ne!(good, bad, "{} not detected by {test}", fault.describe(circuit));
+        assert_ne!(
+            good,
+            bad,
+            "{} not detected by {test}",
+            fault.describe(circuit)
+        );
     }
 
     #[test]
@@ -688,7 +682,12 @@ mod tests {
             .with_randomized_search(true);
         let mut rng = rng();
         let tests: std::collections::HashSet<String> = (0..24)
-            .filter_map(|_| podem.generate(fault, &mut rng).test().map(|t| t.to_string()))
+            .filter_map(|_| {
+                podem
+                    .generate(fault, &mut rng)
+                    .test()
+                    .map(|t| t.to_string())
+            })
             .collect();
         assert!(tests.len() > 1, "random search should vary the tests");
     }
@@ -744,7 +743,12 @@ mod tests {
             .collect();
         let cubes: Vec<TestCube> = pairs.iter().map(|(_, c)| c.clone()).collect();
         let tests = merge_cubes(&cubes);
-        assert!(tests.len() < cubes.len(), "{} !< {}", tests.len(), cubes.len());
+        assert!(
+            tests.len() < cubes.len(),
+            "{} !< {}",
+            tests.len(),
+            cubes.len()
+        );
         // Every fault is detected by at least one merged test.
         for (fault, _) in &pairs {
             assert!(

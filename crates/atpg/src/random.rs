@@ -1,21 +1,19 @@
 //! Random pattern generation.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use sdd_logic::BitVec;
+use sdd_logic::Prng;
 
 /// Generates `count` uniformly random patterns of `width` bits.
 ///
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = sdd_logic::Prng::seed_from_u64(1);
 /// let patterns = sdd_atpg::random_patterns(8, 10, &mut rng);
 /// assert_eq!(patterns.len(), 10);
 /// assert!(patterns.iter().all(|p| p.len() == 8));
 /// ```
-pub fn random_patterns(width: usize, count: usize, rng: &mut StdRng) -> Vec<BitVec> {
+pub fn random_patterns(width: usize, count: usize, rng: &mut Prng) -> Vec<BitVec> {
     (0..count)
         .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
         .collect()
@@ -33,8 +31,7 @@ pub fn random_patterns(width: usize, count: usize, rng: &mut StdRng) -> Vec<BitV
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = sdd_logic::Prng::seed_from_u64(2);
 /// let p = sdd_atpg::weighted_random_patterns(3, 100, &[1.0, 0.0, 0.5], &mut rng);
 /// assert!(p.iter().all(|t| t.bit(0) && !t.bit(1)));
 /// ```
@@ -42,7 +39,7 @@ pub fn weighted_random_patterns(
     width: usize,
     count: usize,
     weights: &[f64],
-    rng: &mut StdRng,
+    rng: &mut Prng,
 ) -> Vec<BitVec> {
     assert_eq!(weights.len(), width, "one weight per input");
     for &w in weights {
@@ -56,18 +53,17 @@ pub fn weighted_random_patterns(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let a = random_patterns(16, 5, &mut StdRng::seed_from_u64(9));
-        let b = random_patterns(16, 5, &mut StdRng::seed_from_u64(9));
+        let a = random_patterns(16, 5, &mut Prng::seed_from_u64(9));
+        let b = random_patterns(16, 5, &mut Prng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 
     #[test]
     fn roughly_balanced_bits() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::seed_from_u64(3);
         let patterns = random_patterns(64, 64, &mut rng);
         let ones: usize = patterns.iter().map(|p| p.count_ones()).sum();
         let total = 64 * 64;
@@ -76,7 +72,7 @@ mod tests {
 
     #[test]
     fn zero_count_and_width_edge_cases() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         assert!(random_patterns(8, 0, &mut rng).is_empty());
         let p = random_patterns(0, 2, &mut rng);
         assert_eq!(p.len(), 2);
@@ -85,7 +81,7 @@ mod tests {
 
     #[test]
     fn weighted_patterns_respect_weights() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Prng::seed_from_u64(6);
         let patterns = weighted_random_patterns(2, 2000, &[0.9, 0.1], &mut rng);
         let ones0 = patterns.iter().filter(|p| p.bit(0)).count();
         let ones1 = patterns.iter().filter(|p| p.bit(1)).count();
@@ -96,14 +92,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "one weight per input")]
     fn wrong_weight_count_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         weighted_random_patterns(3, 1, &[0.5], &mut rng);
     }
 
     #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn out_of_range_weight_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         weighted_random_patterns(1, 1, &[1.5], &mut rng);
     }
 }

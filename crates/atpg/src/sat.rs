@@ -110,9 +110,8 @@ pub fn generate_sat_bounded(
     }
 
     // Faulty machine constraints for cone gates.
-    let faulty_pin = |faulty: &HashMap<NetId, Var>, s: NetId| {
-        faulty.get(&s).copied().unwrap_or(good[s.index()])
-    };
+    let faulty_pin =
+        |faulty: &HashMap<NetId, Var>, s: NetId| faulty.get(&s).copied().unwrap_or(good[s.index()]);
     for &net in view.order() {
         if !in_cone[net.index()] {
             continue;
@@ -127,10 +126,7 @@ pub fn generate_sat_bounded(
             _ => {}
         }
         if let Driver::Gate { kind, inputs } = circuit.driver(net) {
-            let mut pins: Vec<Var> = inputs
-                .iter()
-                .map(|&s| faulty_pin(&faulty, s))
-                .collect();
+            let mut pins: Vec<Var> = inputs.iter().map(|&s| faulty_pin(&faulty, s)).collect();
             if let FaultSite::Branch { gate, pin } = fault.site {
                 if gate == net {
                     // The stuck pin reads a constant: model with a frozen
@@ -241,7 +237,6 @@ fn encode_xor2(cnf: &mut Cnf, d: Var, a: Var, b: Var) {
 mod tests {
     use super::*;
     use crate::{Podem, PodemOutcome};
-    use rand::SeedableRng;
     use sdd_fault::FaultUniverse;
     use sdd_netlist::library::{c17, demo_seq};
     use sdd_netlist::{generator, CircuitBuilder};
@@ -291,7 +286,7 @@ mod tests {
         let universe = FaultUniverse::enumerate(&c);
         let collapsed = universe.collapse_on(&c);
         let mut podem = Podem::new(&c, &view).with_backtrack_limit(50_000);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = sdd_logic::Prng::seed_from_u64(4);
         for &id in collapsed.representatives() {
             let fault = universe.fault(id);
             let sat = generate_sat(&c, &view, fault);
@@ -306,10 +301,7 @@ mod tests {
                     // SAT out-muscled PODEM; still a valid test.
                     verify(&c, &view, fault, t);
                 }
-                (sat, podem) => panic!(
-                    "{}: SAT {sat:?} vs PODEM {podem:?}",
-                    fault.describe(&c)
-                ),
+                (sat, podem) => panic!("{}: SAT {sat:?} vs PODEM {podem:?}", fault.describe(&c)),
             }
         }
     }

@@ -2,8 +2,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sdd_logic::Prng;
 
 use sdd_fault::{FaultId, FaultUniverse};
 use sdd_logic::{BitVec, PatternBlock, LANES};
@@ -91,7 +90,7 @@ pub fn generate_detection(
 ) -> GeneratedTestSet {
     assert!(n > 0, "n-detection requires n >= 1");
     let width = view.inputs().len();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Prng::seed_from_u64(options.seed);
     let mut deficit: Vec<u32> = vec![n; faults.len()];
     let mut tests: Vec<BitVec> = Vec::new();
     let mut seen: HashSet<BitVec> = HashSet::new();
@@ -124,7 +123,11 @@ pub fn generate_detection(
     // ---- Deterministic phase: PODEM per remaining deficit. ----
     let mut podem = Podem::new(circuit, view)
         .with_backtrack_limit(options.backtrack_limit)
-        .with_fill(if n > 1 { FillMode::Random } else { FillMode::Zero })
+        .with_fill(if n > 1 {
+            FillMode::Random
+        } else {
+            FillMode::Zero
+        })
         .with_randomized_search(n > 1);
     let mut untestable = Vec::new();
     let mut aborted = Vec::new();
@@ -139,7 +142,14 @@ pub fn generate_detection(
         if !pending.is_empty() {
             let batch = std::mem::take(&mut pending);
             absorb_block(
-                view, universe, faults, &mut engine, &batch, &mut deficit, &mut tests, &mut seen,
+                view,
+                universe,
+                faults,
+                &mut engine,
+                &batch,
+                &mut deficit,
+                &mut tests,
+                &mut seen,
             );
             if deficit[pos] == 0 {
                 continue;
@@ -201,7 +211,14 @@ pub fn generate_detection(
     }
     if !pending.is_empty() {
         absorb_block(
-            view, universe, faults, &mut engine, &pending, &mut deficit, &mut tests, &mut seen,
+            view,
+            universe,
+            faults,
+            &mut engine,
+            &pending,
+            &mut deficit,
+            &mut tests,
+            &mut seen,
         );
     }
 
@@ -523,7 +540,8 @@ mod tests {
         let view = CombView::new(&c);
         let universe = FaultUniverse::enumerate(&c);
         let collapsed = universe.collapse_on(&c);
-        assert!(reverse_compact(&c, &view, &universe, collapsed.representatives(), &[], 1)
-            .is_empty());
+        assert!(
+            reverse_compact(&c, &view, &universe, collapsed.representatives(), &[], 1).is_empty()
+        );
     }
 }

@@ -1,268 +1,224 @@
-//! Criterion micro-benchmarks for the engines behind Table 6: fault
-//! simulation throughput, baseline selection (Procedures 1 and 2),
-//! dictionary construction, and diagnosis lookups.
+//! Micro-benchmarks for the engines behind Table 6: fault simulation
+//! throughput, baseline selection (Procedures 1 and 2), dictionary
+//! construction, and diagnosis lookups.
 //!
 //! These quantify the cost model the paper argues from: dictionary
 //! construction is a one-time offline cost, lookups are cheap, and the
 //! same/different dictionary's extra cost over pass/fail is baseline
 //! selection only.
+//!
+//! The harness is dependency-free (`harness = false`): each scenario is
+//! timed with [`std::time::Instant`] over a fixed number of iterations and
+//! reported as mean wall-clock time per iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
+use same_different::Experiment;
 use sdd_atpg::{random_patterns, AtpgOptions, Podem};
 use sdd_core::{
     replace_baselines_pass, select_baselines_once, PassFailDictionary, SameDifferentDictionary,
 };
-use sdd_logic::PatternBlock;
+use sdd_logic::{PatternBlock, Prng};
 use sdd_sim::{Engine, Partition};
-use same_different::Experiment;
+
+/// Times `iters` runs of `f` and prints the mean per-iteration time.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warm-up iteration keeps first-touch page faults out of the timing.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<40} {:>12.3} ms/iter  ({iters} iters)",
+        total.as_secs_f64() * 1e3 / f64::from(iters)
+    );
+}
 
 fn fixture(name: &str) -> (Experiment, Vec<sdd_logic::BitVec>) {
     let exp = Experiment::iscas89(name, 1).expect("known circuit");
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Prng::seed_from_u64(7);
     let width = exp.view().inputs().len();
     let tests = random_patterns(width, 128, &mut rng);
     (exp, tests)
 }
 
-fn bench_fault_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_simulation");
-    group.sample_size(10);
+fn bench_fault_simulation() {
     for name in ["s298", "s641", "s1423"] {
         let (exp, tests) = fixture(name);
-        group.bench_function(format!("ppsfp_block_{name}"), |b| {
-            let width = exp.view().inputs().len();
-            let mut engine = Engine::new(exp.circuit(), exp.view());
-            engine.load_block(&PatternBlock::from_patterns(width, &tests[..64]));
-            let faults: Vec<_> = exp
-                .faults()
-                .iter()
-                .map(|&id| exp.universe().fault(id))
-                .collect();
-            b.iter(|| {
-                let mut detected = 0u32;
-                for &fault in &faults {
-                    if engine.run_fault(fault).detect != 0 {
-                        detected += 1;
-                    }
+        let width = exp.view().inputs().len();
+        let mut engine = Engine::new(exp.circuit(), exp.view());
+        engine.load_block(&PatternBlock::from_patterns(width, &tests[..64]));
+        let faults: Vec<_> = exp
+            .faults()
+            .iter()
+            .map(|&id| exp.universe().fault(id))
+            .collect();
+        bench(&format!("ppsfp_block_{name}"), 10, || {
+            let mut detected = 0u32;
+            for &fault in &faults {
+                if engine.run_fault(fault).detect != 0 {
+                    detected += 1;
                 }
-                black_box(detected)
-            });
+            }
+            detected
         });
-        group.bench_function(format!("response_matrix_{name}"), |b| {
-            b.iter(|| black_box(exp.simulate(&tests)));
+        bench(&format!("response_matrix_{name}"), 10, || {
+            exp.simulate(&tests)
         });
     }
-    group.finish();
 }
 
-fn bench_baseline_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_selection");
-    group.sample_size(20);
+fn bench_baseline_selection() {
     for name in ["s298", "s641"] {
         let (exp, tests) = fixture(name);
         let matrix = exp.simulate(&tests);
         let order: Vec<usize> = (0..matrix.test_count()).collect();
-        group.bench_function(format!("procedure1_pass_{name}"), |b| {
-            b.iter(|| black_box(select_baselines_once(&matrix, &order, Some(10))));
+        bench(&format!("procedure1_pass_{name}"), 20, || {
+            select_baselines_once(&matrix, &order, Some(10))
         });
-        group.bench_function(format!("procedure1_exhaustive_{name}"), |b| {
-            b.iter(|| black_box(select_baselines_once(&matrix, &order, None)));
+        bench(&format!("procedure1_exhaustive_{name}"), 20, || {
+            select_baselines_once(&matrix, &order, None)
         });
         let (baselines, _) = select_baselines_once(&matrix, &order, Some(10));
-        group.bench_function(format!("procedure2_pass_{name}"), |b| {
-            b.iter_batched(
-                || baselines.clone(),
-                |mut baselines| black_box(replace_baselines_pass(&matrix, &mut baselines)),
-                BatchSize::SmallInput,
-            );
+        bench(&format!("procedure2_pass_{name}"), 20, || {
+            let mut baselines = baselines.clone();
+            replace_baselines_pass(&matrix, &mut baselines)
         });
     }
-    group.finish();
 }
 
-fn bench_dictionaries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dictionaries");
-    group.sample_size(20);
+fn bench_dictionaries() {
     let (exp, tests) = fixture("s641");
     let matrix = exp.simulate(&tests);
     let order: Vec<usize> = (0..matrix.test_count()).collect();
     let (baselines, _) = select_baselines_once(&matrix, &order, Some(10));
 
-    group.bench_function("build_pass_fail_s641", |b| {
-        b.iter(|| black_box(PassFailDictionary::build(&matrix)));
+    bench("build_pass_fail_s641", 20, || {
+        PassFailDictionary::build(&matrix)
     });
-    group.bench_function("build_same_different_s641", |b| {
-        b.iter(|| black_box(SameDifferentDictionary::build(&matrix, &baselines)));
+    bench("build_same_different_s641", 20, || {
+        SameDifferentDictionary::build(&matrix, &baselines)
     });
 
     let sd = SameDifferentDictionary::build(&matrix, &baselines);
     let pf = PassFailDictionary::build(&matrix);
     let observed = pf.signature(3).clone();
-    group.bench_function("diagnose_pass_fail_s641", |b| {
-        b.iter(|| black_box(pf.diagnose(&observed)));
-    });
+    bench("diagnose_pass_fail_s641", 20, || pf.diagnose(&observed));
     let responses: Vec<_> = (0..matrix.test_count())
         .map(|t| matrix.response(t, matrix.class(t, 3)))
         .collect();
-    group.bench_function("diagnose_same_different_s641", |b| {
-        b.iter(|| black_box(sd.diagnose(&responses)));
+    bench("diagnose_same_different_s641", 20, || {
+        sd.diagnose(&responses)
     });
-    group.finish();
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
+fn bench_partition() {
     let labels: Vec<u32> = (0..10_000u32).map(|i| i % 97).collect();
-    group.bench_function("refine_10k", |b| {
-        b.iter_batched(
-            || Partition::unit(10_000),
-            |mut p| {
-                p.refine(&labels);
-                black_box(p)
-            },
-            BatchSize::SmallInput,
-        );
+    bench("partition_refine_10k", 50, || {
+        let mut p = Partition::unit(10_000);
+        p.refine(&labels);
+        p
     });
-    group.finish();
 }
 
-fn bench_atpg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("atpg");
-    group.sample_size(10);
+fn bench_atpg() {
     let (exp, _) = fixture("s298");
-    group.bench_function("podem_all_faults_s298", |b| {
-        b.iter(|| {
-            let mut podem = Podem::new(exp.circuit(), exp.view());
-            let mut rng = StdRng::seed_from_u64(3);
-            let mut found = 0u32;
-            for &id in exp.faults() {
-                if podem
-                    .generate(exp.universe().fault(id), &mut rng)
-                    .test()
-                    .is_some()
-                {
-                    found += 1;
-                }
+    bench("podem_all_faults_s298", 10, || {
+        let mut podem = Podem::new(exp.circuit(), exp.view());
+        let mut rng = Prng::seed_from_u64(3);
+        let mut found = 0u32;
+        for &id in exp.faults() {
+            if podem
+                .generate(exp.universe().fault(id), &mut rng)
+                .test()
+                .is_some()
+            {
+                found += 1;
             }
-            black_box(found)
-        });
+        }
+        found
     });
-    group.bench_function("diagnostic_testset_s208", |b| {
-        let exp = Experiment::iscas89("s208", 1).expect("known circuit");
-        b.iter(|| black_box(exp.diagnostic_tests(&AtpgOptions::default())));
+    let s208 = Experiment::iscas89("s208", 1).expect("known circuit");
+    bench("diagnostic_testset_s208", 10, || {
+        s208.diagnostic_tests(&AtpgOptions::default())
     });
-    group.finish();
 }
 
-fn bench_alternative_engines(c: &mut Criterion) {
+fn bench_alternative_engines() {
     // The three fault-simulation strategies and the two ATPG engines,
     // head to head on the same circuit.
-    let mut group = c.benchmark_group("alternative_engines");
-    group.sample_size(10);
     let (exp, tests) = fixture("s298");
     let width = exp.view().inputs().len();
 
-    group.bench_function("deductive_block_s298", |b| {
-        b.iter(|| {
-            let mut detected = 0usize;
-            for test in &tests[..64] {
-                detected += sdd_sim::deductive::deduce(
-                    exp.circuit(),
-                    exp.view(),
-                    exp.universe(),
-                    test,
-                )
+    bench("deductive_block_s298", 10, || {
+        let mut detected = 0usize;
+        for test in &tests[..64] {
+            detected += sdd_sim::deductive::deduce(exp.circuit(), exp.view(), exp.universe(), test)
                 .detected()
                 .len();
-            }
-            black_box(detected)
-        });
+        }
+        detected
     });
-    group.bench_function("ppsfp_block_equivalent_s298", |b| {
-        let mut engine = Engine::new(exp.circuit(), exp.view());
-        engine.load_block(&PatternBlock::from_patterns(width, &tests[..64]));
-        let faults: Vec<_> = exp
-            .universe()
-            .iter()
-            .map(|(_, fault)| fault)
-            .collect();
-        b.iter(|| {
-            let mut detections = 0u32;
-            for &fault in &faults {
-                detections += engine.run_fault(fault).detect.count_ones();
-            }
-            black_box(detections)
-        });
+    let mut engine = Engine::new(exp.circuit(), exp.view());
+    engine.load_block(&PatternBlock::from_patterns(width, &tests[..64]));
+    let all_faults: Vec<_> = exp.universe().iter().map(|(_, fault)| fault).collect();
+    bench("ppsfp_block_equivalent_s298", 10, || {
+        let mut detections = 0u32;
+        for &fault in &all_faults {
+            detections += engine.run_fault(fault).detect.count_ones();
+        }
+        detections
     });
-    group.bench_function("sat_atpg_20_faults_s298", |b| {
-        let targets: Vec<_> = exp
-            .faults()
-            .iter()
-            .take(20)
-            .map(|&id| exp.universe().fault(id))
-            .collect();
-        b.iter(|| {
-            let mut found = 0u32;
-            for &fault in &targets {
-                if sdd_atpg::sat::generate_sat(exp.circuit(), exp.view(), fault)
-                    .test()
-                    .is_some()
-                {
-                    found += 1;
-                }
+    let targets: Vec<_> = exp
+        .faults()
+        .iter()
+        .take(20)
+        .map(|&id| exp.universe().fault(id))
+        .collect();
+    bench("sat_atpg_20_faults_s298", 10, || {
+        let mut found = 0u32;
+        for &fault in &targets {
+            if sdd_atpg::sat::generate_sat(exp.circuit(), exp.view(), fault)
+                .test()
+                .is_some()
+            {
+                found += 1;
             }
-            black_box(found)
-        });
+        }
+        found
     });
-    group.bench_function("podem_20_faults_s298", |b| {
-        let targets: Vec<_> = exp
-            .faults()
-            .iter()
-            .take(20)
-            .map(|&id| exp.universe().fault(id))
-            .collect();
-        b.iter(|| {
-            let mut podem = Podem::new(exp.circuit(), exp.view());
-            let mut rng = StdRng::seed_from_u64(5);
-            let mut found = 0u32;
-            for &fault in &targets {
-                if podem.generate(fault, &mut rng).test().is_some() {
-                    found += 1;
-                }
+    bench("podem_20_faults_s298", 10, || {
+        let mut podem = Podem::new(exp.circuit(), exp.view());
+        let mut rng = Prng::seed_from_u64(5);
+        let mut found = 0u32;
+        for &fault in &targets {
+            if podem.generate(fault, &mut rng).test().is_some() {
+                found += 1;
             }
-            black_box(found)
-        });
+        }
+        found
     });
-    group.finish();
 }
 
-fn bench_response_matrix_simulate(c: &mut Criterion) {
+fn bench_response_matrix_simulate() {
     // The cost of the whole Table 6 inner loop on one mid-size circuit.
-    let mut group = c.benchmark_group("table6_inner");
-    group.sample_size(10);
     let (exp, tests) = fixture("s953");
-    group.bench_function("simulate_and_select_s953", |b| {
-        b.iter(|| {
-            let matrix = exp.simulate(&tests);
-            let order: Vec<usize> = (0..matrix.test_count()).collect();
-            black_box(select_baselines_once(&matrix, &order, Some(10)))
-        });
+    bench("simulate_and_select_s953", 10, || {
+        let matrix = exp.simulate(&tests);
+        let order: Vec<usize> = (0..matrix.test_count()).collect();
+        select_baselines_once(&matrix, &order, Some(10))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fault_simulation,
-    bench_baseline_selection,
-    bench_dictionaries,
-    bench_partition,
-    bench_atpg,
-    bench_alternative_engines,
-    bench_response_matrix_simulate,
-);
-criterion_main!(benches);
+fn main() {
+    bench_fault_simulation();
+    bench_baseline_selection();
+    bench_dictionaries();
+    bench_partition();
+    bench_atpg();
+    bench_alternative_engines();
+    bench_response_matrix_simulate();
+}

@@ -16,16 +16,15 @@
 //! on 10-detection sets a single pass typically reaches the full-dictionary
 //! bound already (which is itself one of the paper's observations).
 
-use rand::seq::SliceRandom;
-use rand::{rngs::StdRng, SeedableRng};
+use same_different::Experiment;
 use sdd_atpg::AtpgOptions;
 use sdd_core::multi::{select_multi_baselines, MultiBaselineDictionary};
 use sdd_core::{
     prune_tests, replace_baselines, select_baselines, select_baselines_once, Procedure1Options,
     SameDifferentDictionary,
 };
+use sdd_logic::Prng;
 use sdd_sim::SpaceCompactor;
-use same_different::Experiment;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -35,7 +34,10 @@ fn main() {
     let ttype = args.next().unwrap_or_else(|| "diag".to_owned());
 
     let exp = Experiment::iscas89(&circuit, seed).expect("known circuit");
-    let atpg = AtpgOptions { seed, ..AtpgOptions::default() };
+    let atpg = AtpgOptions {
+        seed,
+        ..AtpgOptions::default()
+    };
     let tests = match ttype.as_str() {
         "10det" => exp.detection_tests(10, &atpg),
         _ => exp.diagnostic_tests(&atpg),
@@ -69,7 +71,11 @@ fn main() {
         let start = std::time::Instant::now();
         let s = select_baselines(
             &matrix,
-            &Procedure1Options { calls1, seed, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1,
+                seed,
+                ..Procedure1Options::default()
+            },
         );
         println!(
             "  CALLS_1 {calls1:>4}: {:>8} indistinguished after {:>4} calls ({:.2}s)",
@@ -81,11 +87,11 @@ fn main() {
 
     // ---- Ablation 3: test-order sensitivity. ----
     println!("\ntest-order sensitivity (20 random orders, single pass each):");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut order = order;
     let mut results: Vec<u64> = Vec::new();
     for _ in 0..20 {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         results.push(select_baselines_once(&matrix, &order, Some(10)).1);
     }
     results.sort_unstable();
@@ -102,7 +108,11 @@ fn main() {
     for calls1 in [1usize, 20] {
         let mut s = select_baselines(
             &matrix,
-            &Procedure1Options { calls1, seed, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1,
+                seed,
+                ..Procedure1Options::default()
+            },
         );
         let before = s.indistinguished_pairs;
         let after = replace_baselines(&matrix, &mut s.baselines);
@@ -122,7 +132,11 @@ fn main() {
         let compacted = compactor.apply(&matrix);
         let mut s = select_baselines(
             &compacted,
-            &Procedure1Options { calls1: 10, seed, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1: 10,
+                seed,
+                ..Procedure1Options::default()
+            },
         );
         let sd = replace_baselines(&compacted, &mut s.baselines);
         println!(

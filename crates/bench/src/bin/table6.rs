@@ -35,13 +35,25 @@ fn main() {
                     }
                 }
             }
-            "--seed" => config.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed u64"),
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed u64")
+            }
             "--calls1" => {
-                config.calls1 = args.next().and_then(|s| s.parse().ok()).expect("--calls1 n")
+                config.calls1 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--calls1 n")
             }
             "--lower" => {
                 let v = args.next().expect("--lower n|off");
-                config.lower = if v == "off" { None } else { Some(v.parse().expect("n")) };
+                config.lower = if v == "off" {
+                    None
+                } else {
+                    Some(v.parse().expect("n"))
+                };
             }
             "--fast" => {
                 config.calls1 = 10;

@@ -1,0 +1,109 @@
+//! Construction budgets: bounded-effort dictionary building.
+//!
+//! Procedures 1 and 2 are anytime algorithms — every intermediate state is a
+//! valid baseline assignment, and more calls only improve it. A [`Budget`]
+//! makes that explicit: the budgeted entry points
+//! ([`select_baselines_budgeted`](crate::select_baselines_budgeted),
+//! [`replace_baselines_budgeted`](crate::replace_baselines_budgeted)) stop
+//! when the wall-clock deadline or call cap is hit and return the best
+//! result found so far, flagging `completed = false` so the caller knows the
+//! search was cut short rather than converged.
+
+use std::time::Duration;
+
+/// An effort bound for dictionary construction: a wall-clock deadline, a cap
+/// on procedure calls, both, or neither.
+///
+/// The default budget is unlimited. A zero-duration deadline is legal and
+/// means "do no optimization work at all": the budgeted procedures still
+/// return a valid (fault-free-baseline) result, marked incomplete.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use sdd_core::Budget;
+///
+/// let b = Budget::deadline(Duration::from_millis(50)).and_max_calls(10);
+/// assert!(b.allows(0, Duration::ZERO));
+/// assert!(!b.allows(10, Duration::ZERO)); // call cap hit
+/// assert!(!b.allows(0, Duration::from_millis(50))); // deadline hit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    deadline: Option<Duration>,
+    max_calls: Option<usize>,
+}
+
+impl Budget {
+    /// No limits: procedures run to their own convergence criteria.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit construction to `deadline` of wall-clock time.
+    pub fn deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(deadline),
+            max_calls: None,
+        }
+    }
+
+    /// Limit construction to `max_calls` procedure calls (Procedure 1
+    /// passes, or Procedure 2 replacement passes).
+    pub fn max_calls(max_calls: usize) -> Self {
+        Self {
+            deadline: None,
+            max_calls: Some(max_calls),
+        }
+    }
+
+    /// Adds a wall-clock deadline to this budget.
+    pub fn and_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Adds a call cap to this budget.
+    pub fn and_max_calls(mut self, max_calls: usize) -> Self {
+        self.max_calls = Some(max_calls);
+        self
+    }
+
+    /// Whether another unit of work may start after `calls` completed calls
+    /// and `elapsed` wall-clock time.
+    pub fn allows(&self, calls: usize, elapsed: Duration) -> bool {
+        if self.max_calls.is_some_and(|cap| calls >= cap) {
+            return false;
+        }
+        if self.deadline.is_some_and(|d| elapsed >= d) {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_allows() {
+        let b = Budget::unlimited();
+        assert!(b.allows(usize::MAX - 1, Duration::from_secs(1 << 40)));
+    }
+
+    #[test]
+    fn zero_deadline_allows_nothing() {
+        let b = Budget::deadline(Duration::ZERO);
+        assert!(!b.allows(0, Duration::ZERO));
+    }
+
+    #[test]
+    fn caps_compose() {
+        let b = Budget::max_calls(3).and_deadline(Duration::from_secs(1));
+        assert!(b.allows(2, Duration::from_millis(999)));
+        assert!(!b.allows(3, Duration::ZERO));
+        assert!(!b.allows(0, Duration::from_secs(1)));
+    }
+}

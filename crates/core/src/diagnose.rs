@@ -10,12 +10,18 @@
 //! * [`SameDifferentDictionary::diagnose`] compares same/different
 //!   signatures computed against the stored baselines.
 //!
+//! Every entry point also has a `_masked` variant taking ternary
+//! [`MaskedBitVec`] observations — the shape corrupted tester datalogs
+//! actually produce (see `sdd_sim::CorruptionModel`). Masked diagnosis never
+//! panics on partial data: unknown bits are simply excluded from the
+//! comparison, and the result reports how much evidence supported it.
+//!
 //! [`two_phase_diagnose`] combines a cheap dictionary screen with exact
 //! fault simulation of the surviving candidates (the hybrid of the
 //! paper's references 8, 12 and 14).
 
 use sdd_fault::{FaultId, FaultUniverse};
-use sdd_logic::BitVec;
+use sdd_logic::{BitVec, MaskedBitVec, SddError};
 use sdd_netlist::{Circuit, CombView};
 use sdd_sim::reference;
 
@@ -45,19 +51,127 @@ impl DiagnosisReport {
     }
 }
 
+/// How much of the observation supported a noisy diagnosis — the
+/// degradation ladder masked matching walks down as data gets worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MatchQuality {
+    /// Every bit was known and the best candidates match all of them —
+    /// as strong as a clean-data exact match.
+    Exact,
+    /// Some bits were unknown, but the best candidates agree with every
+    /// known bit: consistent under the mask.
+    ConsistentUnderMask,
+    /// No candidate explains all known bits; the report is a best-effort
+    /// ranking by known-bit mismatches.
+    Ranked,
+}
+
+/// One candidate fault in a noisy diagnosis, with the evidence behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredCandidate {
+    /// Position in the dictionary's fault list.
+    pub fault: usize,
+    /// Known observation bits at which the stored behaviour disagrees.
+    pub mismatches: usize,
+    /// Known observation bits compared.
+    pub known: usize,
+    /// Smoothed agreement fraction in `(0, 1)`: `(known - mismatches + 1) /
+    /// (known + 2)`. A fully-unknown observation scores every fault `0.5`
+    /// (no evidence), and confidence grows with both agreement and the
+    /// amount of data that survived corruption.
+    pub confidence: f64,
+}
+
+impl ScoredCandidate {
+    fn new(fault: usize, mismatches: usize, known: usize) -> Self {
+        Self {
+            fault,
+            mismatches,
+            known,
+            confidence: (known - mismatches + 1) as f64 / (known + 2) as f64,
+        }
+    }
+}
+
+/// The outcome of matching a partial/noisy observation against a
+/// dictionary: a full ranking instead of a bare candidate set, because with
+/// missing data the caller needs to see how steeply confidence falls off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyDiagnosisReport {
+    /// Every fault, ranked by known-bit mismatches (ties in fault order).
+    pub ranking: Vec<ScoredCandidate>,
+    /// Faults tied at the minimum mismatch count (positions into the
+    /// dictionary's fault list) — the noisy analogue of
+    /// [`DiagnosisReport::candidates`].
+    pub best: Vec<usize>,
+    /// Where the result landed on the degradation ladder.
+    pub quality: MatchQuality,
+    /// Known observation bits compared (identical for every candidate:
+    /// the mask is a property of the observation).
+    pub known: usize,
+}
+
+impl NoisyDiagnosisReport {
+    /// The best candidate set, mirroring [`DiagnosisReport::candidates`].
+    pub fn candidates(&self) -> &[usize] {
+        &self.best
+    }
+
+    /// The minimum known-bit mismatch count.
+    pub fn distance(&self) -> usize {
+        self.ranking.first().map_or(0, |c| c.mismatches)
+    }
+
+    fn from_scores(mut scored: Vec<ScoredCandidate>, fully_known: bool) -> Self {
+        scored.sort_by(|a, b| a.mismatches.cmp(&b.mismatches).then(a.fault.cmp(&b.fault)));
+        let min = scored.first().map_or(0, |c| c.mismatches);
+        let best: Vec<usize> = scored
+            .iter()
+            .take_while(|c| c.mismatches == min)
+            .map(|c| c.fault)
+            .collect();
+        let known = scored.first().map_or(0, |c| c.known);
+        let quality = match (min, fully_known) {
+            (0, true) => MatchQuality::Exact,
+            (0, false) => MatchQuality::ConsistentUnderMask,
+            _ => MatchQuality::Ranked,
+        };
+        Self {
+            ranking: scored,
+            best,
+            quality,
+            known,
+        }
+    }
+}
+
 /// Matches an observed signature against stored per-fault signatures by
 /// Hamming distance.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `observed`'s width differs from the signatures'.
-pub fn match_signatures(signatures: &[BitVec], observed: &BitVec) -> DiagnosisReport {
+/// Returns [`SddError::Empty`] when there are no signatures to match, and
+/// [`SddError::WidthMismatch`] when `observed`'s width differs from the
+/// signatures'.
+pub fn match_signatures(
+    signatures: &[BitVec],
+    observed: &BitVec,
+) -> Result<DiagnosisReport, SddError> {
+    if signatures.is_empty() {
+        return Err(SddError::Empty {
+            context: "signature dictionary",
+        });
+    }
     let mut distance = usize::MAX;
     let mut nearest = Vec::new();
     for (fault, signature) in signatures.iter().enumerate() {
         let d = signature
             .hamming_distance(observed)
-            .expect("signature width mismatch");
+            .ok_or(SddError::WidthMismatch {
+                context: "observed signature",
+                expected: signature.len(),
+                actual: observed.len(),
+            })?;
         if d < distance {
             distance = d;
             nearest.clear();
@@ -66,29 +180,84 @@ pub fn match_signatures(signatures: &[BitVec], observed: &BitVec) -> DiagnosisRe
             nearest.push(fault);
         }
     }
-    let exact = if distance == 0 { nearest.clone() } else { Vec::new() };
-    DiagnosisReport {
+    let exact = if distance == 0 {
+        nearest.clone()
+    } else {
+        Vec::new()
+    };
+    Ok(DiagnosisReport {
         exact,
         nearest,
         distance,
+    })
+}
+
+/// Matches a partial observed signature against stored per-fault signatures
+/// by masked Hamming distance: only known observation bits count.
+///
+/// # Errors
+///
+/// Returns [`SddError::Empty`] when there are no signatures to match, and
+/// [`SddError::WidthMismatch`] when `observed`'s width differs from the
+/// signatures'.
+pub fn match_signatures_masked(
+    signatures: &[BitVec],
+    observed: &MaskedBitVec,
+) -> Result<NoisyDiagnosisReport, SddError> {
+    if signatures.is_empty() {
+        return Err(SddError::Empty {
+            context: "signature dictionary",
+        });
     }
+    let scored = signatures
+        .iter()
+        .enumerate()
+        .map(|(fault, signature)| {
+            let d = observed.distance_to(signature)?;
+            Ok(ScoredCandidate::new(fault, d.mismatches, d.known))
+        })
+        .collect::<Result<Vec<_>, SddError>>()?;
+    Ok(NoisyDiagnosisReport::from_scores(
+        scored,
+        observed.is_fully_known(),
+    ))
 }
 
 impl PassFailDictionary {
     /// Diagnoses from an observed pass/fail signature (bit `j` = test `t_j`
     /// failed on the tester).
     ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::WidthMismatch`] when the signature width is wrong
+    /// and [`SddError::Empty`] for an empty dictionary.
+    ///
     /// # Example
     ///
     /// ```
     /// use sdd_core::PassFailDictionary;
     /// let d = PassFailDictionary::build(&sdd_core::example::paper_example());
-    /// let report = d.diagnose(&"01".parse()?);
+    /// let report = d.diagnose(&"01".parse()?)?;
     /// assert_eq!(report.candidates(), &[0]); // f0 fails only t1
-    /// # Ok::<(), sdd_logic::ParseBitVecError>(())
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn diagnose(&self, observed: &BitVec) -> DiagnosisReport {
+    pub fn diagnose(&self, observed: &BitVec) -> Result<DiagnosisReport, SddError> {
         match_signatures(self.signatures(), observed)
+    }
+
+    /// Diagnoses from a partial pass/fail signature: tests whose outcome was
+    /// lost to datalog corruption are unknown bits and do not count against
+    /// any candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::WidthMismatch`] when the signature width is wrong
+    /// and [`SddError::Empty`] for an empty dictionary.
+    pub fn diagnose_masked(
+        &self,
+        observed: &MaskedBitVec,
+    ) -> Result<NoisyDiagnosisReport, SddError> {
+        match_signatures_masked(self.signatures(), observed)
     }
 }
 
@@ -96,9 +265,33 @@ impl SameDifferentDictionary {
     /// Diagnoses from the observed per-test output vectors: each response is
     /// first compared against the test's stored baseline to form the
     /// observed same/different signature, then matched.
-    pub fn diagnose(&self, responses: &[BitVec]) -> DiagnosisReport {
-        let observed = self.encode_observed(responses);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`]
+    /// when the responses do not line up with the dictionary and
+    /// [`SddError::Empty`] for an empty dictionary.
+    pub fn diagnose(&self, responses: &[BitVec]) -> Result<DiagnosisReport, SddError> {
+        let observed = self.encode_observed(responses)?;
         match_signatures(self.signatures(), &observed)
+    }
+
+    /// Diagnoses from partial per-test observations. A test's signature bit
+    /// is *different* as soon as any known bit disagrees with the baseline,
+    /// *same* only when the whole response is known and equal, and unknown
+    /// otherwise — so lost data can only widen, never corrupt, the match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`]
+    /// when the responses do not line up with the dictionary and
+    /// [`SddError::Empty`] for an empty dictionary.
+    pub fn diagnose_masked(
+        &self,
+        responses: &[MaskedBitVec],
+    ) -> Result<NoisyDiagnosisReport, SddError> {
+        let observed = self.encode_observed_masked(responses)?;
+        match_signatures_masked(self.signatures(), &observed)
     }
 }
 
@@ -107,29 +300,36 @@ impl FullDictionary {
     /// fault by the total number of output bits at which its stored
     /// responses differ from the observation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the response count or widths do not match.
-    pub fn diagnose(&self, responses: &[BitVec]) -> DiagnosisReport {
+    /// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`]
+    /// when the responses do not line up with the dictionary.
+    pub fn diagnose(&self, responses: &[BitVec]) -> Result<DiagnosisReport, SddError> {
         let matrix = self.matrix();
-        assert_eq!(
-            responses.len(),
-            matrix.test_count(),
-            "one response per test"
-        );
+        if responses.len() != matrix.test_count() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: matrix.test_count(),
+                actual: responses.len(),
+            });
+        }
         // Distance from the observation to each response class, per test.
-        let per_test: Vec<Vec<usize>> = (0..matrix.test_count())
-            .map(|test| {
-                (0..matrix.class_count(test) as u32)
-                    .map(|class| {
-                        matrix
-                            .response(test, class)
-                            .hamming_distance(&responses[test])
-                            .expect("response width mismatch")
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut per_test: Vec<Vec<usize>> = Vec::with_capacity(matrix.test_count());
+        for (test, observed) in responses.iter().enumerate() {
+            let mut classes = Vec::with_capacity(matrix.class_count(test));
+            for class in 0..matrix.class_count(test) as u32 {
+                let stored = matrix.response(test, class);
+                let d = stored
+                    .hamming_distance(observed)
+                    .ok_or(SddError::WidthMismatch {
+                        context: "observed response width",
+                        expected: stored.len(),
+                        actual: observed.len(),
+                    })?;
+                classes.push(d);
+            }
+            per_test.push(classes);
+        }
         let mut distance = usize::MAX;
         let mut nearest = Vec::new();
         for fault in 0..matrix.fault_count() {
@@ -144,12 +344,59 @@ impl FullDictionary {
                 nearest.push(fault);
             }
         }
-        let exact = if distance == 0 { nearest.clone() } else { Vec::new() };
-        DiagnosisReport {
+        let exact = if distance == 0 {
+            nearest.clone()
+        } else {
+            Vec::new()
+        };
+        Ok(DiagnosisReport {
             exact,
             nearest,
             distance,
+        })
+    }
+
+    /// Diagnoses from partial per-test observations by masked Hamming
+    /// distance: each fault is scored by how many *known* observed output
+    /// bits its stored responses contradict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`]
+    /// when the responses do not line up with the dictionary.
+    pub fn diagnose_masked(
+        &self,
+        responses: &[MaskedBitVec],
+    ) -> Result<NoisyDiagnosisReport, SddError> {
+        let matrix = self.matrix();
+        if responses.len() != matrix.test_count() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: matrix.test_count(),
+                actual: responses.len(),
+            });
         }
+        let mut per_test: Vec<Vec<usize>> = Vec::with_capacity(matrix.test_count());
+        let mut known_total = 0usize;
+        for (test, observed) in responses.iter().enumerate() {
+            let mut classes = Vec::with_capacity(matrix.class_count(test));
+            for class in 0..matrix.class_count(test) as u32 {
+                let d = observed.distance_to(&matrix.response(test, class))?;
+                classes.push(d.mismatches);
+            }
+            known_total += observed.known_count();
+            per_test.push(classes);
+        }
+        let fully_known = responses.iter().all(MaskedBitVec::is_fully_known);
+        let scored = (0..matrix.fault_count())
+            .map(|fault| {
+                let mismatches: usize = (0..matrix.test_count())
+                    .map(|test| per_test[test][matrix.class(test, fault) as usize])
+                    .sum();
+                ScoredCandidate::new(fault, mismatches, known_total)
+            })
+            .collect();
+        Ok(NoisyDiagnosisReport::from_scores(scored, fully_known))
     }
 }
 
@@ -174,6 +421,11 @@ pub fn observed_responses(
 /// Returns `(fault id, full-response distance)` sorted by distance — the
 /// same answer a full dictionary would give for the screened candidates, at
 /// a fraction of the storage.
+///
+/// # Errors
+///
+/// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`] when
+/// the observation does not line up with the dictionary or tests.
 pub fn two_phase_diagnose(
     circuit: &Circuit,
     view: &CombView,
@@ -182,27 +434,58 @@ pub fn two_phase_diagnose(
     tests: &[BitVec],
     observed: &[BitVec],
     dictionary: &SameDifferentDictionary,
-) -> Vec<(FaultId, usize)> {
-    let screened = dictionary.diagnose(observed);
-    let mut ranked: Vec<(FaultId, usize)> = screened
-        .candidates()
-        .iter()
-        .map(|&pos| {
-            let id = faults[pos];
-            let distance = tests
-                .iter()
-                .zip(observed)
-                .map(|(test, seen)| {
-                    reference::faulty_response(circuit, view, universe.fault(id), test)
-                        .hamming_distance(seen)
-                        .expect("width mismatch")
-                })
-                .sum();
-            (id, distance)
-        })
-        .collect();
+) -> Result<Vec<(FaultId, usize)>, SddError> {
+    let screened = dictionary.diagnose(observed)?;
+    let mut ranked = Vec::with_capacity(screened.candidates().len());
+    for &pos in screened.candidates() {
+        let id = faults[pos];
+        let mut distance = 0usize;
+        for (test, seen) in tests.iter().zip(observed) {
+            let simulated = reference::faulty_response(circuit, view, universe.fault(id), test);
+            distance += simulated
+                .hamming_distance(seen)
+                .ok_or(SddError::WidthMismatch {
+                    context: "observed response width",
+                    expected: simulated.len(),
+                    actual: seen.len(),
+                })?;
+        }
+        ranked.push((id, distance));
+    }
     ranked.sort_by_key(|&(id, d)| (d, id));
-    ranked
+    Ok(ranked)
+}
+
+/// Two-phase diagnosis from partial observations: the masked same/different
+/// screen picks candidates, then exact simulation re-ranks them by masked
+/// full-response distance (mismatches over known bits only).
+///
+/// # Errors
+///
+/// Returns [`SddError::CountMismatch`] / [`SddError::WidthMismatch`] when
+/// the observation does not line up with the dictionary or tests.
+pub fn two_phase_diagnose_masked(
+    circuit: &Circuit,
+    view: &CombView,
+    universe: &FaultUniverse,
+    faults: &[FaultId],
+    tests: &[BitVec],
+    observed: &[MaskedBitVec],
+    dictionary: &SameDifferentDictionary,
+) -> Result<Vec<(FaultId, usize)>, SddError> {
+    let screened = dictionary.diagnose_masked(observed)?;
+    let mut ranked = Vec::with_capacity(screened.candidates().len());
+    for &pos in screened.candidates() {
+        let id = faults[pos];
+        let mut distance = 0usize;
+        for (test, seen) in tests.iter().zip(observed) {
+            let simulated = reference::faulty_response(circuit, view, universe.fault(id), test);
+            distance += seen.distance_to(&simulated)?.mismatches;
+        }
+        ranked.push((id, distance));
+    }
+    ranked.sort_by_key(|&(id, d)| (d, id));
+    Ok(ranked)
 }
 
 #[cfg(test)]
@@ -215,10 +498,14 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn mv(s: &str) -> MaskedBitVec {
+        s.parse().unwrap()
+    }
+
     #[test]
     fn exact_match_wins() {
         let sigs = vec![bv("00"), bv("01"), bv("11")];
-        let r = match_signatures(&sigs, &bv("01"));
+        let r = match_signatures(&sigs, &bv("01")).unwrap();
         assert_eq!(r.exact, vec![1]);
         assert_eq!(r.candidates(), &[1]);
         assert_eq!(r.distance, 0);
@@ -227,16 +514,87 @@ mod tests {
     #[test]
     fn nearest_match_reports_all_ties() {
         let sigs = vec![bv("00"), bv("11"), bv("10")];
-        let r = match_signatures(&sigs, &bv("01"));
+        let r = match_signatures(&sigs, &bv("01")).unwrap();
         assert!(r.exact.is_empty());
         assert_eq!(r.nearest, vec![0, 1]); // both at distance 1
         assert_eq!(r.distance, 1);
     }
 
     #[test]
+    fn width_mismatch_is_an_error_not_a_panic() {
+        let sigs = vec![bv("00")];
+        let e = match_signatures(&sigs, &bv("000")).unwrap_err();
+        assert!(matches!(
+            e,
+            SddError::WidthMismatch {
+                expected: 2,
+                actual: 3,
+                ..
+            }
+        ));
+        let e = match_signatures_masked(&sigs, &mv("0X0")).unwrap_err();
+        assert!(matches!(e, SddError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_dictionary_is_an_error() {
+        assert!(matches!(
+            match_signatures(&[], &bv("01")),
+            Err(SddError::Empty { .. })
+        ));
+        assert!(matches!(
+            match_signatures_masked(&[], &mv("01")),
+            Err(SddError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn masked_match_walks_the_degradation_ladder() {
+        let sigs = vec![bv("00"), bv("01"), bv("11")];
+        // Fully known, exact.
+        let r = match_signatures_masked(&sigs, &mv("01")).unwrap();
+        assert_eq!(r.quality, MatchQuality::Exact);
+        assert_eq!(r.candidates(), &[1]);
+        assert_eq!(r.distance(), 0);
+        // Unknown bit: both consistent candidates surface.
+        let r = match_signatures_masked(&sigs, &mv("0X")).unwrap();
+        assert_eq!(r.quality, MatchQuality::ConsistentUnderMask);
+        assert_eq!(r.candidates(), &[0, 1]);
+        // Nothing consistent: ranked.
+        let r = match_signatures_masked(&sigs, &mv("10")).unwrap();
+        assert_eq!(r.quality, MatchQuality::Ranked);
+        assert_eq!(r.candidates(), &[0, 2]); // one mismatch each
+        assert_eq!(r.ranking.len(), 3);
+        assert!(r.ranking[0].confidence > r.ranking[2].confidence);
+    }
+
+    #[test]
+    fn fully_unknown_observation_is_uninformative_not_fatal() {
+        let sigs = vec![bv("00"), bv("01")];
+        let r = match_signatures_masked(&sigs, &mv("XX")).unwrap();
+        assert_eq!(r.candidates(), &[0, 1], "no evidence, all candidates");
+        assert_eq!(r.known, 0);
+        for c in &r.ranking {
+            assert!((c.confidence - 0.5).abs() < 1e-12, "no-evidence prior");
+        }
+    }
+
+    #[test]
+    fn confidence_grows_with_supporting_evidence() {
+        let a = ScoredCandidate::new(0, 0, 2);
+        let b = ScoredCandidate::new(0, 0, 40);
+        assert!(
+            b.confidence > a.confidence,
+            "more agreeing bits, more confidence"
+        );
+        let c = ScoredCandidate::new(0, 10, 40);
+        assert!(c.confidence < b.confidence, "mismatches cost confidence");
+    }
+
+    #[test]
     fn pass_fail_diagnosis_cannot_split_f2_f3() {
         let d = PassFailDictionary::build(&paper_example());
-        let r = d.diagnose(&bv("11"));
+        let r = d.diagnose(&bv("11")).unwrap();
         assert_eq!(r.exact, vec![2, 3], "pass/fail sees f2 and f3 identically");
     }
 
@@ -249,8 +607,52 @@ mod tests {
         let responses: Vec<BitVec> = (0..m.test_count())
             .map(|t| m.response(t, m.class(t, 2)))
             .collect();
-        let r = d.diagnose(&responses);
+        let r = d.diagnose(&responses).unwrap();
         assert_eq!(r.exact, vec![2], "same/different pinpoints f2");
+    }
+
+    #[test]
+    fn masked_same_different_agrees_with_clean_on_full_data() {
+        let m = paper_example();
+        let s = select_baselines(&m, &Procedure1Options::default());
+        let d = SameDifferentDictionary::build(&m, &s.baselines);
+        for fault in 0..m.fault_count() {
+            let responses: Vec<BitVec> = (0..m.test_count())
+                .map(|t| m.response(t, m.class(t, fault)))
+                .collect();
+            let clean = d.diagnose(&responses).unwrap();
+            let masked_responses: Vec<MaskedBitVec> = responses
+                .into_iter()
+                .map(MaskedBitVec::from_known)
+                .collect();
+            let noisy = d.diagnose_masked(&masked_responses).unwrap();
+            assert_eq!(noisy.candidates(), clean.candidates());
+            assert_eq!(noisy.quality, MatchQuality::Exact);
+        }
+    }
+
+    #[test]
+    fn masked_same_different_degrades_to_superset() {
+        let m = paper_example();
+        let s = select_baselines(&m, &Procedure1Options::default());
+        let d = SameDifferentDictionary::build(&m, &s.baselines);
+        let responses: Vec<BitVec> = (0..m.test_count())
+            .map(|t| m.response(t, m.class(t, 2)))
+            .collect();
+        // Mask the whole first response: candidates can only widen, and the
+        // true fault must stay in them.
+        let mut masked: Vec<MaskedBitVec> = responses
+            .iter()
+            .cloned()
+            .map(MaskedBitVec::from_known)
+            .collect();
+        masked[0] = MaskedBitVec::unknown(responses[0].len());
+        let noisy = d.diagnose_masked(&masked).unwrap();
+        assert!(
+            noisy.candidates().contains(&2),
+            "true fault survives masking"
+        );
+        assert!(noisy.quality <= MatchQuality::ConsistentUnderMask);
     }
 
     #[test]
@@ -258,10 +660,8 @@ mod tests {
         let m = paper_example();
         let d = FullDictionary::new(m);
         for fault in 0..4 {
-            let responses: Vec<BitVec> = (0..2)
-                .map(|t| d.response(fault, t))
-                .collect();
-            let r = d.diagnose(&responses);
+            let responses: Vec<BitVec> = (0..2).map(|t| d.response(fault, t)).collect();
+            let r = d.diagnose(&responses).unwrap();
             assert!(r.exact.contains(&fault), "fault {fault}");
             assert_eq!(r.distance, 0);
         }
@@ -272,9 +672,45 @@ mod tests {
         let m = paper_example();
         let d = FullDictionary::new(m);
         // A behaviour no modeled fault produces: 11 under both tests.
-        let r = d.diagnose(&[bv("11"), bv("11")]);
+        let r = d.diagnose(&[bv("11"), bv("11")]).unwrap();
         assert!(r.exact.is_empty());
         assert!(!r.nearest.is_empty());
         assert!(r.distance > 0);
+    }
+
+    #[test]
+    fn full_masked_diagnosis_matches_clean_and_survives_masking() {
+        let m = paper_example();
+        let d = FullDictionary::new(m);
+        for fault in 0..4usize {
+            let responses: Vec<BitVec> = (0..2).map(|t| d.response(fault, t)).collect();
+            let masked: Vec<MaskedBitVec> = responses
+                .iter()
+                .cloned()
+                .map(MaskedBitVec::from_known)
+                .collect();
+            let clean = d.diagnose(&responses).unwrap();
+            let noisy = d.diagnose_masked(&masked).unwrap();
+            assert_eq!(noisy.candidates(), clean.candidates(), "fault {fault}");
+            // Drop one whole test: the true fault must still be among the
+            // best candidates.
+            let mut partial = masked.clone();
+            partial[1] = MaskedBitVec::unknown(partial[1].len());
+            let degraded = d.diagnose_masked(&partial).unwrap();
+            assert!(degraded.candidates().contains(&fault), "fault {fault}");
+        }
+    }
+
+    #[test]
+    fn full_masked_count_mismatch_is_an_error() {
+        let d = FullDictionary::new(paper_example());
+        assert!(matches!(
+            d.diagnose_masked(&[MaskedBitVec::unknown(2)]),
+            Err(SddError::CountMismatch { .. })
+        ));
+        assert!(matches!(
+            d.diagnose(&[bv("11")]),
+            Err(SddError::CountMismatch { .. })
+        ));
     }
 }

@@ -38,11 +38,24 @@ pub struct ParseDictionaryError {
 
 impl fmt::Display for ParseDictionaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dictionary parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dictionary parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl Error for ParseDictionaryError {}
+
+impl From<ParseDictionaryError> for sdd_logic::SddError {
+    fn from(e: ParseDictionaryError) -> Self {
+        sdd_logic::SddError::Parse {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
 
 /// Serializes a same/different dictionary to the v1 text format.
 ///
@@ -83,26 +96,20 @@ pub fn write_same_different(dictionary: &SameDifferentDictionary) -> String {
 ///
 /// Returns [`ParseDictionaryError`] for malformed or inconsistent input
 /// (wrong magic, missing records, width mismatches, out-of-order indices).
-pub fn read_same_different(
-    text: &str,
-) -> Result<SameDifferentDictionary, ParseDictionaryError> {
+pub fn read_same_different(text: &str) -> Result<SameDifferentDictionary, ParseDictionaryError> {
     let err = |line: usize, message: &str| ParseDictionaryError {
         line,
         message: message.to_owned(),
     };
     let mut lines = text.lines().enumerate();
 
-    let (line_no, magic) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty input"))?;
+    let (line_no, magic) = lines.next().ok_or_else(|| err(1, "empty input"))?;
     if magic.trim() != "same-different-dictionary v1" {
         return Err(err(line_no + 1, "bad magic line"));
     }
 
     let mut read_header = |name: &str| -> Result<usize, ParseDictionaryError> {
-        let (idx, line) = lines
-            .next()
-            .ok_or_else(|| err(0, "truncated header"))?;
+        let (idx, line) = lines.next().ok_or_else(|| err(0, "truncated header"))?;
         let rest = line
             .strip_prefix(name)
             .ok_or_else(|| err(idx + 1, &format!("expected `{name} <count>`")))?;
@@ -225,7 +232,9 @@ mod tests {
     fn rejects_truncation_and_disorder() {
         let good = write_same_different(&sample());
         // Drop the last fault record.
-        let truncated: String = good.lines().take(good.lines().count() - 1)
+        let truncated: String = good
+            .lines()
+            .take(good.lines().count() - 1)
             .map(|l| format!("{l}\n"))
             .collect();
         assert!(read_same_different(&truncated).is_err());

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 pub mod diagnose;
 pub mod example;
 mod full;
@@ -54,14 +55,17 @@ mod same_different;
 mod sizes;
 pub mod slat;
 
+pub use budget::Budget;
 pub use full::FullDictionary;
 pub use ordering::{order_tests_for_resolution, resolution_profile};
 pub use pass_fail::PassFailDictionary;
 pub use procedure1::{
-    score_candidates, select_baselines, select_baselines_once, BaselineSelection,
-    Procedure1Options,
+    score_candidates, select_baselines, select_baselines_budgeted, select_baselines_once,
+    BaselineSelection, Procedure1Options,
 };
-pub use procedure2::{replace_baselines, replace_baselines_pass};
+pub use procedure2::{
+    replace_baselines, replace_baselines_budgeted, replace_baselines_pass, ReplacementOutcome,
+};
 pub use prune::prune_tests;
 pub use same_different::SameDifferentDictionary;
 pub use sizes::DictionarySizes;

@@ -9,7 +9,7 @@
 //! reaches full-dictionary resolution once every response class of a test
 //! is distinguishable by the chosen baselines.
 
-use sdd_logic::BitVec;
+use sdd_logic::{BitVec, SddError};
 use sdd_sim::{Partition, ResponseMatrix};
 
 use crate::score_candidates;
@@ -53,9 +53,7 @@ impl MultiBaselineDictionary {
         let baseline_vectors: Vec<Vec<BitVec>> = baselines
             .iter()
             .enumerate()
-            .map(|(test, classes)| {
-                classes.iter().map(|&c| matrix.response(test, c)).collect()
-            })
+            .map(|(test, classes)| classes.iter().map(|&c| matrix.response(test, c)).collect())
             .collect();
         let signatures = (0..matrix.fault_count())
             .map(|fault| {
@@ -115,16 +113,33 @@ impl MultiBaselineDictionary {
 
     /// Encodes observed per-test responses into a comparable signature.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the response count or widths do not match.
-    pub fn encode_observed(&self, responses: &[BitVec]) -> BitVec {
-        assert_eq!(responses.len(), self.baselines.len(), "one response per test");
+    /// Returns [`SddError::CountMismatch`] when the number of responses
+    /// differs from the test count, and [`SddError::WidthMismatch`] when a
+    /// response's width differs from its baselines'.
+    pub fn encode_observed(&self, responses: &[BitVec]) -> Result<BitVec, SddError> {
+        if responses.len() != self.baselines.len() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: self.baselines.len(),
+                actual: responses.len(),
+            });
+        }
         let mut bits = BitVec::new();
         for (observed, baselines) in responses.iter().zip(&self.baselines) {
-            bits.extend(baselines.iter().map(|b| observed != b));
+            for b in baselines {
+                if observed.len() != b.len() {
+                    return Err(SddError::WidthMismatch {
+                        context: "observed response width",
+                        expected: b.len(),
+                        actual: observed.len(),
+                    });
+                }
+                bits.push(observed != b);
+            }
         }
-        bits
+        Ok(bits)
     }
 }
 
@@ -222,7 +237,7 @@ mod tests {
             let responses: Vec<BitVec> = (0..m.test_count())
                 .map(|t| m.response(t, m.class(t, fault)))
                 .collect();
-            assert_eq!(d.encode_observed(&responses), *d.signature(fault));
+            assert_eq!(d.encode_observed(&responses).unwrap(), *d.signature(fault));
         }
     }
 

@@ -51,7 +51,7 @@ pub fn order_tests_for_resolution(matrix: &ResponseMatrix, baselines: &[u32]) ->
         }
         if best_gain == 0 {
             // Nothing left to distinguish: append the rest in original order.
-            order.extend(remaining.drain(..));
+            order.append(&mut remaining);
             break;
         }
         let test = remaining.remove(best_pos);
@@ -84,11 +84,7 @@ fn split_gain(matrix: &ResponseMatrix, test: usize, baseline: u32, pairs: &Parti
 /// let profile = resolution_profile(&m, &[2, 1], &[0, 1]);
 /// assert_eq!(profile, vec![6, 2, 0]); // C(4,2) → after t0 → after t1
 /// ```
-pub fn resolution_profile(
-    matrix: &ResponseMatrix,
-    baselines: &[u32],
-    order: &[usize],
-) -> Vec<u64> {
+pub fn resolution_profile(matrix: &ResponseMatrix, baselines: &[u32], order: &[usize]) -> Vec<u64> {
     let mut pairs = Partition::unit(matrix.fault_count());
     let mut profile = vec![pairs.indistinguished_pairs()];
     for &test in order {
@@ -148,10 +144,7 @@ mod tests {
         // Test 0 is useless (all faults alike); test 1 splits.
         let m = sdd_sim::ResponseMatrix::from_responses(
             vec![bv("0"), bv("0")],
-            &[
-                vec![bv("1"), bv("1")],
-                vec![bv("1"), bv("0")],
-            ],
+            &[vec![bv("1"), bv("1")], vec![bv("1"), bv("0")]],
         );
         let order = order_tests_for_resolution(&m, &[0, 0]);
         assert_eq!(order, vec![1, 0]);

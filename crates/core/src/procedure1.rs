@@ -15,12 +15,13 @@
 //! Tables 4 and 5 digit for digit.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sdd_logic::Prng;
 
 use sdd_sim::{Partition, ResponseMatrix};
+
+use crate::Budget;
 
 /// Knobs for [`select_baselines`]. Defaults are the paper's experimental
 /// settings: `LOWER = 10`, `CALLS_1 = 100`.
@@ -60,6 +61,10 @@ pub struct BaselineSelection {
     pub indistinguished_pairs: u64,
     /// Number of Procedure 1 calls performed.
     pub calls: usize,
+    /// `true` when the procedure stopped on its own convergence criteria;
+    /// `false` when a [`Budget`] cut the search short. The baselines are a
+    /// valid (best-so-far) assignment either way.
+    pub completed: bool,
 }
 
 /// Scores every candidate baseline of `test` against the current target
@@ -107,7 +112,11 @@ pub fn select_baselines_once(
     order: &[usize],
     lower: Option<usize>,
 ) -> (Vec<u32>, u64) {
-    assert_eq!(order.len(), matrix.test_count(), "order must cover all tests");
+    assert_eq!(
+        order.len(),
+        matrix.test_count(),
+        "order must cover all tests"
+    );
     let mut pairs = Partition::unit(matrix.fault_count());
     let mut baselines = vec![0u32; matrix.test_count()];
     for &test in order {
@@ -155,30 +164,65 @@ fn pick_with_lower(gains: &[u64], lower: Option<usize>) -> u32 {
 /// assert_eq!(s.indistinguished_pairs, 0);
 /// ```
 pub fn select_baselines(matrix: &ResponseMatrix, options: &Procedure1Options) -> BaselineSelection {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    select_baselines_budgeted(matrix, options, &Budget::unlimited())
+}
+
+/// [`select_baselines`] under an explicit [`Budget`].
+///
+/// The budget is checked before each Procedure 1 call; when it runs out the
+/// best assignment found so far is returned with
+/// [`completed`](BaselineSelection::completed) set to `false`. Because the
+/// all-fault-free guard candidate is scored before any call, even a
+/// zero-duration budget yields a valid selection — the pass/fail-equivalent
+/// dictionary — rather than an error.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use sdd_core::{select_baselines_budgeted, Budget, Procedure1Options};
+///
+/// let m = sdd_core::example::paper_example();
+/// let s = select_baselines_budgeted(
+///     &m,
+///     &Procedure1Options::default(),
+///     &Budget::deadline(Duration::ZERO),
+/// );
+/// assert!(!s.completed);
+/// assert!(s.baselines.iter().all(|&b| b == 0)); // fault-free fallback
+/// ```
+pub fn select_baselines_budgeted(
+    matrix: &ResponseMatrix,
+    options: &Procedure1Options,
+    budget: &Budget,
+) -> BaselineSelection {
+    let start = Instant::now();
+    let mut rng = Prng::seed_from_u64(options.seed);
     let bound = matrix.full_partition().indistinguished_pairs();
 
     // Guard candidate: the all-fault-free assignment (a pass/fail
     // dictionary). Greedy selection beats it in practice, but keeping it in
     // the pool makes "a same/different dictionary never resolves worse than
-    // a pass/fail dictionary of the same tests" a guarantee, not a trend.
+    // a pass/fail dictionary of the same tests" a guarantee, not a trend —
+    // and gives budgeted construction a valid zero-cost fallback.
     let fault_free = vec![0u32; matrix.test_count()];
     let mut best_pairs = crate::procedure2::indistinguished_with(matrix, &fault_free);
     let mut best_baselines = fault_free;
 
-    // First call: natural test order.
-    let natural: Vec<usize> = (0..matrix.test_count()).collect();
-    let (baselines, pairs) = select_baselines_once(matrix, &natural, options.lower);
-    if pairs < best_pairs {
-        best_pairs = pairs;
-        best_baselines = baselines;
-    }
-    let mut calls = 1;
+    let mut calls = 0;
     let mut stale = 0;
+    let mut completed = true;
 
-    let mut order = natural;
+    // First call uses the natural test order, restarts use random orders.
+    let mut order: Vec<usize> = (0..matrix.test_count()).collect();
     while stale < options.calls1 && calls < options.max_calls && best_pairs > bound {
-        order.shuffle(&mut rng);
+        if !budget.allows(calls, start.elapsed()) {
+            completed = false;
+            break;
+        }
+        if calls > 0 {
+            rng.shuffle(&mut order);
+        }
         let (baselines, pairs) = select_baselines_once(matrix, &order, options.lower);
         calls += 1;
         if pairs < best_pairs {
@@ -194,6 +238,7 @@ pub fn select_baselines(matrix: &ResponseMatrix, options: &Procedure1Options) ->
         baselines: best_baselines,
         indistinguished_pairs: best_pairs,
         calls,
+        completed,
     }
 }
 
@@ -261,5 +306,45 @@ mod tests {
     #[should_panic(expected = "cover all tests")]
     fn bad_order_panics() {
         select_baselines_once(&paper_example(), &[0], Some(10));
+    }
+
+    #[test]
+    fn zero_budget_returns_fault_free_fallback() {
+        let m = paper_example();
+        let s = select_baselines_budgeted(
+            &m,
+            &Procedure1Options::default(),
+            &Budget::deadline(std::time::Duration::ZERO),
+        );
+        assert!(!s.completed);
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.baselines, vec![0, 0], "pass/fail-equivalent fallback");
+        let pf = PassFailDictionary::build(&m);
+        assert_eq!(s.indistinguished_pairs, pf.indistinguished_pairs());
+        // The fallback is a real dictionary, not a stub.
+        let sd = SameDifferentDictionary::build(&m, &s.baselines);
+        assert_eq!(sd.indistinguished_pairs(), s.indistinguished_pairs);
+    }
+
+    #[test]
+    fn call_capped_budget_reports_incomplete() {
+        let m = paper_example();
+        // Force a situation where convergence needs more than 0 calls but
+        // the budget allows exactly 1.
+        let s = select_baselines_budgeted(&m, &Procedure1Options::default(), &Budget::max_calls(1));
+        assert_eq!(s.calls, 1);
+        // On the example one call reaches the bound, so the stop is natural.
+        assert!(s.completed);
+        assert_eq!(s.indistinguished_pairs, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted() {
+        let m = paper_example();
+        let opts = Procedure1Options::default();
+        let a = select_baselines(&m, &opts);
+        let b = select_baselines_budgeted(&m, &opts, &Budget::unlimited());
+        assert_eq!(a, b);
+        assert!(a.completed);
     }
 }

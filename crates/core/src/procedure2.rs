@@ -15,9 +15,11 @@
 //! even as replacements are accepted — matching the paper's sequential
 //! semantics exactly.
 
+use std::time::Instant;
+
 use sdd_sim::{Partition, ResponseMatrix};
 
-use crate::score_candidates;
+use crate::{score_candidates, Budget};
 
 /// One replacement pass over all tests. Returns `true` if any baseline was
 /// replaced.
@@ -79,8 +81,64 @@ pub fn replace_baselines_pass(matrix: &ResponseMatrix, baselines: &mut [u32]) ->
 /// assert_eq!(left, 0);
 /// ```
 pub fn replace_baselines(matrix: &ResponseMatrix, baselines: &mut [u32]) -> u64 {
-    while replace_baselines_pass(matrix, baselines) {}
-    indistinguished_with(matrix, baselines)
+    replace_baselines_budgeted(matrix, baselines, &Budget::unlimited()).indistinguished_pairs
+}
+
+/// The result of (budgeted) baseline replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplacementOutcome {
+    /// Fault pairs the dictionary with the final baselines leaves
+    /// indistinguished.
+    pub indistinguished_pairs: u64,
+    /// Replacement passes performed.
+    pub passes: usize,
+    /// `true` when replacement reached a local optimum; `false` when the
+    /// [`Budget`] stopped it while passes were still improving. The
+    /// baselines are valid — and no worse than the starting point — either
+    /// way, because accepted replacements only ever help.
+    pub completed: bool,
+}
+
+/// [`replace_baselines`] under an explicit [`Budget`].
+///
+/// The budget is checked before each pass; `baselines` always holds the best
+/// assignment reached when the function returns.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use sdd_core::{replace_baselines_budgeted, Budget};
+///
+/// let m = sdd_core::example::paper_example();
+/// let mut baselines = vec![2u32, 0];
+/// let out = replace_baselines_budgeted(&m, &mut baselines, &Budget::deadline(Duration::ZERO));
+/// assert!(!out.completed);
+/// assert_eq!(baselines, vec![2, 0], "untouched under a zero budget");
+/// ```
+pub fn replace_baselines_budgeted(
+    matrix: &ResponseMatrix,
+    baselines: &mut [u32],
+    budget: &Budget,
+) -> ReplacementOutcome {
+    let start = Instant::now();
+    let mut passes = 0;
+    let mut completed = true;
+    loop {
+        if !budget.allows(passes, start.elapsed()) {
+            completed = false;
+            break;
+        }
+        passes += 1;
+        if !replace_baselines_pass(matrix, baselines) {
+            break;
+        }
+    }
+    ReplacementOutcome {
+        indistinguished_pairs: indistinguished_with(matrix, baselines),
+        passes,
+        completed,
+    }
 }
 
 /// Counts the fault pairs a same/different dictionary with these baselines
@@ -141,6 +199,38 @@ mod tests {
             assert!(after <= before, "start {start:?}: {after} > {before}");
             assert_eq!(after, indistinguished_with(&m, &baselines));
         }
+    }
+
+    #[test]
+    fn zero_budget_leaves_baselines_untouched() {
+        let m = paper_example();
+        let mut baselines = vec![2u32, 0];
+        let before = indistinguished_with(&m, &baselines);
+        let out = replace_baselines_budgeted(
+            &m,
+            &mut baselines,
+            &Budget::deadline(std::time::Duration::ZERO),
+        );
+        assert!(!out.completed);
+        assert_eq!(out.passes, 0);
+        assert_eq!(out.indistinguished_pairs, before);
+        assert_eq!(baselines, vec![2, 0]);
+    }
+
+    #[test]
+    fn budgeted_replacement_is_best_so_far() {
+        let m = paper_example();
+        let mut capped = vec![2u32, 0];
+        let out = replace_baselines_budgeted(&m, &mut capped, &Budget::max_calls(1));
+        // One pass suffices on the example; a second (confirming) pass is
+        // cut off, so the search is not *proven* converged.
+        assert_eq!(out.indistinguished_pairs, 0);
+        assert_eq!(out.passes, 1);
+        assert!(!out.completed);
+        let mut full = vec![2u32, 0];
+        let unlimited = replace_baselines_budgeted(&m, &mut full, &Budget::unlimited());
+        assert!(unlimited.completed);
+        assert_eq!(capped, full, "the capped run already found the optimum");
     }
 
     #[test]

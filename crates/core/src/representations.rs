@@ -246,7 +246,7 @@ mod tests {
         assert_eq!(lists.diagnose_exact(&[1]), vec![0]);
         // f2, f3 fail both tests.
         assert_eq!(lists.diagnose_exact(&[0, 1]), vec![2, 3]);
-        let report = pf.diagnose(&"11".parse().unwrap());
+        let report = pf.diagnose(&"11".parse().unwrap()).unwrap();
         assert_eq!(report.exact, vec![2, 3]);
     }
 

@@ -1,6 +1,6 @@
 //! The same/different fault dictionary — the paper's contribution.
 
-use sdd_logic::BitVec;
+use sdd_logic::{BitVec, MaskedBitVec, SddError};
 use sdd_sim::{Partition, ResponseMatrix};
 
 use crate::DictionarySizes;
@@ -149,19 +149,70 @@ impl SameDifferentDictionary {
     /// comparable against the stored ones — this is what a tester computes
     /// on-line during diagnosis.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the number or width of responses does not match.
-    pub fn encode_observed(&self, responses: &[BitVec]) -> BitVec {
-        assert_eq!(responses.len(), self.baselines.len(), "one response per test");
+    /// Returns [`SddError::CountMismatch`] when the number of responses
+    /// differs from the test count, and [`SddError::WidthMismatch`] when a
+    /// response's width differs from its baseline's.
+    pub fn encode_observed(&self, responses: &[BitVec]) -> Result<BitVec, SddError> {
+        if responses.len() != self.baselines.len() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: self.baselines.len(),
+                actual: responses.len(),
+            });
+        }
         responses
             .iter()
             .zip(&self.baselines)
             .map(|(observed, baseline)| {
-                assert_eq!(observed.len(), baseline.len(), "response width mismatch");
-                observed != baseline
+                if observed.len() != baseline.len() {
+                    return Err(SddError::WidthMismatch {
+                        context: "observed response width",
+                        expected: baseline.len(),
+                        actual: observed.len(),
+                    });
+                }
+                Ok(observed != baseline)
             })
             .collect()
+    }
+
+    /// Encodes partial per-test observations into a partial signature. The
+    /// bit for test `j` is:
+    ///
+    /// * known `1` (*different*) when any known observed bit disagrees with
+    ///   the baseline — one surviving failing bit is proof enough;
+    /// * known `0` (*same*) when the response is fully known and equals the
+    ///   baseline — only complete data can prove sameness;
+    /// * unknown otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] when the number of responses
+    /// differs from the test count, and [`SddError::WidthMismatch`] when a
+    /// response's width differs from its baseline's.
+    pub fn encode_observed_masked(
+        &self,
+        responses: &[MaskedBitVec],
+    ) -> Result<MaskedBitVec, SddError> {
+        if responses.len() != self.baselines.len() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: self.baselines.len(),
+                actual: responses.len(),
+            });
+        }
+        let mut signature = MaskedBitVec::unknown(self.baselines.len());
+        for (test, (observed, baseline)) in responses.iter().zip(&self.baselines).enumerate() {
+            let d = observed.distance_to(baseline)?;
+            if d.mismatches > 0 {
+                signature.set_known(test, true);
+            } else if observed.is_fully_known() {
+                signature.set_known(test, false);
+            }
+        }
+        Ok(signature)
     }
 
     /// The partition of faults into signature-equal groups.
@@ -229,8 +280,38 @@ mod tests {
             let responses: Vec<BitVec> = (0..matrix.test_count())
                 .map(|t| matrix.response(t, matrix.class(t, fault)))
                 .collect();
-            assert_eq!(d.encode_observed(&responses), *d.signature(fault));
+            assert_eq!(d.encode_observed(&responses).unwrap(), *d.signature(fault));
         }
+    }
+
+    #[test]
+    fn encode_observed_rejects_misshapen_input() {
+        let matrix = paper_example();
+        let d = SameDifferentDictionary::build(&matrix, &[2, 1]);
+        assert!(matches!(
+            d.encode_observed(&[matrix.response(0, 0)]),
+            Err(SddError::CountMismatch { .. })
+        ));
+        assert!(matches!(
+            d.encode_observed(&["0".parse().unwrap(), "10".parse().unwrap()]),
+            Err(SddError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_observed_masked_three_way_semantics() {
+        let matrix = paper_example();
+        let d = SameDifferentDictionary::build(&matrix, &[2, 1]); // baselines 01, 10
+                                                                  // Test 0: known bit disagrees with baseline 01 -> different (1).
+                                                                  // Test 1: partially known, agrees so far -> unknown.
+        let partial: Vec<MaskedBitVec> = vec!["1X".parse().unwrap(), "1X".parse().unwrap()];
+        assert_eq!(
+            d.encode_observed_masked(&partial).unwrap().to_string(),
+            "1X"
+        );
+        // Fully known and equal to the baseline -> same (0).
+        let same: Vec<MaskedBitVec> = vec!["01".parse().unwrap(), "10".parse().unwrap()];
+        assert_eq!(d.encode_observed_masked(&same).unwrap().to_string(), "00");
     }
 
     #[test]

@@ -204,9 +204,7 @@ impl SiteIndex {
         let mut branch = std::collections::HashMap::new();
         for (id, fault) in universe.iter() {
             match fault.site {
-                FaultSite::Stem(net) => {
-                    stem[net.index()][usize::from(fault.stuck_at)] = Some(id)
-                }
+                FaultSite::Stem(net) => stem[net.index()][usize::from(fault.stuck_at)] = Some(id),
                 FaultSite::Branch { gate, pin } => {
                     branch.insert((gate.0, pin, fault.stuck_at), id);
                 }
@@ -429,5 +427,4 @@ mod tests {
         assert!(dom.len() <= eq.len(), "{} > {}", dom.len(), eq.len());
         assert!(dom.len() < u.len());
     }
-
 }

@@ -61,8 +61,7 @@ impl Defect {
         match self {
             Defect::StuckAt(fault) => fault.describe(circuit),
             Defect::MultipleStuckAt(faults) => {
-                let parts: Vec<String> =
-                    faults.iter().map(|f| f.describe(circuit)).collect();
+                let parts: Vec<String> = faults.iter().map(|f| f.describe(circuit)).collect();
                 format!("multiple: {}", parts.join(" + "))
             }
             Defect::Bridge { a, b, kind } => format!(
@@ -121,10 +120,17 @@ mod tests {
         let c = c17();
         let a = c.net("N10").unwrap();
         let b = c.net("N16").unwrap();
-        let bridge = Defect::Bridge { a, b, kind: BridgeKind::Or };
+        let bridge = Defect::Bridge {
+            a,
+            b,
+            kind: BridgeKind::Or,
+        };
         assert_eq!(bridge.plausible_sites(), vec![a, b]);
 
-        let stem = Defect::StuckAt(Fault { site: FaultSite::Stem(a), stuck_at: true });
+        let stem = Defect::StuckAt(Fault {
+            site: FaultSite::Stem(a),
+            stuck_at: true,
+        });
         assert_eq!(stem.plausible_sites(), vec![a]);
 
         let branch = Defect::StuckAt(Fault {

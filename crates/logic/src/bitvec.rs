@@ -99,7 +99,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn bit(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] >> (index % 64) & 1 == 1
     }
 
@@ -109,7 +113,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -124,7 +132,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn toggle(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1 << (index % 64);
     }
 
@@ -162,7 +174,10 @@ impl BitVec {
 
     /// Iterates over the bits in index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { vec: self, index: 0 }
+        Iter {
+            vec: self,
+            index: 0,
+        }
     }
 
     /// Words with bits beyond `len` forced to zero, so that equality and
@@ -283,7 +298,10 @@ impl FromStr for BitVec {
             .map(|(position, c)| match c {
                 '0' => Ok(false),
                 '1' => Ok(true),
-                offending => Err(ParseBitVecError { offending, position }),
+                offending => Err(ParseBitVecError {
+                    offending,
+                    position,
+                }),
             })
             .collect()
     }

@@ -1,0 +1,139 @@
+//! The workspace-wide error type.
+//!
+//! Production diagnosis pipelines feed this workspace data from outside the
+//! program: `.bench` netlists, serialized dictionaries, tester datalogs.
+//! Malformed or mismatched input must surface as an error with context — not
+//! an abort — so every fallible boundary converges on [`SddError`]. Crates
+//! higher in the stack define `From` impls turning their local error types
+//! (`NetlistError`, `ParseDictionaryError`, …) into `SddError`, letting a
+//! whole pipeline run under one `Result` type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ParseBitVecError;
+
+/// An error anywhere in the same/different diagnosis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SddError {
+    /// Two vectors that must be comparable have different widths.
+    WidthMismatch {
+        /// What was being compared (e.g. `"observed signature"`).
+        context: &'static str,
+        /// The width required.
+        expected: usize,
+        /// The width received.
+        actual: usize,
+    },
+    /// A collection has the wrong number of elements.
+    CountMismatch {
+        /// What was being counted (e.g. `"responses per test"`).
+        context: &'static str,
+        /// The count required.
+        expected: usize,
+        /// The count received.
+        actual: usize,
+    },
+    /// Text input failed to parse.
+    Parse {
+        /// 1-based line number, or 0 when no line applies.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structurally invalid input that is not a per-line parse failure.
+    Invalid {
+        /// What went wrong.
+        message: String,
+    },
+    /// There is nothing to match against (e.g. an empty dictionary).
+    Empty {
+        /// What was empty.
+        context: &'static str,
+    },
+}
+
+impl SddError {
+    /// Convenience constructor for [`SddError::Invalid`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SddError::Invalid {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SddError::WidthMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{context}: width {actual} does not match expected {expected}"
+            ),
+            SddError::CountMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(f, "{context}: got {actual}, expected {expected}"),
+            SddError::Parse { line: 0, message } => write!(f, "parse error: {message}"),
+            SddError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            SddError::Invalid { message } => write!(f, "invalid input: {message}"),
+            SddError::Empty { context } => write!(f, "{context} is empty"),
+        }
+    }
+}
+
+impl Error for SddError {}
+
+impl From<ParseBitVecError> for SddError {
+    fn from(e: ParseBitVecError) -> Self {
+        SddError::Parse {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVec;
+
+    #[test]
+    fn display_formats_include_context() {
+        let e = SddError::WidthMismatch {
+            context: "observed signature",
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("observed signature"));
+        assert!(e.to_string().contains('4'));
+        let e = SddError::Parse {
+            line: 7,
+            message: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = SddError::Parse {
+            line: 0,
+            message: "bad bit".into(),
+        };
+        assert!(!e.to_string().contains("line"));
+        assert!(SddError::Empty {
+            context: "dictionary"
+        }
+        .to_string()
+        .contains("empty"));
+    }
+
+    #[test]
+    fn bitvec_parse_errors_convert() {
+        let err = "01z".parse::<BitVec>().unwrap_err();
+        let e: SddError = err.into();
+        assert!(matches!(e, SddError::Parse { line: 0, .. }));
+        assert!(e.to_string().contains("position 2"));
+    }
+}

@@ -114,12 +114,7 @@ impl V5 {
     /// Five-valued XOR. Any `X` operand yields `X` (XOR has no controlling
     /// value).
     pub fn xor(self, rhs: Self) -> Self {
-        match (
-            self.good(),
-            self.faulty(),
-            rhs.good(),
-            rhs.faulty(),
-        ) {
+        match (self.good(), self.faulty(), rhs.good(), rhs.faulty()) {
             (Some(g1), Some(f1), Some(g2), Some(f2)) => Self::from_pair(g1 ^ g2, f1 ^ f2),
             _ => V5::X,
         }

@@ -36,8 +36,14 @@
 
 mod bitvec;
 mod block;
+mod error;
 mod fivev;
+mod masked;
+mod rng;
 
 pub use bitvec::{BitVec, Iter, ParseBitVecError};
 pub use block::{PatternBlock, LANES};
+pub use error::SddError;
 pub use fivev::V5;
+pub use masked::{MaskedBitVec, MaskedDistance};
+pub use rng::{Prng, SampleRange};

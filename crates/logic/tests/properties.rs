@@ -1,111 +1,157 @@
-//! Property-based tests for the logic-value layer.
+//! Property-style tests for the logic-value layer, driven by the in-tree
+//! seeded [`Prng`] so they run with no registry access.
 
-use proptest::prelude::*;
-use sdd_logic::{BitVec, PatternBlock, V5};
+use sdd_logic::{BitVec, MaskedBitVec, PatternBlock, Prng, V5};
 
-fn arb_bitvec(max_len: usize) -> impl Strategy<Value = BitVec> {
-    proptest::collection::vec(any::<bool>(), 0..max_len).prop_map(BitVec::from_iter)
+const CASES: usize = 64;
+
+fn random_bitvec(rng: &mut Prng, max_len: usize) -> BitVec {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_bool(0.5)).collect()
 }
 
-fn arb_v5() -> impl Strategy<Value = V5> {
-    prop_oneof![
-        Just(V5::Zero),
-        Just(V5::One),
-        Just(V5::X),
-        Just(V5::D),
-        Just(V5::Db),
-    ]
+fn random_v5(rng: &mut Prng) -> V5 {
+    *rng.choose(&[V5::Zero, V5::One, V5::X, V5::D, V5::Db])
+        .unwrap()
 }
 
-proptest! {
-    #[test]
-    fn display_parse_round_trip(v in arb_bitvec(300)) {
-        let text = v.to_string();
-        let back: BitVec = text.parse().unwrap();
-        prop_assert_eq!(back, v);
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = Prng::seed_from_u64(0x10);
+    for _ in 0..CASES {
+        let v = random_bitvec(&mut rng, 300);
+        let back: BitVec = v.to_string().parse().unwrap();
+        assert_eq!(back, v);
     }
+}
 
-    #[test]
-    fn push_get_agree(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+#[test]
+fn push_get_agree() {
+    let mut rng = Prng::seed_from_u64(0x11);
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..rng.gen_range(0..300))
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let v: BitVec = bits.iter().copied().collect();
-        prop_assert_eq!(v.len(), bits.len());
+        assert_eq!(v.len(), bits.len());
         for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(v.get(i), Some(b));
+            assert_eq!(v.get(i), Some(b));
         }
-        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+        assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
     }
+}
 
-    #[test]
-    fn hamming_is_a_metric(a in arb_bitvec(200), b in arb_bitvec(200), c in arb_bitvec(200)) {
-        // Only comparable lengths matter; force equal lengths by truncation.
+#[test]
+fn hamming_is_a_metric() {
+    let mut rng = Prng::seed_from_u64(0x12);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 200);
+        let b = random_bitvec(&mut rng, 200);
+        let c = random_bitvec(&mut rng, 200);
         let n = a.len().min(b.len()).min(c.len());
         let a: BitVec = a.iter().take(n).collect();
         let b: BitVec = b.iter().take(n).collect();
         let c: BitVec = c.iter().take(n).collect();
         let dab = a.hamming_distance(&b).unwrap();
         let dba = b.hamming_distance(&a).unwrap();
-        prop_assert_eq!(dab, dba, "symmetry");
-        prop_assert_eq!(a.hamming_distance(&a).unwrap(), 0, "identity");
-        prop_assert_eq!(dab == 0, a == b, "separation");
+        assert_eq!(dab, dba, "symmetry");
+        assert_eq!(a.hamming_distance(&a).unwrap(), 0, "identity");
+        assert_eq!(dab == 0, a == b, "separation");
         let dac = a.hamming_distance(&c).unwrap();
         let dcb = c.hamming_distance(&b).unwrap();
-        prop_assert!(dab <= dac + dcb, "triangle inequality");
+        assert!(dab <= dac + dcb, "triangle inequality");
     }
+}
 
-    #[test]
-    fn xor_popcount_is_hamming(a in arb_bitvec(200), b in arb_bitvec(200)) {
+#[test]
+fn xor_popcount_is_hamming() {
+    let mut rng = Prng::seed_from_u64(0x13);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 200);
+        let b = random_bitvec(&mut rng, 200);
         let n = a.len().min(b.len());
         let a: BitVec = a.iter().take(n).collect();
         let b: BitVec = b.iter().take(n).collect();
-        prop_assert_eq!((&a ^ &b).count_ones(), a.hamming_distance(&b).unwrap());
+        assert_eq!((&a ^ &b).count_ones(), a.hamming_distance(&b).unwrap());
     }
+}
 
-    #[test]
-    fn double_complement_is_identity(v in arb_bitvec(200)) {
-        prop_assert_eq!(!&!&v, v);
+#[test]
+fn double_complement_is_identity() {
+    let mut rng = Prng::seed_from_u64(0x14);
+    for _ in 0..CASES {
+        let v = random_bitvec(&mut rng, 200);
+        assert_eq!(!&!&v, v);
     }
+}
 
-    #[test]
-    fn toggle_is_involution(v in arb_bitvec(200), index in 0usize..200) {
-        prop_assume!(index < v.len().max(1) && !v.is_empty());
-        let index = index % v.len();
+#[test]
+fn toggle_is_involution() {
+    let mut rng = Prng::seed_from_u64(0x15);
+    for _ in 0..CASES {
+        let v = random_bitvec(&mut rng, 200);
+        if v.is_empty() {
+            continue;
+        }
+        let index = rng.gen_range(0..v.len());
         let mut w = v.clone();
         w.toggle(index);
-        prop_assert_ne!(&w, &v);
+        assert_ne!(w, v);
         w.toggle(index);
-        prop_assert_eq!(w, v);
+        assert_eq!(w, v);
     }
+}
 
-    #[test]
-    fn ordering_is_consistent_with_equality(a in arb_bitvec(100), b in arb_bitvec(100)) {
-        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+#[test]
+fn ordering_is_consistent_with_equality() {
+    let mut rng = Prng::seed_from_u64(0x16);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 100);
+        let b = random_bitvec(&mut rng, 100);
+        assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
     }
+}
 
-    #[test]
-    fn block_transposition_round_trip(
-        patterns in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 5), 1..64
-        )
-    ) {
-        let vecs: Vec<BitVec> = patterns.iter().map(|p| p.iter().copied().collect()).collect();
+#[test]
+fn block_transposition_round_trip() {
+    let mut rng = Prng::seed_from_u64(0x17);
+    for _ in 0..CASES {
+        let count = rng.gen_range(1..64);
+        let patterns: Vec<Vec<bool>> = (0..count)
+            .map(|_| (0..5).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let vecs: Vec<BitVec> = patterns
+            .iter()
+            .map(|p| p.iter().copied().collect())
+            .collect();
         let block = PatternBlock::from_patterns(5, &vecs);
         for (p, pattern) in patterns.iter().enumerate() {
             for (i, &bit) in pattern.iter().enumerate() {
-                prop_assert_eq!(block.input_word(i) >> p & 1 == 1, bit);
+                assert_eq!(block.input_word(i) >> p & 1 == 1, bit);
             }
         }
-        prop_assert_eq!(block.lane_mask().count_ones() as usize, patterns.len());
+        assert_eq!(block.lane_mask().count_ones() as usize, patterns.len());
     }
+}
 
-    #[test]
-    fn v5_de_morgan(a in arb_v5(), b in arb_v5()) {
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+#[test]
+fn v5_de_morgan() {
+    let mut rng = Prng::seed_from_u64(0x18);
+    for _ in 0..CASES {
+        let a = random_v5(&mut rng);
+        let b = random_v5(&mut rng);
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(b).not(), a.not().and(b.not()));
     }
+}
 
-    #[test]
-    fn v5_operations_sound_on_pairs(a in arb_v5(), b in arb_v5()) {
+#[test]
+fn v5_operations_sound_on_pairs() {
+    let mut rng = Prng::seed_from_u64(0x19);
+    for _ in 0..CASES {
+        let a = random_v5(&mut rng);
+        let b = random_v5(&mut rng);
         // Whenever the result is fully determined, it must agree with the
         // boolean operation applied to each machine separately, for every
         // completion of unknown operands.
@@ -113,14 +159,46 @@ proptest! {
             for (gb, fb) in completions(b) {
                 let and = a.and(b);
                 if let (Some(g), Some(f)) = (and.good(), and.faulty()) {
-                    prop_assert_eq!(g, ga && gb);
-                    prop_assert_eq!(f, fa && fb);
+                    assert_eq!(g, ga && gb);
+                    assert_eq!(f, fa && fb);
                 }
                 let xor = a.xor(b);
                 if let (Some(g), Some(f)) = (xor.good(), xor.faulty()) {
-                    prop_assert_eq!(g, ga ^ gb);
-                    prop_assert_eq!(f, fa ^ fb);
+                    assert_eq!(g, ga ^ gb);
+                    assert_eq!(f, fa ^ fb);
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn masked_distance_agrees_with_hamming_when_fully_known() {
+    let mut rng = Prng::seed_from_u64(0x1A);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 150);
+        let b: BitVec = (0..a.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let m = MaskedBitVec::from_known(a.clone());
+        let d = m.distance_to(&b).unwrap();
+        assert_eq!(Some(d.mismatches), a.hamming_distance(&b));
+        assert_eq!(d.known, a.len());
+    }
+}
+
+#[test]
+fn masking_bits_never_increases_masked_distance() {
+    let mut rng = Prng::seed_from_u64(0x1B);
+    for _ in 0..CASES {
+        let a = random_bitvec(&mut rng, 150);
+        let b: BitVec = (0..a.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let mut m = MaskedBitVec::from_known(a);
+        let mut last = m.distance_to(&b).unwrap().mismatches;
+        for i in 0..m.len() {
+            if rng.gen_bool(0.3) {
+                m.mask(i);
+                let d = m.distance_to(&b).unwrap().mismatches;
+                assert!(d <= last, "masking cannot add mismatches");
+                last = d;
             }
         }
     }

@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_text() {
-        assert!(matches!(parse("  \n# only comments\n"), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse("  \n# only comments\n"),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -338,8 +341,14 @@ mod tests {
             match (c.driver(net), back.driver(other)) {
                 (crate::Driver::Input, crate::Driver::Input) => {}
                 (
-                    crate::Driver::Gate { kind: k1, inputs: i1 },
-                    crate::Driver::Gate { kind: k2, inputs: i2 },
+                    crate::Driver::Gate {
+                        kind: k1,
+                        inputs: i1,
+                    },
+                    crate::Driver::Gate {
+                        kind: k2,
+                        inputs: i2,
+                    },
                 ) => {
                     assert_eq!(k1, k2);
                     let n1: Vec<&str> = i1.iter().map(|&i| c.net_name(i)).collect();

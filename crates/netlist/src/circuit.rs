@@ -243,6 +243,17 @@ impl fmt::Display for NetlistError {
 
 impl Error for NetlistError {}
 
+impl From<NetlistError> for sdd_logic::SddError {
+    fn from(e: NetlistError) -> Self {
+        match e {
+            NetlistError::Parse { line, message } => sdd_logic::SddError::Parse { line, message },
+            other => sdd_logic::SddError::Invalid {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 /// A validated gate-level netlist.
 ///
 /// A circuit is a set of named nets, each with exactly one [`Driver`], plus
@@ -427,7 +438,11 @@ impl CircuitBuilder {
     pub fn gate(&mut self, name: &str, kind: GateKind, inputs: Vec<NetId>) -> NetId {
         let id = self.net(name);
         let arity = inputs.len();
-        let arity_ok = if kind.is_unary() { arity == 1 } else { arity >= 1 };
+        let arity_ok = if kind.is_unary() {
+            arity == 1
+        } else {
+            arity >= 1
+        };
         if !arity_ok {
             self.errors.push(NetlistError::BadArity {
                 name: name.to_owned(),

@@ -172,12 +172,8 @@ mod tests {
     fn order_is_topological() {
         let c = sequential_sample();
         let v = CombView::new(&c);
-        let pos: std::collections::HashMap<NetId, usize> = v
-            .order()
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
+        let pos: std::collections::HashMap<NetId, usize> =
+            v.order().iter().enumerate().map(|(i, &n)| (n, i)).collect();
         assert_eq!(pos.len(), c.net_count(), "every net appears once");
         for net in c.nets() {
             for &fi in c.driver(net).fanin() {

@@ -11,8 +11,7 @@
 //!
 //! Generation is fully deterministic for a given `(profile, seed)` pair.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdd_logic::Prng;
 
 use crate::{Circuit, CircuitBuilder, GateKind, NetId};
 
@@ -35,38 +34,194 @@ pub struct Profile {
 /// Interface shapes of the sixteen ISCAS'89 circuits used in the paper's
 /// Table 6 (sizes as commonly reported for the benchmark suite).
 pub const ISCAS89_PROFILES: [Profile; 16] = [
-    Profile { name: "s208", inputs: 10, outputs: 1, dffs: 8, gates: 96 },
-    Profile { name: "s298", inputs: 3, outputs: 6, dffs: 14, gates: 119 },
-    Profile { name: "s344", inputs: 9, outputs: 11, dffs: 15, gates: 160 },
-    Profile { name: "s382", inputs: 3, outputs: 6, dffs: 21, gates: 158 },
-    Profile { name: "s386", inputs: 7, outputs: 7, dffs: 6, gates: 159 },
-    Profile { name: "s400", inputs: 3, outputs: 6, dffs: 21, gates: 162 },
-    Profile { name: "s420", inputs: 18, outputs: 1, dffs: 16, gates: 218 },
-    Profile { name: "s510", inputs: 19, outputs: 7, dffs: 6, gates: 211 },
-    Profile { name: "s526", inputs: 3, outputs: 6, dffs: 21, gates: 193 },
-    Profile { name: "s641", inputs: 35, outputs: 24, dffs: 19, gates: 379 },
-    Profile { name: "s820", inputs: 18, outputs: 19, dffs: 5, gates: 289 },
-    Profile { name: "s953", inputs: 16, outputs: 23, dffs: 29, gates: 395 },
-    Profile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529 },
-    Profile { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657 },
-    Profile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779 },
-    Profile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 5597 },
+    Profile {
+        name: "s208",
+        inputs: 10,
+        outputs: 1,
+        dffs: 8,
+        gates: 96,
+    },
+    Profile {
+        name: "s298",
+        inputs: 3,
+        outputs: 6,
+        dffs: 14,
+        gates: 119,
+    },
+    Profile {
+        name: "s344",
+        inputs: 9,
+        outputs: 11,
+        dffs: 15,
+        gates: 160,
+    },
+    Profile {
+        name: "s382",
+        inputs: 3,
+        outputs: 6,
+        dffs: 21,
+        gates: 158,
+    },
+    Profile {
+        name: "s386",
+        inputs: 7,
+        outputs: 7,
+        dffs: 6,
+        gates: 159,
+    },
+    Profile {
+        name: "s400",
+        inputs: 3,
+        outputs: 6,
+        dffs: 21,
+        gates: 162,
+    },
+    Profile {
+        name: "s420",
+        inputs: 18,
+        outputs: 1,
+        dffs: 16,
+        gates: 218,
+    },
+    Profile {
+        name: "s510",
+        inputs: 19,
+        outputs: 7,
+        dffs: 6,
+        gates: 211,
+    },
+    Profile {
+        name: "s526",
+        inputs: 3,
+        outputs: 6,
+        dffs: 21,
+        gates: 193,
+    },
+    Profile {
+        name: "s641",
+        inputs: 35,
+        outputs: 24,
+        dffs: 19,
+        gates: 379,
+    },
+    Profile {
+        name: "s820",
+        inputs: 18,
+        outputs: 19,
+        dffs: 5,
+        gates: 289,
+    },
+    Profile {
+        name: "s953",
+        inputs: 16,
+        outputs: 23,
+        dffs: 29,
+        gates: 395,
+    },
+    Profile {
+        name: "s1196",
+        inputs: 14,
+        outputs: 14,
+        dffs: 18,
+        gates: 529,
+    },
+    Profile {
+        name: "s1423",
+        inputs: 17,
+        outputs: 5,
+        dffs: 74,
+        gates: 657,
+    },
+    Profile {
+        name: "s5378",
+        inputs: 35,
+        outputs: 49,
+        dffs: 179,
+        gates: 2779,
+    },
+    Profile {
+        name: "s9234",
+        inputs: 36,
+        outputs: 39,
+        dffs: 211,
+        gates: 5597,
+    },
 ];
 
 /// Interface shapes of the ten ISCAS'85 combinational benchmarks (sizes as
 /// commonly reported). Not used by the paper's Table 6, but handy for
 /// combinational-only studies.
 pub const ISCAS85_PROFILES: [Profile; 10] = [
-    Profile { name: "c432", inputs: 36, outputs: 7, dffs: 0, gates: 160 },
-    Profile { name: "c499", inputs: 41, outputs: 32, dffs: 0, gates: 202 },
-    Profile { name: "c880", inputs: 60, outputs: 26, dffs: 0, gates: 383 },
-    Profile { name: "c1355", inputs: 41, outputs: 32, dffs: 0, gates: 546 },
-    Profile { name: "c1908", inputs: 33, outputs: 25, dffs: 0, gates: 880 },
-    Profile { name: "c2670", inputs: 233, outputs: 140, dffs: 0, gates: 1193 },
-    Profile { name: "c3540", inputs: 50, outputs: 22, dffs: 0, gates: 1669 },
-    Profile { name: "c5315", inputs: 178, outputs: 123, dffs: 0, gates: 2307 },
-    Profile { name: "c6288", inputs: 32, outputs: 32, dffs: 0, gates: 2416 },
-    Profile { name: "c7552", inputs: 207, outputs: 108, dffs: 0, gates: 3512 },
+    Profile {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        dffs: 0,
+        gates: 160,
+    },
+    Profile {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        dffs: 0,
+        gates: 202,
+    },
+    Profile {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        dffs: 0,
+        gates: 383,
+    },
+    Profile {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        dffs: 0,
+        gates: 546,
+    },
+    Profile {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        dffs: 0,
+        gates: 880,
+    },
+    Profile {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        dffs: 0,
+        gates: 1193,
+    },
+    Profile {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        dffs: 0,
+        gates: 1669,
+    },
+    Profile {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        dffs: 0,
+        gates: 2307,
+    },
+    Profile {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        dffs: 0,
+        gates: 2416,
+    },
+    Profile {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        dffs: 0,
+        gates: 3512,
+    },
 ];
 
 /// Looks up a profile by benchmark name, searching the ISCAS'89 suite then
@@ -112,7 +267,8 @@ pub fn profile(name: &str) -> Option<&'static Profile> {
 /// assert_eq!(a.dff_count(), 14);
 /// ```
 pub fn generate(profile: &Profile, seed: u64) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hash_name(profile.name));
+    let mut rng =
+        Prng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hash_name(profile.name));
     let mut b = CircuitBuilder::new(profile.name);
 
     // Sources: primary inputs and flip-flop outputs.
@@ -182,7 +338,10 @@ pub fn generate(profile: &Profile, seed: u64) -> Circuit {
             }
             let p = estimate_probability(kind, inputs.iter().map(|n| prob[n.index()]));
             let balance = (p - 0.5).abs();
-            if best.as_ref().is_none_or(|(_, _, bp)| balance < (bp - 0.5).abs()) {
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, bp)| balance < (bp - 0.5).abs())
+            {
                 best = Some((kind, inputs, p));
             }
             if balance <= 0.35 || attempt == 5 {
@@ -269,7 +428,7 @@ pub fn iscas89(name: &str, seed: u64) -> Option<Circuit> {
     profile(name).map(|p| generate(p, seed))
 }
 
-fn pick_kind(rng: &mut StdRng) -> GateKind {
+fn pick_kind(rng: &mut Prng) -> GateKind {
     // Weighted mix resembling ISCAS'89 gate statistics (NAND/NOR heavy,
     // some inverters and buffers, a sprinkle of XOR).
     match rng.gen_range(0..100) {
@@ -301,7 +460,7 @@ fn estimate_probability(kind: GateKind, inputs: impl Iterator<Item = f64>) -> f6
 
 /// Picks a net with locality: mostly from the most recent window (building
 /// depth), occasionally from anywhere (creating long reconvergent paths).
-fn pick_local(pool: &[NetId], rng: &mut StdRng) -> NetId {
+fn pick_local(pool: &[NetId], rng: &mut Prng) -> NetId {
     let window = pool.len().min(48);
     if rng.gen_bool(0.72) {
         pool[pool.len() - window + rng.gen_range(0..window)]
@@ -329,8 +488,8 @@ mod tests {
     fn profiles_cover_table6_circuits() {
         assert_eq!(ISCAS89_PROFILES.len(), 16);
         for name in [
-            "s208", "s298", "s344", "s382", "s386", "s400", "s420", "s510", "s526", "s641",
-            "s820", "s953", "s1196", "s1423", "s5378", "s9234",
+            "s208", "s298", "s344", "s382", "s386", "s400", "s420", "s510", "s526", "s641", "s820",
+            "s953", "s1196", "s1423", "s5378", "s9234",
         ] {
             assert!(profile(name).is_some(), "{name} missing");
         }
@@ -384,7 +543,11 @@ mod tests {
         let p = profile("s641").unwrap();
         let c = generate(p, 0);
         let v = CombView::new(&c);
-        assert!(v.depth() >= 5, "depth {} too shallow to be realistic", v.depth());
+        assert!(
+            v.depth() >= 5,
+            "depth {} too shallow to be realistic",
+            v.depth()
+        );
         assert_eq!(v.inputs().len(), p.inputs + p.dffs);
         assert_eq!(v.outputs().len(), p.outputs + p.dffs);
     }

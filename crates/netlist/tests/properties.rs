@@ -1,39 +1,51 @@
-//! Property-based tests for the netlist layer: generator validity, bench
-//! round-trips, and levelization invariants.
+//! Property-style tests for the netlist layer: generator validity, bench
+//! round-trips, and levelization invariants. Driven by the in-tree seeded
+//! [`Prng`] so they run without registry access.
 
-use proptest::prelude::*;
+use sdd_logic::Prng;
 use sdd_netlist::generator::{generate, Profile};
 use sdd_netlist::{bench, CombView, Driver};
 
-fn arb_profile() -> impl Strategy<Value = (Profile, u64)> {
-    (1usize..8, 1usize..5, 0usize..6, 5usize..80, 0u64..10_000).prop_map(
-        |(inputs, outputs, dffs, gates, seed)| {
-            (Profile { name: "prop", inputs, outputs, dffs, gates }, seed)
+const CASES: usize = 48;
+
+fn random_profile(rng: &mut Prng) -> (Profile, u64) {
+    (
+        Profile {
+            name: "prop",
+            inputs: rng.gen_range(1..8),
+            outputs: rng.gen_range(1..5),
+            dffs: rng.gen_range(0..6),
+            gates: rng.gen_range(5..80),
         },
+        rng.next_u64() % 10_000,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_circuits_validate_and_match_interface((profile, seed) in arb_profile()) {
+#[test]
+fn generated_circuits_validate_and_match_interface() {
+    let mut rng = Prng::seed_from_u64(0xE0);
+    for _ in 0..CASES {
+        let (profile, seed) = random_profile(&mut rng);
         let c = generate(&profile, seed);
-        prop_assert_eq!(c.input_count(), profile.inputs);
-        prop_assert_eq!(c.output_count(), profile.outputs);
-        prop_assert_eq!(c.dff_count(), profile.dffs);
+        assert_eq!(c.input_count(), profile.inputs);
+        assert_eq!(c.output_count(), profile.outputs);
+        assert_eq!(c.dff_count(), profile.dffs);
         // Everything observable.
         let counts = c.fanout_counts();
         for net in c.nets() {
-            prop_assert!(
+            assert!(
                 counts[net.index()] > 0 || c.outputs().contains(&net),
                 "dangling net"
             );
         }
     }
+}
 
-    #[test]
-    fn bench_round_trip_is_lossless((profile, seed) in arb_profile()) {
+#[test]
+fn bench_round_trip_is_lossless() {
+    let mut rng = Prng::seed_from_u64(0xE1);
+    for _ in 0..CASES {
+        let (profile, seed) = random_profile(&mut rng);
         let c = generate(&profile, seed);
         let text = bench::write(&c);
         let back = bench::parse(&text).unwrap();
@@ -45,9 +57,9 @@ proptest! {
         let mut lines_b: Vec<&str> = rewritten.lines().collect();
         lines_a.sort_unstable();
         lines_b.sort_unstable();
-        prop_assert_eq!(lines_a, lines_b);
-        prop_assert_eq!(back.net_count(), c.net_count());
-        prop_assert_eq!(back.gate_count(), c.gate_count());
+        assert_eq!(lines_a, lines_b);
+        assert_eq!(back.net_count(), c.net_count());
+        assert_eq!(back.gate_count(), c.gate_count());
         // Name-for-name identical structure.
         for net in c.nets() {
             let name = c.net_name(net);
@@ -55,24 +67,37 @@ proptest! {
             match (c.driver(net), back.driver(other)) {
                 (Driver::Input, Driver::Input) => {}
                 (Driver::Dff { data: d1 }, Driver::Dff { data: d2 }) => {
-                    prop_assert_eq!(c.net_name(*d1), back.net_name(*d2));
+                    assert_eq!(c.net_name(*d1), back.net_name(*d2));
                 }
-                (Driver::Gate { kind: k1, inputs: i1 }, Driver::Gate { kind: k2, inputs: i2 }) => {
-                    prop_assert_eq!(k1, k2);
+                (
+                    Driver::Gate {
+                        kind: k1,
+                        inputs: i1,
+                    },
+                    Driver::Gate {
+                        kind: k2,
+                        inputs: i2,
+                    },
+                ) => {
+                    assert_eq!(k1, k2);
                     let n1: Vec<&str> = i1.iter().map(|&i| c.net_name(i)).collect();
                     let n2: Vec<&str> = i2.iter().map(|&i| back.net_name(i)).collect();
-                    prop_assert_eq!(n1, n2);
+                    assert_eq!(n1, n2);
                 }
-                _ => prop_assert!(false, "driver kind changed for {}", name),
+                _ => panic!("driver kind changed for {}", name),
             }
         }
     }
+}
 
-    #[test]
-    fn levelization_is_topological_and_complete((profile, seed) in arb_profile()) {
+#[test]
+fn levelization_is_topological_and_complete() {
+    let mut rng = Prng::seed_from_u64(0xE2);
+    for _ in 0..CASES {
+        let (profile, seed) = random_profile(&mut rng);
         let c = generate(&profile, seed);
         let view = CombView::new(&c);
-        prop_assert_eq!(view.order().len(), c.net_count());
+        assert_eq!(view.order().len(), c.net_count());
         let mut position = vec![usize::MAX; c.net_count()];
         for (i, &net) in view.order().iter().enumerate() {
             position[net.index()] = i;
@@ -80,19 +105,23 @@ proptest! {
         for net in c.nets() {
             if let Driver::Gate { inputs, .. } = c.driver(net) {
                 for &source in inputs {
-                    prop_assert!(position[source.index()] < position[net.index()]);
-                    prop_assert!(view.level(source) < view.level(net));
+                    assert!(position[source.index()] < position[net.index()]);
+                    assert!(view.level(source) < view.level(net));
                 }
             }
         }
-        prop_assert_eq!(view.inputs().len(), profile.inputs + profile.dffs);
-        prop_assert_eq!(view.outputs().len(), profile.outputs + profile.dffs);
+        assert_eq!(view.inputs().len(), profile.inputs + profile.dffs);
+        assert_eq!(view.outputs().len(), profile.outputs + profile.dffs);
     }
+}
 
-    #[test]
-    fn same_seed_same_circuit_different_seed_usually_differs((profile, seed) in arb_profile()) {
+#[test]
+fn same_seed_same_circuit() {
+    let mut rng = Prng::seed_from_u64(0xE3);
+    for _ in 0..CASES {
+        let (profile, seed) = random_profile(&mut rng);
         let a = bench::write(&generate(&profile, seed));
         let b = bench::write(&generate(&profile, seed));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -210,11 +210,7 @@ impl Solver {
         loop {
             match self.pick_branch() {
                 None => {
-                    let model = self
-                        .assignment
-                        .iter()
-                        .map(|a| a.unwrap_or(false))
-                        .collect();
+                    let model = self.assignment.iter().map(|a| a.unwrap_or(false)).collect();
                     return Some(Outcome::Sat(model));
                 }
                 Some(var) => {
@@ -271,8 +267,7 @@ impl Solver {
                 if clause.len() == 1 {
                     // Unit clause watching its only literal.
                     keep.push(clause_index);
-                    if self.assignment[falsified.var().index()]
-                        .map(|v| v ^ clause[0].is_negative())
+                    if self.assignment[falsified.var().index()].map(|v| v ^ clause[0].is_negative())
                         == Some(false)
                         && clause[0].var() == falsified.var()
                     {
@@ -419,7 +414,7 @@ mod tests {
         for pigeon in &p {
             cnf.clause(pigeon.iter().map(|v| v.positive()));
         }
-        for hole in 0..2 {
+        for hole in [0, 1] {
             for i in 0..3 {
                 for j in i + 1..3 {
                     cnf.clause([p[i][hole].negative(), p[j][hole].negative()]);
@@ -457,9 +452,8 @@ mod tests {
 
     #[test]
     fn randomized_small_formulas_agree_with_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(12);
+        use sdd_logic::Prng;
+        let mut rng = Prng::seed_from_u64(12);
         for _ in 0..300 {
             let variables = rng.gen_range(1..=6usize);
             let clause_count = rng.gen_range(0..=12usize);
@@ -478,9 +472,10 @@ mod tests {
             let mut satisfiable = false;
             for bits in 0u32..1 << variables {
                 let model: Vec<bool> = (0..variables).map(|i| bits >> i & 1 == 1).collect();
-                if clauses.iter().all(|c| {
-                    c.iter().any(|&l| model[l.var().index()] ^ l.is_negative())
-                }) {
+                if clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&l| model[l.var().index()] ^ l.is_negative()))
+                {
                     satisfiable = true;
                     break;
                 }

@@ -1,0 +1,449 @@
+//! Deterministic corruption of tester datalogs.
+//!
+//! Real datalogs are imperfect: fail memories overflow and truncate the log,
+//! masked scan cells read `X`, and marginal strobes flip bits. Diagnosis
+//! robustness can only be tested against those defects if they can be
+//! *reproduced*, so [`CorruptionModel`] injects all three deterministically
+//! from a seed:
+//!
+//! * **truncation** — only the first `max_fail_entries` failing observations
+//!   survive, exactly like a full fail memory;
+//! * **masking** — each surviving observation bit is independently replaced
+//!   by unknown with probability `mask_rate`;
+//! * **bit flips** — each surviving known bit is independently flipped with
+//!   probability `flip_rate`.
+//!
+//! The output is per-test [`MaskedBitVec`]s: the ternary observations the
+//! noise-tolerant diagnosis entry points in `sdd-core` consume.
+
+use sdd_logic::{BitVec, MaskedBitVec, Prng, SddError};
+use sdd_netlist::Circuit;
+
+use crate::{FailLog, ScanChains};
+
+/// A deterministic model of datalog corruption.
+///
+/// The default model is *clean*: no truncation, no masking, no flips — under
+/// it [`observe`](CorruptionModel::observe) returns fully-known vectors equal
+/// to the true observed responses.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::library::demo_seq;
+/// use sdd_netlist::CombView;
+/// use sdd_sim::{reference, CorruptionModel, ScanChains};
+/// use sdd_logic::BitVec;
+///
+/// let c = demo_seq();
+/// let view = CombView::new(&c);
+/// let chains = ScanChains::single(&c);
+/// let width = view.inputs().len();
+/// let tests: Vec<BitVec> = vec![BitVec::zeros(width), !&BitVec::zeros(width)];
+/// let expected: Vec<BitVec> = tests
+///     .iter()
+///     .map(|t| reference::good_response(&c, &view, t))
+///     .collect();
+/// let clean = CorruptionModel::clean()
+///     .observe(&c, &chains, &expected, &expected)?;
+/// assert!(clean.iter().all(|o| o.is_fully_known()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionModel {
+    /// Fail-memory capacity: observations past this many logged fails are
+    /// lost. `None` keeps the whole log.
+    pub max_fail_entries: Option<usize>,
+    /// Probability that a surviving observation bit reads unknown.
+    pub mask_rate: f64,
+    /// Probability that a surviving known bit is flipped.
+    pub flip_rate: f64,
+    /// Seed for the masking and flip draws.
+    pub seed: u64,
+}
+
+impl Default for CorruptionModel {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+impl CorruptionModel {
+    /// A model that corrupts nothing.
+    pub fn clean() -> Self {
+        Self {
+            max_fail_entries: None,
+            mask_rate: 0.0,
+            flip_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the fail-memory capacity.
+    pub fn with_truncation(mut self, max_fail_entries: usize) -> Self {
+        self.max_fail_entries = Some(max_fail_entries);
+        self
+    }
+
+    /// Sets the per-bit masking probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn with_mask_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "mask rate {rate} outside [0, 1]"
+        );
+        self.mask_rate = rate;
+        self
+    }
+
+    /// Sets the per-bit flip probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn with_flip_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "flip rate {rate} outside [0, 1]"
+        );
+        self.flip_rate = rate;
+        self
+    }
+
+    /// Sets the seed for masking and flip draws.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Truncates a fail log to the fail-memory capacity.
+    pub fn truncate(&self, log: &FailLog) -> TruncatedLog {
+        match self.max_fail_entries {
+            Some(keep) if keep < log.entries.len() => TruncatedLog {
+                cut_test: Some(log.entries[keep].test),
+                log: FailLog {
+                    entries: log.entries[..keep].to_vec(),
+                },
+                complete: false,
+            },
+            _ => TruncatedLog {
+                log: log.clone(),
+                complete: true,
+                cut_test: None,
+            },
+        }
+    }
+
+    /// The full corruption pipeline: logs the fails of `observed` against
+    /// `expected`, truncates the log, reconstructs ternary responses, then
+    /// applies masking and bit flips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] when `observed` and `expected`
+    /// have different lengths, and [`SddError::WidthMismatch`] when any pair
+    /// of responses differs in width.
+    pub fn observe(
+        &self,
+        circuit: &Circuit,
+        chains: &ScanChains,
+        observed: &[BitVec],
+        expected: &[BitVec],
+    ) -> Result<Vec<MaskedBitVec>, SddError> {
+        if observed.len() != expected.len() {
+            return Err(SddError::CountMismatch {
+                context: "responses per test",
+                expected: expected.len(),
+                actual: observed.len(),
+            });
+        }
+        for (test, (seen, good)) in observed.iter().zip(expected).enumerate() {
+            if seen.len() != good.len() {
+                return Err(SddError::WidthMismatch {
+                    context: "observed response width",
+                    expected: good.len(),
+                    actual: seen.len(),
+                });
+            }
+            let _ = test;
+        }
+        let log = FailLog::from_responses(circuit, chains, observed, expected);
+        let truncated = self.truncate(&log);
+        let mut responses = truncated.reconstruct(circuit, chains, expected);
+        self.degrade(&mut responses);
+        Ok(responses)
+    }
+
+    /// Applies masking and bit flips in place (seeded, deterministic).
+    pub fn degrade(&self, responses: &mut [MaskedBitVec]) {
+        if self.mask_rate == 0.0 && self.flip_rate == 0.0 {
+            return;
+        }
+        let mut rng = Prng::seed_from_u64(self.seed);
+        for response in responses.iter_mut() {
+            for i in 0..response.len() {
+                if response.bit(i).is_none() {
+                    continue;
+                }
+                if self.mask_rate > 0.0 && rng.gen_bool(self.mask_rate) {
+                    response.mask(i);
+                } else if self.flip_rate > 0.0 && rng.gen_bool(self.flip_rate) {
+                    response.flip(i);
+                }
+            }
+        }
+    }
+}
+
+/// A fail log after (possible) fail-memory truncation, remembering where the
+/// cut fell so reconstruction can tell known bits from lost ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedLog {
+    /// The surviving entries.
+    pub log: FailLog,
+    /// `true` when nothing was dropped.
+    pub complete: bool,
+    /// The test index of the first dropped entry, when truncated.
+    pub cut_test: Option<u32>,
+}
+
+impl TruncatedLog {
+    /// Reconstructs ternary observed responses from the surviving log.
+    ///
+    /// Knowledge follows from what the tester definitely saw:
+    ///
+    /// * tests strictly before the cut logged every fail — fully known;
+    /// * the cut test's surviving fail entries are known (they were logged),
+    ///   its other bits are unknown (more fails may have been dropped);
+    /// * tests after the cut are fully unknown.
+    ///
+    /// With a complete log every test is fully known and the values equal
+    /// [`FailLog::to_responses`].
+    pub fn reconstruct(
+        &self,
+        circuit: &Circuit,
+        chains: &ScanChains,
+        expected: &[BitVec],
+    ) -> Vec<MaskedBitVec> {
+        let values = self.log.to_responses(circuit, chains, expected);
+        match self.cut_test {
+            None => values.into_iter().map(MaskedBitVec::from_known).collect(),
+            Some(cut) => {
+                let mut responses: Vec<MaskedBitVec> = values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(test, v)| {
+                        if (test as u32) < cut {
+                            MaskedBitVec::from_known(v)
+                        } else {
+                            MaskedBitVec::unknown(v.len())
+                        }
+                    })
+                    .collect();
+                // The cut test's logged fails are certain: the tester saw
+                // them mismatch the expected value.
+                for entry in &self.log.entries {
+                    if entry.test != cut {
+                        continue;
+                    }
+                    if let Some(output) = chains.output_of(circuit, entry.observation) {
+                        if let Some(response) = responses.get_mut(entry.test as usize) {
+                            if output < response.len() {
+                                let good = expected[entry.test as usize].bit(output);
+                                response.set_known(output, !good);
+                            }
+                        }
+                    }
+                }
+                responses
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sdd_fault::FaultUniverse;
+    use sdd_logic::Prng;
+    use sdd_netlist::generator::{generate, Profile};
+    use sdd_netlist::library::demo_seq;
+    use sdd_netlist::CombView;
+
+    fn all_patterns(width: usize) -> Vec<BitVec> {
+        (0u32..1 << width)
+            .map(|w| (0..width).map(|i| w >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn clean_model_reproduces_responses_exactly() {
+        let c = demo_seq();
+        let view = CombView::new(&c);
+        let chains = ScanChains::single(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let tests = all_patterns(view.inputs().len());
+        let expected: Vec<BitVec> = tests
+            .iter()
+            .map(|t| reference::good_response(&c, &view, t))
+            .collect();
+        let fault = universe.fault(sdd_fault::FaultId(1));
+        let observed: Vec<BitVec> = tests
+            .iter()
+            .map(|t| reference::faulty_response(&c, &view, fault, t))
+            .collect();
+        let masked = CorruptionModel::clean()
+            .observe(&c, &chains, &observed, &expected)
+            .unwrap();
+        assert_eq!(masked.len(), observed.len());
+        for (m, o) in masked.iter().zip(&observed) {
+            assert!(m.is_fully_known());
+            assert_eq!(m.values(), o);
+        }
+    }
+
+    #[test]
+    fn mismatched_inputs_are_errors_not_panics() {
+        let c = demo_seq();
+        let chains = ScanChains::single(&c);
+        let model = CorruptionModel::clean();
+        let e = model
+            .observe(&c, &chains, &[BitVec::zeros(4)], &[])
+            .unwrap_err();
+        assert!(matches!(e, SddError::CountMismatch { .. }));
+        let e = model
+            .observe(&c, &chains, &[BitVec::zeros(3)], &[BitVec::zeros(4)])
+            .unwrap_err();
+        assert!(matches!(e, SddError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn truncation_marks_completeness_and_cut() {
+        let log = FailLog {
+            entries: vec![
+                FailEntry {
+                    test: 0,
+                    observation: Observation::PrimaryOutput(0),
+                },
+                FailEntry {
+                    test: 2,
+                    observation: Observation::PrimaryOutput(1),
+                },
+                FailEntry {
+                    test: 2,
+                    observation: Observation::PrimaryOutput(3),
+                },
+                FailEntry {
+                    test: 5,
+                    observation: Observation::PrimaryOutput(0),
+                },
+            ],
+        };
+        let full = CorruptionModel::clean().truncate(&log);
+        assert!(full.complete);
+        assert_eq!(full.log, log);
+
+        let cut = CorruptionModel::clean().with_truncation(2).truncate(&log);
+        assert!(!cut.complete);
+        assert_eq!(cut.cut_test, Some(2));
+        assert_eq!(cut.log.entries.len(), 2);
+    }
+
+    use crate::{FailEntry, Observation};
+
+    /// The load-bearing property: under any truncation point, every bit the
+    /// truncated reconstruction claims to know agrees with the responses
+    /// reconstructed from the complete log.
+    #[test]
+    fn truncated_reconstruction_agrees_with_full_log_on_known_bits() {
+        let mut rng = Prng::seed_from_u64(0xC0);
+        for case in 0..24 {
+            let profile = Profile {
+                name: "corrupt",
+                inputs: rng.gen_range(2..5),
+                outputs: rng.gen_range(1..4),
+                dffs: rng.gen_range(1..5),
+                gates: rng.gen_range(8..40),
+            };
+            let c = generate(&profile, 0xBEEF + case);
+            let view = CombView::new(&c);
+            let chains = ScanChains::balanced(&c, rng.gen_range(1..3));
+            let universe = FaultUniverse::enumerate(&c);
+            let tests = all_patterns(view.inputs().len());
+            let expected: Vec<BitVec> = tests
+                .iter()
+                .map(|t| reference::good_response(&c, &view, t))
+                .collect();
+            let fault = universe.fault(sdd_fault::FaultId(
+                (rng.next_u64() % universe.len() as u64) as u32,
+            ));
+            let observed: Vec<BitVec> = tests
+                .iter()
+                .map(|t| reference::faulty_response(&c, &view, fault, t))
+                .collect();
+            let log = FailLog::from_responses(&c, &chains, &observed, &expected);
+            let full = log.to_responses(&c, &chains, &expected);
+            assert_eq!(full, observed, "lossless baseline");
+            for keep in 0..=log.entries.len() {
+                let truncated = CorruptionModel::clean()
+                    .with_truncation(keep)
+                    .truncate(&log);
+                let masked = truncated.reconstruct(&c, &chains, &expected);
+                assert_eq!(masked.len(), full.len());
+                for (test, (m, f)) in masked.iter().zip(&full).enumerate() {
+                    for i in 0..m.len() {
+                        if let Some(bit) = m.bit(i) {
+                            assert_eq!(
+                                bit,
+                                f.bit(i),
+                                "case {case} keep {keep} test {test} bit {i}"
+                            );
+                        }
+                    }
+                }
+                // Truncating to the full length loses nothing.
+                if keep == log.entries.len() {
+                    assert!(masked.iter().all(MaskedBitVec::is_fully_known));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masking_and_flips_are_deterministic_and_bounded() {
+        let c = demo_seq();
+        let view = CombView::new(&c);
+        let chains = ScanChains::single(&c);
+        let tests = all_patterns(view.inputs().len());
+        let expected: Vec<BitVec> = tests
+            .iter()
+            .map(|t| reference::good_response(&c, &view, t))
+            .collect();
+        let model = CorruptionModel::clean()
+            .with_mask_rate(0.3)
+            .with_flip_rate(0.1)
+            .with_seed(42);
+        let a = model.observe(&c, &chains, &expected, &expected).unwrap();
+        let b = model.observe(&c, &chains, &expected, &expected).unwrap();
+        assert_eq!(a, b, "same seed, same corruption");
+        let total: usize = a.iter().map(MaskedBitVec::len).sum();
+        let unknown: usize = a.iter().map(MaskedBitVec::unknown_count).sum();
+        assert!(unknown > 0, "30% masking should hit something");
+        assert!(unknown < total, "30% masking should not hit everything");
+        let other = model
+            .with_seed(43)
+            .observe(&c, &chains, &expected, &expected)
+            .unwrap();
+        assert_ne!(a, other, "different seed, different corruption");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_panics_at_construction() {
+        let _ = CorruptionModel::clean().with_mask_rate(1.5);
+    }
+}

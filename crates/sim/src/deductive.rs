@@ -357,8 +357,7 @@ mod tests {
         let view = CombView::new(&c);
         let universe = FaultUniverse::enumerate(&c);
         let width = view.inputs().len();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = sdd_logic::Prng::seed_from_u64(1);
         let patterns: Vec<BitVec> = (0..16)
             .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
             .collect();
@@ -386,10 +385,7 @@ mod tests {
         assert_eq!(union(&f(&[1, 3]), &f(&[2, 3, 4])), f(&[1, 2, 3, 4]));
         assert_eq!(intersection(&f(&[1, 3, 5]), &f(&[3, 4, 5])), f(&[3, 5]));
         assert_eq!(difference(&f(&[1, 3, 5]), &f(&[3])), f(&[1, 5]));
-        assert_eq!(
-            symmetric_difference(&f(&[1, 3]), &f(&[3, 4])),
-            f(&[1, 4])
-        );
+        assert_eq!(symmetric_difference(&f(&[1, 3]), &f(&[3, 4])), f(&[1, 4]));
         let mut v = f(&[1, 5]);
         insert_sorted(&mut v, FaultId(3));
         insert_sorted(&mut v, FaultId(3));

@@ -249,12 +249,13 @@ impl<'a> Engine<'a> {
         match self.circuit.driver(net) {
             Driver::Gate { kind, inputs } => eval_words(
                 *kind,
-                inputs.iter().enumerate().map(|(pin, &source)| {
-                    match force_pin {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &source)| match force_pin {
                         Some((fp, word)) if fp == pin => word,
                         _ => self.value[source.index()],
-                    }
-                }),
+                    }),
             ),
             // Inputs and flip-flop outputs never self-evaluate; a branch
             // fault can only sit on a gate.
@@ -367,13 +368,12 @@ mod tests {
 
     #[test]
     fn generated_circuit_matches_reference_sampled() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use sdd_logic::Prng;
         let c = generator::iscas89("s208", 1).unwrap();
         let view = CombView::new(&c);
         let universe = FaultUniverse::enumerate(&c);
         let width = view.inputs().len();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let patterns: Vec<BitVec> = (0..64)
             .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
             .collect();

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod compactor;
+mod corruption;
 pub mod deductive;
 mod engine;
 mod partition;
@@ -47,6 +48,7 @@ mod response;
 mod tester;
 
 pub use compactor::SpaceCompactor;
+pub use corruption::{CorruptionModel, TruncatedLog};
 pub use engine::{Engine, FaultEffect};
 pub use partition::Partition;
 pub use response::ResponseMatrix;

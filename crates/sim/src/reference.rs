@@ -5,10 +5,72 @@
 //! tests; diagnosis uses it for one-off faulty responses where setting up a
 //! pattern block is not worth it.
 
-use sdd_logic::BitVec;
+use sdd_logic::{BitVec, SddError};
 use sdd_netlist::{Circuit, CombView, Driver, NetId};
 
 use sdd_fault::{BridgeKind, Defect, Fault, FaultSite};
+
+fn check_pattern_width(view: &CombView, pattern: &BitVec) -> Result<(), SddError> {
+    if pattern.len() != view.inputs().len() {
+        return Err(SddError::WidthMismatch {
+            context: "simulation pattern",
+            expected: view.inputs().len(),
+            actual: pattern.len(),
+        });
+    }
+    Ok(())
+}
+
+/// [`good_response`] with the width precondition surfaced as an error
+/// instead of a panic — the entry point for patterns that came from outside
+/// the program (tester datalogs, serialized test sets).
+///
+/// # Errors
+///
+/// Returns [`SddError::WidthMismatch`] when `pattern.len()` differs from the
+/// number of view inputs.
+pub fn try_good_response(
+    circuit: &Circuit,
+    view: &CombView,
+    pattern: &BitVec,
+) -> Result<BitVec, SddError> {
+    check_pattern_width(view, pattern)?;
+    Ok(response_with(circuit, view, pattern, None))
+}
+
+/// [`faulty_response`] with the width precondition surfaced as an error
+/// instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`SddError::WidthMismatch`] when `pattern.len()` differs from the
+/// number of view inputs.
+pub fn try_faulty_response(
+    circuit: &Circuit,
+    view: &CombView,
+    fault: Fault,
+    pattern: &BitVec,
+) -> Result<BitVec, SddError> {
+    check_pattern_width(view, pattern)?;
+    Ok(response_with(circuit, view, pattern, Some(fault)))
+}
+
+/// [`defect_response`] with the width precondition surfaced as an error
+/// instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`SddError::WidthMismatch`] when `pattern.len()` differs from the
+/// number of view inputs.
+pub fn try_defect_response(
+    circuit: &Circuit,
+    view: &CombView,
+    defect: &Defect,
+    pattern: &BitVec,
+) -> Result<BitVec, SddError> {
+    check_pattern_width(view, pattern)?;
+    Ok(defect_response(circuit, view, defect, pattern))
+}
 
 /// Simulates the fault-free circuit for one pattern.
 ///
@@ -84,9 +146,7 @@ fn response_with(
         let net = *net;
         let mut v = match circuit.driver(net) {
             Driver::Input | Driver::Dff { .. } => {
-                let pos = view
-                    .input_position(net)
-                    .expect("sources are view inputs");
+                let pos = view.input_position(net).expect("sources are view inputs");
                 pattern.bit(pos)
             }
             Driver::Gate { kind, inputs } => {
@@ -109,10 +169,7 @@ fn response_with(
         }
         value[net.index()] = v;
     }
-    view.outputs()
-        .iter()
-        .map(|&o| value[o.index()])
-        .collect()
+    view.outputs().iter().map(|&o| value[o.index()]).collect()
 }
 
 /// Simulates the circuit with an arbitrary (possibly out-of-model)
@@ -390,6 +447,37 @@ mod tests {
     }
 
     #[test]
+    fn try_variants_return_errors_not_panics() {
+        let c = c17();
+        let view = CombView::new(&c);
+        let narrow = bv("101");
+        assert!(matches!(
+            try_good_response(&c, &view, &narrow),
+            Err(SddError::WidthMismatch {
+                expected: 5,
+                actual: 3,
+                ..
+            })
+        ));
+        let fault = Fault {
+            site: FaultSite::Stem(c.net("N22").unwrap()),
+            stuck_at: true,
+        };
+        assert!(try_faulty_response(&c, &view, fault, &narrow).is_err());
+        assert!(try_defect_response(&c, &view, &Defect::StuckAt(fault), &narrow).is_err());
+        // Well-formed patterns agree with the panicking entry points.
+        let pattern = bv("10111");
+        assert_eq!(
+            try_good_response(&c, &view, &pattern).unwrap(),
+            good_response(&c, &view, &pattern)
+        );
+        assert_eq!(
+            try_faulty_response(&c, &view, fault, &pattern).unwrap(),
+            faulty_response(&c, &view, fault, &pattern)
+        );
+    }
+
+    #[test]
     fn defect_single_stuck_at_matches_faulty_response() {
         let c = c17();
         let view = CombView::new(&c);
@@ -411,8 +499,14 @@ mod tests {
         let c = c17();
         let view = CombView::new(&c);
         let defect = Defect::MultipleStuckAt(vec![
-            Fault { site: FaultSite::Stem(c.net("N22").unwrap()), stuck_at: true },
-            Fault { site: FaultSite::Stem(c.net("N23").unwrap()), stuck_at: false },
+            Fault {
+                site: FaultSite::Stem(c.net("N22").unwrap()),
+                stuck_at: true,
+            },
+            Fault {
+                site: FaultSite::Stem(c.net("N23").unwrap()),
+                stuck_at: false,
+            },
         ]);
         for word in 0u32..32 {
             let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
@@ -429,7 +523,11 @@ mod tests {
         let view = CombView::new(&c);
         let a = c.net("N10").unwrap();
         let b = c.net("N11").unwrap();
-        let defect = Defect::Bridge { a, b, kind: BridgeKind::And };
+        let defect = Defect::Bridge {
+            a,
+            b,
+            kind: BridgeKind::And,
+        };
         for word in 0u32..32 {
             let bits: Vec<bool> = (0..5).map(|i| word >> i & 1 == 1).collect();
             let (n1, n2, n3, n6, n7) = (bits[0], bits[1], bits[2], bits[3], bits[4]);
@@ -453,8 +551,16 @@ mod tests {
         let view = CombView::new(&c);
         let a = c.net("N10").unwrap();
         let b = c.net("N11").unwrap();
-        let ad = Defect::Bridge { a, b, kind: BridgeKind::ADominates };
-        let bd = Defect::Bridge { a, b, kind: BridgeKind::BDominates };
+        let ad = Defect::Bridge {
+            a,
+            b,
+            kind: BridgeKind::ADominates,
+        };
+        let bd = Defect::Bridge {
+            a,
+            b,
+            kind: BridgeKind::BDominates,
+        };
         // Find a pattern where they differ (N10 != N11 and both observable).
         let mut differ = false;
         for word in 0u32..32 {
@@ -475,7 +581,11 @@ mod tests {
         let c = c17();
         let view = CombView::new(&c);
         let a = c.net("N16").unwrap();
-        let defect = Defect::Bridge { a, b: a, kind: BridgeKind::And };
+        let defect = Defect::Bridge {
+            a,
+            b: a,
+            kind: BridgeKind::And,
+        };
         for word in 0u32..32 {
             let pattern: BitVec = (0..5).map(|i| word >> i & 1 == 1).collect();
             assert_eq!(

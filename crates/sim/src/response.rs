@@ -102,12 +102,10 @@ impl ResponseMatrix {
                     }
                     let test = base + lane;
                     let next = distinct[test].len() as u32;
-                    let label = *interner[test]
-                        .entry(diffs.clone())
-                        .or_insert_with(|| {
-                            distinct[test].push(diffs.clone());
-                            next
-                        });
+                    let label = *interner[test].entry(diffs.clone()).or_insert_with(|| {
+                        distinct[test].push(diffs.clone());
+                        next
+                    });
                     class[test * fault_count + fault_pos] = label;
                 }
             }
@@ -168,9 +166,8 @@ impl ResponseMatrix {
                     continue;
                 }
                 let next = distinct[test].len() as u32;
-                class[test * fault_count + fault] = *interner
-                    .entry(diff.clone())
-                    .or_insert_with(|| {
+                class[test * fault_count + fault] =
+                    *interner.entry(diff.clone()).or_insert_with(|| {
                         distinct[test].push(diff.clone());
                         next
                     });
@@ -273,7 +270,15 @@ mod tests {
     use crate::reference;
     use sdd_netlist::library::c17;
 
-    fn setup(tests: &[&str]) -> (Circuit, CombView, FaultUniverse, Vec<FaultId>, ResponseMatrix) {
+    fn setup(
+        tests: &[&str],
+    ) -> (
+        Circuit,
+        CombView,
+        FaultUniverse,
+        Vec<FaultId>,
+        ResponseMatrix,
+    ) {
         let c = c17();
         let view = CombView::new(&c);
         let universe = FaultUniverse::enumerate(&c);
@@ -284,7 +289,14 @@ mod tests {
         (c, view, universe, ids, m)
     }
 
-    fn setup_exhaustive() -> (Circuit, CombView, FaultUniverse, Vec<FaultId>, ResponseMatrix, Vec<BitVec>) {
+    fn setup_exhaustive() -> (
+        Circuit,
+        CombView,
+        FaultUniverse,
+        Vec<FaultId>,
+        ResponseMatrix,
+        Vec<BitVec>,
+    ) {
         let c = c17();
         let view = CombView::new(&c);
         let universe = FaultUniverse::enumerate(&c);

@@ -108,7 +108,10 @@ impl ScanChains {
             return Observation::PrimaryOutput(output as u32);
         }
         let dff_index = output - pos;
-        assert!(dff_index < circuit.dff_count(), "output {output} out of range");
+        assert!(
+            dff_index < circuit.dff_count(),
+            "output {output} out of range"
+        );
         let q = circuit.dffs()[dff_index];
         for (chain, cells) in self.chains.iter().enumerate() {
             if let Some(position) = cells.iter().position(|&c| c == q) {
@@ -131,10 +134,7 @@ impl ScanChains {
                 ((po as usize) < circuit.output_count()).then_some(po as usize)
             }
             Observation::ScanCell { chain, position } => {
-                let q = *self
-                    .chains
-                    .get(chain as usize)?
-                    .get(position as usize)?;
+                let q = *self.chains.get(chain as usize)?.get(position as usize)?;
                 let dff_index = circuit.dffs().iter().position(|&c| c == q)?;
                 Some(circuit.output_count() + dff_index)
             }
@@ -266,7 +266,10 @@ mod tests {
         assert_eq!(chains.observation_of(&c, 1), Observation::PrimaryOutput(1));
         assert!(matches!(
             chains.observation_of(&c, 2),
-            Observation::ScanCell { chain: 0, position: 0 }
+            Observation::ScanCell {
+                chain: 0,
+                position: 0
+            }
         ));
     }
 
@@ -312,9 +315,18 @@ mod tests {
     fn failing_tests_are_deduplicated_and_sorted() {
         let log = FailLog {
             entries: vec![
-                FailEntry { test: 1, observation: Observation::PrimaryOutput(0) },
-                FailEntry { test: 1, observation: Observation::PrimaryOutput(1) },
-                FailEntry { test: 4, observation: Observation::PrimaryOutput(0) },
+                FailEntry {
+                    test: 1,
+                    observation: Observation::PrimaryOutput(0),
+                },
+                FailEntry {
+                    test: 1,
+                    observation: Observation::PrimaryOutput(1),
+                },
+                FailEntry {
+                    test: 4,
+                    observation: Observation::PrimaryOutput(0),
+                },
             ],
         };
         assert_eq!(log.failing_tests(), vec![1, 4]);
@@ -328,7 +340,10 @@ mod tests {
         let log = FailLog {
             entries: vec![FailEntry {
                 test: 0,
-                observation: Observation::ScanCell { chain: 9, position: 0 },
+                observation: Observation::ScanCell {
+                    chain: 9,
+                    position: 0,
+                },
             }],
         };
         let back = log.to_responses(&c, &chains, &expected);

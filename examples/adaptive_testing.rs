@@ -26,7 +26,10 @@ fn main() {
     let matrix = exp.simulate(&tests.tests);
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 10, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 10,
+            ..Procedure1Options::default()
+        },
     );
 
     let natural: Vec<usize> = (0..matrix.test_count()).collect();
@@ -42,7 +45,10 @@ fn main() {
         exp.faults().len(),
         final_pairs
     );
-    println!("{:>9} {:>16} {:>16}", "tests", "natural order", "greedy order");
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "tests", "natural order", "greedy order"
+    );
     for percent in [5usize, 10, 20, 30, 50, 75, 100] {
         let prefix = (matrix.test_count() * percent).div_ceil(100);
         println!(
@@ -63,11 +69,9 @@ fn main() {
     println!(
         "\nfull resolution reached after {natural_at} tests (natural) vs \
          {ordered_at} tests (ordered) — the tester can stop {}% earlier",
-        if natural_at > 0 {
-            100 * (natural_at.saturating_sub(ordered_at)) / natural_at
-        } else {
-            0
-        }
+        (100 * natural_at.saturating_sub(ordered_at))
+            .checked_div(natural_at)
+            .unwrap_or(0)
     );
     assert!(ordered_at <= natural_at);
 }

@@ -12,8 +12,6 @@
 //! cargo run --release --example diagnose_defect [circuit] [seed]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use same_different::atpg::AtpgOptions;
 use same_different::dict::diagnose::{observed_responses, two_phase_diagnose};
 use same_different::dict::{
@@ -21,12 +19,13 @@ use same_different::dict::{
     SameDifferentDictionary,
 };
 use same_different::Experiment;
+use sdd_logic::Prng;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let circuit = args.next().unwrap_or_else(|| "s344".to_owned());
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
 
     let exp = Experiment::iscas89(&circuit, 1).expect("known circuit");
     let tests = exp.diagnostic_tests(&AtpgOptions::default());
@@ -36,7 +35,10 @@ fn main() {
     let pass_fail = PassFailDictionary::build(&matrix);
     let mut selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 20, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 20,
+            ..Procedure1Options::default()
+        },
     );
     replace_baselines(&matrix, &mut selection.baselines);
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
@@ -59,29 +61,47 @@ fn main() {
         .map(|(r, t)| r != matrix.good_response(t))
         .collect();
 
-    let name = |pos: usize| exp.universe().fault(exp.faults()[pos]).describe(exp.circuit());
+    let name = |pos: usize| {
+        exp.universe()
+            .fault(exp.faults()[pos])
+            .describe(exp.circuit())
+    };
 
-    let r = pass_fail.diagnose(&observed_pf);
+    let r = pass_fail
+        .diagnose(&observed_pf)
+        .expect("well-formed observation");
     println!(
         "\npass/fail dictionary:      {} candidate(s): {}",
         r.candidates().len(),
-        r.candidates().iter().map(|&p| name(p)).collect::<Vec<_>>().join(", ")
+        r.candidates()
+            .iter()
+            .map(|&p| name(p))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert!(r.candidates().contains(&culprit_pos));
 
-    let r = sd.diagnose(&observed);
+    let r = sd.diagnose(&observed).expect("well-formed observation");
     println!(
         "same/different dictionary: {} candidate(s): {}",
         r.candidates().len(),
-        r.candidates().iter().map(|&p| name(p)).collect::<Vec<_>>().join(", ")
+        r.candidates()
+            .iter()
+            .map(|&p| name(p))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert!(r.candidates().contains(&culprit_pos));
 
-    let r = full.diagnose(&observed);
+    let r = full.diagnose(&observed).expect("well-formed observation");
     println!(
         "full dictionary:           {} candidate(s): {}",
         r.candidates().len(),
-        r.candidates().iter().map(|&p| name(p)).collect::<Vec<_>>().join(", ")
+        r.candidates()
+            .iter()
+            .map(|&p| name(p))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert!(r.candidates().contains(&culprit_pos));
 
@@ -94,7 +114,8 @@ fn main() {
         &tests.tests,
         &observed,
         &sd,
-    );
+    )
+    .expect("well-formed observation");
     println!("\ntwo-phase (same/different screen + simulation):");
     for (id, distance) in &ranked {
         println!(
@@ -102,6 +123,9 @@ fn main() {
             exp.universe().fault(*id).describe(exp.circuit())
         );
     }
-    assert_eq!(ranked[0].1, 0, "the culprit's own behaviour matches exactly");
+    assert_eq!(
+        ranked[0].1, 0,
+        "the culprit's own behaviour matches exactly"
+    );
     println!("\ninjected defect is ranked first: diagnosis succeeded");
 }

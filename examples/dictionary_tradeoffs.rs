@@ -41,7 +41,10 @@ fn main() {
         let pf = matrix.pass_fail_partition().indistinguished_pairs();
         let mut selection = select_baselines(
             &matrix,
-            &Procedure1Options { calls1: 20, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1: 20,
+                ..Procedure1Options::default()
+            },
         );
         let p1 = selection.indistinguished_pairs;
         let p2 = replace_baselines(&matrix, &mut selection.baselines);

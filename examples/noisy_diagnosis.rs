@@ -1,0 +1,138 @@
+//! Diagnosing from imperfect tester data.
+//!
+//! A defective chip is tested; the tester's fail memory overflows, some scan
+//! cells read `X`, and a marginal strobe flips the odd bit. This example
+//! walks the whole noise-tolerant pipeline:
+//!
+//! 1. build a same/different dictionary under a construction *budget*;
+//! 2. corrupt the defect's datalog at increasing severity;
+//! 3. diagnose from the ternary (0/1/X) reconstruction and watch the report
+//!    degrade gracefully — exact match, then consistent-under-mask, then a
+//!    ranked best-effort list — without ever panicking.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example noisy_diagnosis [circuit] [seed]
+//! ```
+
+use std::time::Duration;
+
+use same_different::dict::diagnose::observed_responses;
+use same_different::dict::diagnose::MatchQuality;
+use same_different::dict::{
+    replace_baselines_budgeted, select_baselines_budgeted, Budget, Procedure1Options,
+    SameDifferentDictionary,
+};
+use same_different::logic::BitVec;
+use same_different::sim::{CorruptionModel, ScanChains};
+use same_different::Experiment;
+use sdd_logic::Prng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s298".to_owned());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let mut rng = Prng::seed_from_u64(seed);
+
+    let exp = Experiment::iscas89(&circuit, 1).expect("known circuit");
+    let chains = ScanChains::balanced(exp.circuit(), 2);
+    let tests = exp.diagnostic_tests(&Default::default());
+    let matrix = exp.simulate(&tests.tests);
+    let expected: Vec<BitVec> = (0..matrix.test_count())
+        .map(|t| matrix.good_response(t).clone())
+        .collect();
+
+    // Offline, under a construction budget: 250 ms for Procedure 1, a
+    // handful of replacement passes for Procedure 2. `completed` tells us
+    // whether the search converged or the budget cut it short — either way
+    // the baselines are valid.
+    let mut selection = select_baselines_budgeted(
+        &matrix,
+        &Procedure1Options {
+            calls1: 20,
+            ..Procedure1Options::default()
+        },
+        &Budget::deadline(Duration::from_millis(250)),
+    );
+    let refinement =
+        replace_baselines_budgeted(&matrix, &mut selection.baselines, &Budget::max_calls(4));
+    println!(
+        "dictionary built under budget: {} calls (converged: {}), {} passes \
+         (converged: {}), {} indistinguished pairs",
+        selection.calls,
+        selection.completed,
+        refinement.passes,
+        refinement.completed,
+        refinement.indistinguished_pairs,
+    );
+    let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
+
+    // The defect, kept secret from the dictionary.
+    let culprit_pos = rng.gen_range(0..exp.faults().len());
+    let culprit = exp.universe().fault(exp.faults()[culprit_pos]);
+    let observed = observed_responses(exp.circuit(), exp.view(), culprit, &tests.tests);
+    println!("\ninjected defect: {}\n", culprit.describe(exp.circuit()));
+
+    // Increasingly hostile testers.
+    let scenarios: Vec<(&str, CorruptionModel)> = vec![
+        ("clean datalog", CorruptionModel::clean()),
+        (
+            "5% cells masked to X",
+            CorruptionModel::clean()
+                .with_mask_rate(0.05)
+                .with_seed(seed),
+        ),
+        (
+            "fail memory holds 10 entries",
+            CorruptionModel::clean().with_truncation(10),
+        ),
+        (
+            "truncated + 20% masked + 2% flipped",
+            CorruptionModel::clean()
+                .with_truncation(10)
+                .with_mask_rate(0.20)
+                .with_flip_rate(0.02)
+                .with_seed(seed),
+        ),
+    ];
+
+    for (label, model) in scenarios {
+        let masked = model
+            .observe(exp.circuit(), &chains, &observed, &expected)
+            .expect("responses line up with the test set");
+        let known: usize = masked.iter().map(|m| m.known_count()).sum();
+        let total: usize = masked.iter().map(|m| m.len()).sum();
+        let report = dictionary
+            .diagnose_masked(&masked)
+            .expect("observation shaped by the tester model");
+        let quality = match report.quality {
+            MatchQuality::Exact => "exact",
+            MatchQuality::ConsistentUnderMask => "consistent under mask",
+            MatchQuality::Ranked => "best-effort ranking",
+        };
+        println!("{label}: {known}/{total} bits known -> {quality}");
+        for candidate in report.ranking.iter().take(3) {
+            println!(
+                "    {:<28} {} mismatches over {} known bits, confidence {:.3}{}",
+                exp.universe()
+                    .fault(exp.faults()[candidate.fault])
+                    .describe(exp.circuit()),
+                candidate.mismatches,
+                candidate.known,
+                candidate.confidence,
+                if candidate.fault == culprit_pos {
+                    "   <- injected defect"
+                } else {
+                    ""
+                },
+            );
+        }
+        // Under masking and truncation alone the true fault cannot leave the
+        // candidate set; only bit flips can evict it.
+        if model.flip_rate == 0.0 {
+            assert!(report.candidates().contains(&culprit_pos));
+        }
+    }
+    println!("\nno scenario panicked: diagnosis degraded gracefully");
+}

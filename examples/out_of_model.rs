@@ -13,27 +13,29 @@
 //! cargo run --release --example out_of_model [circuit] [seed]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use same_different::atpg::AtpgOptions;
 use same_different::dict::{select_baselines, Procedure1Options, SameDifferentDictionary};
 use same_different::fault::{BridgeKind, Defect, FaultSite};
 use same_different::logic::BitVec;
 use same_different::sim::reference;
 use same_different::Experiment;
+use sdd_logic::Prng;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let circuit = args.next().unwrap_or_else(|| "s344".to_owned());
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
 
     let exp = Experiment::iscas89(&circuit, 1).expect("known circuit");
     let tests = exp.diagnostic_tests(&AtpgOptions::default());
     let matrix = exp.simulate(&tests.tests);
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 20, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 20,
+            ..Procedure1Options::default()
+        },
     );
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
 
@@ -58,8 +60,12 @@ fn main() {
             };
             Defect::Bridge { a, b, kind }
         } else {
-            let f1 = exp.universe().fault(exp.faults()[rng.gen_range(0..exp.faults().len())]);
-            let f2 = exp.universe().fault(exp.faults()[rng.gen_range(0..exp.faults().len())]);
+            let f1 = exp
+                .universe()
+                .fault(exp.faults()[rng.gen_range(0..exp.faults().len())]);
+            let f2 = exp
+                .universe()
+                .fault(exp.faults()[rng.gen_range(0..exp.faults().len())]);
             Defect::MultipleStuckAt(vec![f1, f2])
         };
 
@@ -79,7 +85,7 @@ fn main() {
         }
         trials += 1;
 
-        let report = sd.diagnose(&observed);
+        let report = sd.diagnose(&observed).expect("well-formed observation");
         let plausible = defect.plausible_sites();
         let hit = report.candidates().iter().any(|&pos| {
             let fault = exp.universe().fault(exp.faults()[pos]);

@@ -43,7 +43,10 @@ fn main() {
     );
 
     // A diagnostic test set, as in the first row of each circuit in Table 6.
-    let atpg = AtpgOptions { seed, ..AtpgOptions::default() };
+    let atpg = AtpgOptions {
+        seed,
+        ..AtpgOptions::default()
+    };
     let tests = exp.diagnostic_tests(&atpg);
     println!(
         "diagnostic test set: {} tests ({} untestable, {} aborted faults)",
@@ -59,14 +62,26 @@ fn main() {
     let pass_fail = PassFailDictionary::build(&matrix);
     let mut selection = select_baselines(
         &matrix,
-        &Procedure1Options { seed, calls1: 20, ..Procedure1Options::default() },
+        &Procedure1Options {
+            seed,
+            calls1: 20,
+            ..Procedure1Options::default()
+        },
     );
     let after_p1 = selection.indistinguished_pairs;
     let after_p2 = replace_baselines(&matrix, &mut selection.baselines);
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
 
-    println!("\n{:<16} {:>14} {:>22}", "dictionary", "size (bits)", "indistinguished pairs");
-    println!("{:<16} {:>14} {:>22}", "full", full.size_bits(), full.indistinguished_pairs());
+    println!(
+        "\n{:<16} {:>14} {:>22}",
+        "dictionary", "size (bits)", "indistinguished pairs"
+    );
+    println!(
+        "{:<16} {:>14} {:>22}",
+        "full",
+        full.size_bits(),
+        full.indistinguished_pairs()
+    );
     println!(
         "{:<16} {:>14} {:>22}",
         "pass/fail",

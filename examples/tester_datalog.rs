@@ -12,20 +12,19 @@
 //! cargo run --release --example tester_datalog [circuit] [seed]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use same_different::atpg::AtpgOptions;
 use same_different::dict::diagnose::observed_responses;
 use same_different::dict::{select_baselines, Procedure1Options, SameDifferentDictionary};
 use same_different::logic::BitVec;
 use same_different::sim::{FailLog, ScanChains};
 use same_different::Experiment;
+use sdd_logic::Prng;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let circuit = args.next().unwrap_or_else(|| "s298".to_owned());
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
 
     let exp = Experiment::iscas89(&circuit, 1).expect("known circuit");
     let chains = ScanChains::balanced(exp.circuit(), 2);
@@ -45,7 +44,10 @@ fn main() {
         .collect();
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 20, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 20,
+            ..Procedure1Options::default()
+        },
     );
     let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
 
@@ -70,12 +72,16 @@ fn main() {
     // In the diagnosis tool: datalog → responses → dictionary match.
     let reconstructed = log.to_responses(exp.circuit(), &chains, &expected);
     assert_eq!(reconstructed, observed, "datalog is lossless");
-    let report = dictionary.diagnose(&reconstructed);
+    let report = dictionary
+        .diagnose(&reconstructed)
+        .expect("well-formed observation");
     println!("\ndiagnosis candidates (distance {}):", report.distance);
     for &pos in report.candidates() {
         println!(
             "  {}",
-            exp.universe().fault(exp.faults()[pos]).describe(exp.circuit())
+            exp.universe()
+                .fault(exp.faults()[pos])
+                .describe(exp.circuit())
         );
     }
     assert!(report.candidates().contains(&culprit_pos));

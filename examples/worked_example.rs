@@ -42,7 +42,10 @@ fn main() {
         let s = pf.signature(i);
         println!("  {name}   {}   {}", u8::from(s.bit(0)), u8::from(s.bit(1)));
     }
-    println!("  indistinguished pairs: {} (f2,f3)", pf.indistinguished_pairs());
+    println!(
+        "  indistinguished pairs: {} (f2,f3)",
+        pf.indistinguished_pairs()
+    );
 
     // ---- Table 4: selecting z_bl,0. ----
     println!("\nTable 4: selection of z_bl,0 (dist over Z_0)");
@@ -62,17 +65,15 @@ fn main() {
     let (baselines, left) = select_baselines_once(&matrix, &[0, 1], Some(10));
     let sd = SameDifferentDictionary::build(&matrix, &baselines);
     println!("\nTable 3: same/different fault dictionary");
-    println!(
-        "  bl  {}   {}",
-        sd.baseline(0),
-        sd.baseline(1)
-    );
+    println!("  bl  {}   {}", sd.baseline(0), sd.baseline(1));
     println!("      t0  t1");
     for (i, name) in faults.iter().enumerate() {
         let s = sd.signature(i);
         println!("  {name}   {}   {}", u8::from(s.bit(0)), u8::from(s.bit(1)));
     }
-    println!("  indistinguished pairs: {left} — full-dictionary resolution at pass/fail size + k*m");
+    println!(
+        "  indistinguished pairs: {left} — full-dictionary resolution at pass/fail size + k*m"
+    );
 
     assert_eq!(left, 0);
     assert_eq!(sd.baseline(0).to_string(), "01");

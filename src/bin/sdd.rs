@@ -19,8 +19,7 @@ use std::process::ExitCode;
 
 use same_different::atpg::AtpgOptions;
 use same_different::dict::{
-    io as dict_io, replace_baselines, select_baselines, Procedure1Options,
-    SameDifferentDictionary,
+    io as dict_io, replace_baselines, select_baselines, Procedure1Options, SameDifferentDictionary,
 };
 use same_different::logic::BitVec;
 use same_different::netlist::{bench, generator};
@@ -90,9 +89,7 @@ fn load_patterns(path: &str, width: usize, what: &str) -> Result<Vec<BitVec>, St
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let p: BitVec = line
-            .parse()
-            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let p: BitVec = line.parse().map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if p.len() != width {
             return Err(format!(
                 "{path}:{}: {what} has {} bits, expected {width}",
@@ -154,9 +151,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("gates:            {}", c.gate_count());
     println!("nets:             {}", c.net_count());
     println!("view inputs:      {} (PI + PPI)", exp.view().inputs().len());
-    println!("view outputs:     {} (PO + PPO = m)", exp.view().outputs().len());
+    println!(
+        "view outputs:     {} (PO + PPO = m)",
+        exp.view().outputs().len()
+    );
     println!("logic depth:      {}", exp.view().depth());
-    println!("faults:           {} ({} collapsed)", exp.universe().len(), exp.faults().len());
+    println!(
+        "faults:           {} ({} collapsed)",
+        exp.universe().len(),
+        exp.faults().len()
+    );
     Ok(())
 }
 
@@ -166,14 +170,23 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
     let mut output = None;
     let positional = parse_flags(
         args,
-        &mut [("--ttype", &mut ttype), ("--seed", &mut seed), ("-o", &mut output)],
+        &mut [
+            ("--ttype", &mut ttype),
+            ("--seed", &mut seed),
+            ("-o", &mut output),
+        ],
     )?;
     let [path] = positional.as_slice() else {
-        return Err("usage: sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]".into());
+        return Err(
+            "usage: sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]".into(),
+        );
     };
     let seed: u64 = seed.map_or(Ok(1), |s| s.parse().map_err(|_| "bad --seed"))?;
     let exp = Experiment::new(load_circuit(path)?);
-    let options = AtpgOptions { seed, ..AtpgOptions::default() };
+    let options = AtpgOptions {
+        seed,
+        ..AtpgOptions::default()
+    };
     let ttype = ttype.unwrap_or_else(|| "diag".to_owned());
     let set = if ttype == "diag" {
         exp.diagnostic_tests(&options)
@@ -184,7 +197,9 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
     {
         exp.detection_tests(n, &options)
     } else {
-        return Err(format!("unknown --ttype {ttype:?} (diag or <n>det, e.g. 1det, 10det)"));
+        return Err(format!(
+            "unknown --ttype {ttype:?} (diag or <n>det, e.g. 1det, 10det)"
+        ));
     };
     let report = same_different::atpg::CoverageReport::measure(
         exp.circuit(),
@@ -208,10 +223,17 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let mut output = None;
     let positional = parse_flags(
         args,
-        &mut [("--tests", &mut tests_path), ("--calls1", &mut calls1), ("-o", &mut output)],
+        &mut [
+            ("--tests", &mut tests_path),
+            ("--calls1", &mut calls1),
+            ("-o", &mut output),
+        ],
     )?;
     let [path] = positional.as_slice() else {
-        return Err("usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]".into());
+        return Err(
+            "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]"
+                .into(),
+        );
     };
     let tests_path = tests_path.ok_or("missing --tests")?;
     let calls1: usize = calls1.map_or(Ok(20), |s| s.parse().map_err(|_| "bad --calls1"))?;
@@ -221,7 +243,10 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let matrix = exp.simulate(&tests);
     let mut selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1,
+            ..Procedure1Options::default()
+        },
     );
     let indistinguished = replace_baselines(&matrix, &mut selection.baselines);
     let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
@@ -289,12 +314,8 @@ fn cmd_inject(args: &[String]) -> Result<(), String> {
     );
     let mut content = String::new();
     for test in &tests {
-        let response = same_different::sim::reference::faulty_response(
-            exp.circuit(),
-            exp.view(),
-            fault,
-            test,
-        );
+        let response =
+            same_different::sim::reference::faulty_response(exp.circuit(), exp.view(), fault, test);
         content.push_str(&response.to_string());
         content.push('\n');
     }
@@ -329,8 +350,7 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         let p = dict_path.ok_or("missing --dict")?;
         fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?
     };
-    let dictionary =
-        dict_io::read_same_different(&dict_text).map_err(|e| e.to_string())?;
+    let dictionary = dict_io::read_same_different(&dict_text).map_err(|e| e.to_string())?;
     let observed = load_patterns(
         &observed_path.ok_or("missing --observed")?,
         exp.view().outputs().len(),
@@ -351,7 +371,7 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let report = dictionary.diagnose(&observed);
+    let report = dictionary.diagnose(&observed).map_err(|e| e.to_string())?;
     if report.exact.is_empty() {
         println!(
             "no exact match; {} nearest candidate(s) at signature distance {}:",

@@ -127,7 +127,13 @@ impl Experiment {
 
     /// Fault-simulates `tests` over the collapsed fault list.
     pub fn simulate(&self, tests: &[BitVec]) -> ResponseMatrix {
-        ResponseMatrix::simulate(&self.circuit, &self.view, &self.universe, self.faults(), tests)
+        ResponseMatrix::simulate(
+            &self.circuit,
+            &self.view,
+            &self.universe,
+            self.faults(),
+            tests,
+        )
     }
 
     /// Generates an `n`-detection test set for the collapsed fault list.
@@ -166,7 +172,8 @@ impl Experiment {
         let mut selection = sdd_core::select_baselines(&matrix, options);
         let procedure1_pairs = selection.indistinguished_pairs;
         let procedure2_pairs = sdd_core::replace_baselines(&matrix, &mut selection.baselines);
-        let same_different = sdd_core::SameDifferentDictionary::build(&matrix, &selection.baselines);
+        let same_different =
+            sdd_core::SameDifferentDictionary::build(&matrix, &selection.baselines);
         DictionarySuite {
             full: sdd_core::FullDictionary::new(matrix),
             pass_fail,
@@ -228,7 +235,10 @@ mod tests {
         let tests = exp.diagnostic_tests(&AtpgOptions::default());
         let suite = exp.build_dictionaries(
             &tests.tests,
-            &dict::Procedure1Options { calls1: 5, ..Default::default() },
+            &dict::Procedure1Options {
+                calls1: 5,
+                ..Default::default()
+            },
         );
         let full = suite.full.indistinguished_pairs();
         let sd = suite.same_different.indistinguished_pairs();

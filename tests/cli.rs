@@ -24,7 +24,11 @@ fn full_flow_generate_atpg_dictionary_inject_diagnose() {
     let dir = workdir("flow");
 
     let out = sdd(&dir, &["generate", "s208", "--seed", "3", "-o", "c.bench"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = sdd(&dir, &["info", "c.bench"]);
     assert!(out.status.success());
@@ -32,20 +36,49 @@ fn full_flow_generate_atpg_dictionary_inject_diagnose() {
     assert!(info.contains("circuit:          s208"), "{info}");
     assert!(info.contains("collapsed"), "{info}");
 
-    let out = sdd(&dir, &["atpg", "c.bench", "--ttype", "diag", "-o", "tests.txt"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sdd(
+        &dir,
+        &["atpg", "c.bench", "--ttype", "diag", "-o", "tests.txt"],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = sdd(
         &dir,
-        &["dictionary", "c.bench", "--tests", "tests.txt", "--calls1", "3", "-o", "dict.txt"],
+        &[
+            "dictionary",
+            "c.bench",
+            "--tests",
+            "tests.txt",
+            "--calls1",
+            "3",
+            "-o",
+            "dict.txt",
+        ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dict = std::fs::read_to_string(dir.join("dict.txt")).unwrap();
     assert!(dict.starts_with("same-different-dictionary v1"));
 
     let out = sdd(
         &dir,
-        &["inject", "c.bench", "--tests", "tests.txt", "--fault", "5", "-o", "obs.txt"],
+        &[
+            "inject",
+            "c.bench",
+            "--tests",
+            "tests.txt",
+            "--fault",
+            "5",
+            "-o",
+            "obs.txt",
+        ],
     );
     assert!(out.status.success());
     let injected = String::from_utf8_lossy(&out.stderr);
@@ -58,9 +91,22 @@ fn full_flow_generate_atpg_dictionary_inject_diagnose() {
 
     let out = sdd(
         &dir,
-        &["diagnose", "c.bench", "--tests", "tests.txt", "--dict", "dict.txt", "--observed", "obs.txt"],
+        &[
+            "diagnose",
+            "c.bench",
+            "--tests",
+            "tests.txt",
+            "--dict",
+            "dict.txt",
+            "--observed",
+            "obs.txt",
+        ],
     );
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let verdict = String::from_utf8_lossy(&out.stdout);
     assert!(
         verdict.contains(&fault_name),

@@ -36,7 +36,10 @@ fn bridges_on_c17_are_localized_by_nearest_match() {
     let matrix = exp.simulate(&tests);
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 5, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 5,
+            ..Procedure1Options::default()
+        },
     );
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
     let full = FullDictionary::new(matrix.clone());
@@ -64,10 +67,10 @@ fn bridges_on_c17_are_localized_by_nearest_match() {
                         .iter()
                         .any(|&pos| plausible.contains(&site_of(&exp, pos)))
                 };
-                if hit(sd.diagnose(&responses).candidates()) {
+                if hit(sd.diagnose(&responses).unwrap().candidates()) {
                     sd_hits += 1;
                 }
-                if hit(full.diagnose(&responses).candidates()) {
+                if hit(full.diagnose(&responses).unwrap().candidates()) {
                     full_hits += 1;
                 }
             }
@@ -112,7 +115,7 @@ fn double_faults_diagnose_to_one_component_often() {
             }
             injected += 1;
             let plausible = defect.plausible_sites();
-            let report = full.diagnose(&responses);
+            let report = full.diagnose(&responses).unwrap();
             if report
                 .candidates()
                 .iter()

@@ -31,7 +31,10 @@ fn c17_dictionaries_on_exhaustive_tests() {
     let pf = PassFailDictionary::build(&matrix);
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 10, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 10,
+            ..Procedure1Options::default()
+        },
     );
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
     assert!(sd.indistinguished_pairs() <= pf.indistinguished_pairs());
@@ -72,7 +75,10 @@ fn every_injected_fault_is_diagnosed_by_every_dictionary() {
     let pf = PassFailDictionary::build(&matrix);
     let mut selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 5, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 5,
+            ..Procedure1Options::default()
+        },
     );
     replace_baselines(&matrix, &mut selection.baselines);
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
@@ -88,16 +94,19 @@ fn every_injected_fault_is_diagnosed_by_every_dictionary() {
             .collect();
 
         assert!(
-            pf.diagnose(&observed_pf).candidates().contains(&pos),
+            pf.diagnose(&observed_pf)
+                .unwrap()
+                .candidates()
+                .contains(&pos),
             "pass/fail misses {}",
             fault.describe(exp.circuit())
         );
         assert!(
-            sd.diagnose(&observed).candidates().contains(&pos),
+            sd.diagnose(&observed).unwrap().candidates().contains(&pos),
             "same/different misses {}",
             fault.describe(exp.circuit())
         );
-        let report = full.diagnose(&observed);
+        let report = full.diagnose(&observed).unwrap();
         assert_eq!(report.exact, vec![pos], "full dictionary is exact on c17");
 
         let ranked = two_phase_diagnose(
@@ -108,7 +117,8 @@ fn every_injected_fault_is_diagnosed_by_every_dictionary() {
             &tests,
             &observed,
             &sd,
-        );
+        )
+        .unwrap();
         assert_eq!(ranked[0].0, id, "two-phase ranks the culprit first");
         assert_eq!(ranked[0].1, 0);
     }
@@ -123,14 +133,17 @@ fn same_different_diagnosis_is_never_coarser_than_its_partition() {
     let matrix = exp.simulate(&tests);
     let selection = select_baselines(
         &matrix,
-        &Procedure1Options { calls1: 5, ..Procedure1Options::default() },
+        &Procedure1Options {
+            calls1: 5,
+            ..Procedure1Options::default()
+        },
     );
     let sd = SameDifferentDictionary::build(&matrix, &selection.baselines);
     let partition = sd.partition();
     for pos in 0..exp.faults().len() {
         let fault = exp.universe().fault(exp.faults()[pos]);
         let observed = observed_responses(exp.circuit(), exp.view(), fault, &tests);
-        let report = sd.diagnose(&observed);
+        let report = sd.diagnose(&observed).unwrap();
         let expected: Vec<usize> = (0..exp.faults().len())
             .filter(|&other| partition.group_of(other) == partition.group_of(pos))
             .collect();

@@ -1,8 +1,7 @@
-//! Property-based tests across randomly generated circuits and test sets.
+//! Property-style tests across randomly generated circuits and test sets,
+//! driven by the in-tree seeded [`Prng`] so they run without registry access.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sdd_logic::Prng;
 
 use same_different::atpg::random_patterns;
 use same_different::dict::{
@@ -13,83 +12,101 @@ use same_different::netlist::generator::{generate, Profile};
 use same_different::sim::reference;
 use same_different::Experiment;
 
-/// A small random circuit profile for property tests.
-fn small_profile(inputs: usize, outputs: usize, dffs: usize, gates: usize) -> Profile {
-    // Names don't matter for generation; reuse a fixed label.
-    Profile { name: "prop", inputs, outputs, dffs, gates }
+const CASES: usize = 24;
+
+/// Draws a small random experiment and its seed from `rng`.
+fn random_experiment(rng: &mut Prng) -> (Experiment, u64) {
+    let profile = Profile {
+        name: "prop",
+        inputs: rng.gen_range(2..6),
+        outputs: rng.gen_range(1..4),
+        dffs: rng.gen_range(0..4),
+        gates: rng.gen_range(10..40),
+    };
+    let seed = rng.next_u64() % 1000;
+    (Experiment::new(generate(&profile, seed)), seed)
 }
 
-fn arb_experiment() -> impl Strategy<Value = (Experiment, u64)> {
-    (2usize..6, 1usize..4, 0usize..4, 10usize..40, 0u64..1000).prop_map(
-        |(inputs, outputs, dffs, gates, seed)| {
-            let profile = small_profile(inputs, outputs, dffs, gates);
-            (Experiment::new(generate(&profile, seed)), seed)
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The PPSFP engine agrees with the scalar reference simulator on
-    /// random circuits, faults and patterns.
-    #[test]
-    fn response_matrix_matches_reference((exp, seed) in arb_experiment(), tests in 1usize..20) {
+/// The PPSFP engine agrees with the scalar reference simulator on
+/// random circuits, faults and patterns.
+#[test]
+fn response_matrix_matches_reference() {
+    let mut outer = Prng::seed_from_u64(0xF0);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
+        let tests = outer.gen_range(1..20);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let patterns = random_patterns(width, tests, &mut rng);
         let matrix = exp.simulate(&patterns);
         for (t, pattern) in patterns.iter().enumerate() {
             let good = reference::good_response(exp.circuit(), exp.view(), pattern);
-            prop_assert_eq!(matrix.good_response(t), &good);
+            assert_eq!(matrix.good_response(t), &good);
             for (pos, &id) in exp.faults().iter().enumerate() {
                 let fault = exp.universe().fault(id);
-                let expected = reference::faulty_response(exp.circuit(), exp.view(), fault, pattern);
-                prop_assert_eq!(matrix.response(t, matrix.class(t, pos)), expected);
+                let expected =
+                    reference::faulty_response(exp.circuit(), exp.view(), fault, pattern);
+                assert_eq!(matrix.response(t, matrix.class(t, pos)), expected);
             }
         }
     }
+}
 
-    /// A same/different dictionary with fault-free baselines is bit-for-bit
-    /// a pass/fail dictionary.
-    #[test]
-    fn fault_free_baselines_equal_pass_fail((exp, seed) in arb_experiment()) {
+/// A same/different dictionary with fault-free baselines is bit-for-bit
+/// a pass/fail dictionary.
+#[test]
+fn fault_free_baselines_equal_pass_fail() {
+    let mut outer = Prng::seed_from_u64(0xF1);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let mut rng = Prng::seed_from_u64(seed ^ 1);
         let patterns = random_patterns(width, 12, &mut rng);
         let matrix = exp.simulate(&patterns);
         let sd = SameDifferentDictionary::with_fault_free_baselines(&matrix);
         let pf = PassFailDictionary::build(&matrix);
-        prop_assert_eq!(sd.signatures(), pf.signatures());
+        assert_eq!(sd.signatures(), pf.signatures());
     }
+}
 
-    /// Resolution ordering: full ≤ s/d(P2) ≤ s/d(P1) ≤ pass/fail, on any
-    /// circuit and any random test set.
-    #[test]
-    fn resolution_ordering_invariant((exp, seed) in arb_experiment(), tests in 2usize..24) {
+/// Resolution ordering: full ≤ s/d(P2) ≤ s/d(P1) ≤ pass/fail, on any
+/// circuit and any random test set.
+#[test]
+fn resolution_ordering_invariant() {
+    let mut outer = Prng::seed_from_u64(0xF2);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
+        let tests = outer.gen_range(2..24);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let mut rng = Prng::seed_from_u64(seed ^ 2);
         let patterns = random_patterns(width, tests, &mut rng);
         let matrix = exp.simulate(&patterns);
         let full = matrix.full_partition().indistinguished_pairs();
         let pf = matrix.pass_fail_partition().indistinguished_pairs();
         let mut selection = select_baselines(
             &matrix,
-            &Procedure1Options { calls1: 4, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1: 4,
+                ..Procedure1Options::default()
+            },
         );
         let p1 = selection.indistinguished_pairs;
         let p2 = replace_baselines(&matrix, &mut selection.baselines);
-        prop_assert!(full <= p2);
-        prop_assert!(p2 <= p1);
-        prop_assert!(p1 <= pf);
+        assert!(full <= p2);
+        assert!(p2 <= p1);
+        assert!(p1 <= pf);
     }
+}
 
-    /// The LOWER cutoff can only lose resolution relative to exhaustive
-    /// candidate scoring under the same test order.
-    #[test]
-    fn lower_cutoff_is_conservative((exp, seed) in arb_experiment()) {
+/// The LOWER cutoff can only lose resolution relative to exhaustive
+/// candidate scoring under the same test order.
+#[test]
+fn lower_cutoff_is_conservative() {
+    let mut outer = Prng::seed_from_u64(0xF3);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let mut rng = Prng::seed_from_u64(seed ^ 3);
         let patterns = random_patterns(width, 10, &mut rng);
         let matrix = exp.simulate(&patterns);
         let order: Vec<usize> = (0..matrix.test_count()).collect();
@@ -100,68 +117,85 @@ proptest! {
         // but per-test the cutoff never scores higher than the max; sanity
         // bound: both are valid dictionaries over the same tests.
         let full = matrix.full_partition().indistinguished_pairs();
-        prop_assert!(with_cutoff >= full);
-        prop_assert!(exhaustive >= full);
+        assert!(with_cutoff >= full);
+        assert!(exhaustive >= full);
     }
+}
 
-    /// Serialized dictionaries round-trip exactly, whatever the circuit,
-    /// test set and baselines.
-    #[test]
-    fn dictionary_io_round_trips((exp, seed) in arb_experiment(), tests in 1usize..16) {
-        use same_different::dict::io;
+/// Serialized dictionaries round-trip exactly, whatever the circuit,
+/// test set and baselines.
+#[test]
+fn dictionary_io_round_trips() {
+    use same_different::dict::io;
+    let mut outer = Prng::seed_from_u64(0xF5);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
+        let tests = outer.gen_range(1..16);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 5);
+        let mut rng = Prng::seed_from_u64(seed ^ 5);
         let patterns = random_patterns(width, tests, &mut rng);
         let matrix = exp.simulate(&patterns);
         let selection = select_baselines(
             &matrix,
-            &Procedure1Options { calls1: 2, ..Procedure1Options::default() },
+            &Procedure1Options {
+                calls1: 2,
+                ..Procedure1Options::default()
+            },
         );
         let dict = SameDifferentDictionary::build(&matrix, &selection.baselines);
         let text = io::write_same_different(&dict);
         let back = io::read_same_different(&text).unwrap();
-        prop_assert_eq!(&back, &dict);
-        prop_assert_eq!(back.indistinguished_pairs(), dict.indistinguished_pairs());
+        assert_eq!(&back, &dict);
+        assert_eq!(back.indistinguished_pairs(), dict.indistinguished_pairs());
     }
+}
 
-    /// Space compaction never invents detections, and full-dictionary
-    /// resolution is monotone under it: compacted responses are a function
-    /// of original responses, so equal signatures stay equal.
-    ///
-    /// Note the deliberate omission: *pass/fail* resolution is NOT monotone
-    /// under compaction — masking a detection for only one member of an
-    /// indistinguished pair can split the pair. Proptest found this; it is
-    /// a real property of aliasing, not a bug.
-    #[test]
-    fn compaction_only_loses_information((exp, seed) in arb_experiment(), groups in 1usize..5) {
-        use same_different::sim::SpaceCompactor;
+/// Space compaction never invents detections, and full-dictionary
+/// resolution is monotone under it: compacted responses are a function
+/// of original responses, so equal signatures stay equal.
+///
+/// Note the deliberate omission: *pass/fail* resolution is NOT monotone
+/// under compaction — masking a detection for only one member of an
+/// indistinguished pair can split the pair. Random testing found this; it
+/// is a real property of aliasing, not a bug.
+#[test]
+fn compaction_only_loses_information() {
+    use same_different::sim::SpaceCompactor;
+    let mut outer = Prng::seed_from_u64(0xF6);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
+        let groups = outer.gen_range(1..5);
         let width = exp.view().inputs().len();
         let m_out = exp.view().outputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 6);
+        let mut rng = Prng::seed_from_u64(seed ^ 6);
         let patterns = random_patterns(width, 10, &mut rng);
         let matrix = exp.simulate(&patterns);
         let compactor = SpaceCompactor::modular(m_out, groups.min(m_out));
         let compacted = compactor.apply(&matrix);
-        prop_assert!(
+        assert!(
             compacted.full_partition().indistinguished_pairs()
                 >= matrix.full_partition().indistinguished_pairs()
         );
         for t in 0..matrix.test_count() {
             for f in 0..matrix.fault_count() {
                 if compacted.detects(t, f) {
-                    prop_assert!(matrix.detects(t, f));
+                    assert!(matrix.detects(t, f));
                 }
             }
         }
     }
+}
 
-    /// SLAT diagnosis of a chip behaving like one modeled fault always
-    /// explains every failing test.
-    #[test]
-    fn slat_is_complete_for_modeled_faults((exp, seed) in arb_experiment()) {
-        use same_different::dict::slat::slat_diagnose;
+/// SLAT diagnosis of a chip behaving like one modeled fault always
+/// explains every failing test.
+#[test]
+fn slat_is_complete_for_modeled_faults() {
+    use same_different::dict::slat::slat_diagnose;
+    let mut outer = Prng::seed_from_u64(0xF7);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let mut rng = Prng::seed_from_u64(seed ^ 7);
         let patterns = random_patterns(width, 12, &mut rng);
         let matrix = exp.simulate(&patterns);
         for fault in 0..matrix.fault_count().min(10) {
@@ -169,16 +203,20 @@ proptest! {
                 .map(|t| matrix.response(t, matrix.class(t, fault)))
                 .collect();
             let d = slat_diagnose(&matrix, &observed);
-            prop_assert!(d.is_complete());
+            assert!(d.is_complete());
         }
     }
+}
 
-    /// Fault collapsing only merges truly equivalent faults: representatives
-    /// and their class members produce identical responses everywhere.
-    #[test]
-    fn collapsed_classes_are_equivalent((exp, seed) in arb_experiment()) {
+/// Fault collapsing only merges truly equivalent faults: representatives
+/// and their class members produce identical responses everywhere.
+#[test]
+fn collapsed_classes_are_equivalent() {
+    let mut outer = Prng::seed_from_u64(0xF4);
+    for _ in 0..CASES {
+        let (exp, seed) = random_experiment(&mut outer);
         let width = exp.view().inputs().len();
-        let mut rng = StdRng::seed_from_u64(seed ^ 4);
+        let mut rng = Prng::seed_from_u64(seed ^ 4);
         let patterns = random_patterns(width, 8, &mut rng);
         for (id, fault) in exp.universe().iter() {
             let rep = exp.collapsed().representative(id);
@@ -189,7 +227,7 @@ proptest! {
             for pattern in &patterns {
                 let a = reference::faulty_response(exp.circuit(), exp.view(), fault, pattern);
                 let b = reference::faulty_response(exp.circuit(), exp.view(), rep_fault, pattern);
-                prop_assert_eq!(a, b, "fault {} vs representative {}", id, rep);
+                assert_eq!(a, b, "fault {} vs representative {}", id, rep);
             }
         }
     }
