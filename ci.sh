@@ -22,6 +22,12 @@ fi
 step "cargo test --offline --release --workspace -q"
 cargo test --offline --release --workspace -q
 
+step "store round-trip + serve smoke (c17)"
+cargo test --offline --release -q --test store_roundtrip --test serve_smoke
+
+step "dictionary load bench (text parse vs binary read, JSON)"
+cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10
+
 step "cargo fmt --check"
 if ! cargo fmt --version >/dev/null 2>&1; then
     echo "rustfmt not installed; skipping"

@@ -1,0 +1,81 @@
+//! Dictionary load-time comparison: parsing the v1 text format vs. decoding
+//! the binary `.sddb` store, for the same same/different dictionary.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin load_bench -- [circuit] [seed] [reps]
+//! ```
+//!
+//! Emits one JSON object on stdout so CI can archive and diff the numbers:
+//!
+//! ```json
+//! {"circuit":"s953","faults":1079,"tests":203,
+//!  "text_bytes":292384,"binary_bytes":37120,
+//!  "text_parse_us":1201.3,"binary_read_us":63.7,"speedup":18.9}
+//! ```
+//!
+//! Both paths start from bytes already in memory, so the comparison is
+//! parse/decode cost alone — exactly the work a diagnosis service repeats
+//! every time a dictionary is (re)loaded into its registry.
+
+use std::time::Instant;
+
+use same_different::Experiment;
+use sdd_core::{io as dict_io, Procedure1Options};
+use sdd_store::StoredDictionary;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let circuit = args.next().unwrap_or_else(|| "s953".to_owned());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let reps: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let exp = Experiment::iscas89(&circuit, seed)
+        .unwrap_or_else(|| Experiment::new(sdd_netlist::library::c17()));
+    let tests = exp.diagnostic_tests(&Default::default());
+    let suite = exp.build_dictionaries(
+        &tests.tests,
+        &Procedure1Options {
+            calls1: 3,
+            ..Default::default()
+        },
+    );
+    let dictionary = suite.same_different;
+
+    let text = dict_io::write_same_different(&dictionary);
+    let binary = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone()));
+
+    // One warm-up of each path keeps first-touch effects out of the timings.
+    assert_eq!(dict_io::read_same_different(&text).unwrap(), dictionary);
+    match sdd_store::decode(&binary).unwrap() {
+        StoredDictionary::SameDifferent(d) => assert_eq!(d, dictionary),
+        other => panic!("unexpected kind {:?}", other.kind()),
+    }
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let parsed = dict_io::read_same_different(&text).unwrap();
+        std::hint::black_box(&parsed);
+    }
+    let text_parse_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let decoded = sdd_store::decode(&binary).unwrap();
+        std::hint::black_box(&decoded);
+    }
+    let binary_read_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+
+    println!(
+        "{{\"circuit\":\"{}\",\"faults\":{},\"tests\":{},\
+         \"text_bytes\":{},\"binary_bytes\":{},\
+         \"text_parse_us\":{:.1},\"binary_read_us\":{:.1},\"speedup\":{:.1}}}",
+        exp.circuit().name(),
+        dictionary.fault_count(),
+        dictionary.test_count(),
+        text.len(),
+        binary.len(),
+        text_parse_us,
+        binary_read_us,
+        text_parse_us / binary_read_us.max(1e-9),
+    );
+}

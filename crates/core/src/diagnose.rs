@@ -204,23 +204,60 @@ pub fn match_signatures_masked(
     signatures: &[BitVec],
     observed: &MaskedBitVec,
 ) -> Result<NoisyDiagnosisReport, SddError> {
+    let mut scratch = Vec::new();
+    let (quality, known) = match_signatures_masked_into(signatures, observed, &mut scratch)?;
+    let min = scratch.first().map_or(0, |c| c.mismatches);
+    let best = scratch
+        .iter()
+        .take_while(|c| c.mismatches == min)
+        .map(|c| c.fault)
+        .collect();
+    Ok(NoisyDiagnosisReport {
+        ranking: scratch,
+        best,
+        quality,
+        known,
+    })
+}
+
+/// [`match_signatures_masked`] with a caller-owned scratch buffer: `scratch`
+/// is cleared, filled with every fault's score, and sorted by mismatch count
+/// (ties in fault order). Returns the match quality and the known-bit count.
+///
+/// Long-running services handle thousands of diagnosis queries per loaded
+/// dictionary; reusing one ranking buffer per worker keeps the hot path free
+/// of per-request allocation (beyond what the report itself would need).
+///
+/// # Errors
+///
+/// Returns [`SddError::Empty`] when there are no signatures to match, and
+/// [`SddError::WidthMismatch`] when `observed`'s width differs from the
+/// signatures'.
+pub fn match_signatures_masked_into(
+    signatures: &[BitVec],
+    observed: &MaskedBitVec,
+    scratch: &mut Vec<ScoredCandidate>,
+) -> Result<(MatchQuality, usize), SddError> {
     if signatures.is_empty() {
         return Err(SddError::Empty {
             context: "signature dictionary",
         });
     }
-    let scored = signatures
-        .iter()
-        .enumerate()
-        .map(|(fault, signature)| {
-            let d = observed.distance_to(signature)?;
-            Ok(ScoredCandidate::new(fault, d.mismatches, d.known))
-        })
-        .collect::<Result<Vec<_>, SddError>>()?;
-    Ok(NoisyDiagnosisReport::from_scores(
-        scored,
-        observed.is_fully_known(),
-    ))
+    scratch.clear();
+    scratch.reserve(signatures.len());
+    for (fault, signature) in signatures.iter().enumerate() {
+        let d = observed.distance_to(signature)?;
+        scratch.push(ScoredCandidate::new(fault, d.mismatches, d.known));
+    }
+    scratch.sort_by(|a, b| a.mismatches.cmp(&b.mismatches).then(a.fault.cmp(&b.fault)));
+    let min = scratch.first().map_or(0, |c| c.mismatches);
+    let known = scratch.first().map_or(0, |c| c.known);
+    let quality = match (min, observed.is_fully_known()) {
+        (0, true) => MatchQuality::Exact,
+        (0, false) => MatchQuality::ConsistentUnderMask,
+        _ => MatchQuality::Ranked,
+    };
+    Ok((quality, known))
 }
 
 impl PassFailDictionary {
@@ -566,6 +603,24 @@ mod tests {
         assert_eq!(r.candidates(), &[0, 2]); // one mismatch each
         assert_eq!(r.ranking.len(), 3);
         assert!(r.ranking[0].confidence > r.ranking[2].confidence);
+    }
+
+    #[test]
+    fn scratch_variant_agrees_and_reuses_the_buffer() {
+        let sigs = vec![bv("00"), bv("01"), bv("11")];
+        let mut scratch = Vec::new();
+        for obs in ["01", "0X", "10", "XX"] {
+            let observed = mv(obs);
+            let report = match_signatures_masked(&sigs, &observed).unwrap();
+            let (quality, known) =
+                match_signatures_masked_into(&sigs, &observed, &mut scratch).unwrap();
+            assert_eq!(quality, report.quality, "obs {obs}");
+            assert_eq!(known, report.known, "obs {obs}");
+            assert_eq!(scratch, report.ranking, "obs {obs}");
+        }
+        let capacity = scratch.capacity();
+        let _ = match_signatures_masked_into(&sigs, &mv("11"), &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), capacity, "no reallocation on reuse");
     }
 
     #[test]

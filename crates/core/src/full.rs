@@ -26,7 +26,7 @@ use crate::DictionarySizes;
 /// assert_eq!(d.response(2, 0).to_string(), "01"); // z_2,0
 /// assert_eq!(d.indistinguished_pairs(), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullDictionary {
     matrix: ResponseMatrix,
 }

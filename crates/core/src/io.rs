@@ -21,7 +21,6 @@
 
 use std::error::Error;
 use std::fmt;
-use std::fmt::Write as _;
 
 use sdd_logic::BitVec;
 
@@ -73,21 +72,64 @@ impl From<ParseDictionaryError> for sdd_logic::SddError {
 /// ```
 pub fn write_same_different(dictionary: &SameDifferentDictionary) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "same-different-dictionary v1");
-    let _ = writeln!(out, "tests {}", dictionary.test_count());
-    let _ = writeln!(out, "faults {}", dictionary.fault_count());
-    let _ = writeln!(out, "outputs {}", dictionary.sizes().outputs);
+    write_same_different_fmt(dictionary, &mut out).expect("writing to a String cannot fail");
+    out
+}
+
+/// Serializes the v1 text format record-by-record into a [`fmt::Write`]
+/// sink — the building block behind [`write_same_different`].
+///
+/// # Errors
+///
+/// Propagates the sink's [`fmt::Error`].
+pub fn write_same_different_fmt(
+    dictionary: &SameDifferentDictionary,
+    out: &mut impl fmt::Write,
+) -> fmt::Result {
+    writeln!(out, "same-different-dictionary v1")?;
+    writeln!(out, "tests {}", dictionary.test_count())?;
+    writeln!(out, "faults {}", dictionary.fault_count())?;
+    writeln!(out, "outputs {}", dictionary.sizes().outputs)?;
     for (test, class) in dictionary.baseline_classes().iter().enumerate() {
-        let _ = writeln!(
+        writeln!(
             out,
             "baseline {test} class {class} vector {}",
             dictionary.baseline(test)
-        );
+        )?;
     }
     for fault in 0..dictionary.fault_count() {
-        let _ = writeln!(out, "fault {fault} {}", dictionary.signature(fault));
+        writeln!(out, "fault {fault} {}", dictionary.signature(fault))?;
     }
-    out
+    Ok(())
+}
+
+/// Streams the v1 text format record-by-record into an [`std::io::Write`]
+/// sink (a `BufWriter<File>`, a socket, …) without materializing the whole
+/// document in memory — for dictionaries with hundreds of thousands of
+/// faults the text blob easily exceeds the dictionary itself.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O error.
+pub fn write_same_different_to(
+    dictionary: &SameDifferentDictionary,
+    out: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    writeln!(out, "same-different-dictionary v1")?;
+    writeln!(out, "tests {}", dictionary.test_count())?;
+    writeln!(out, "faults {}", dictionary.fault_count())?;
+    writeln!(out, "outputs {}", dictionary.sizes().outputs)?;
+    for (test, class) in dictionary.baseline_classes().iter().enumerate() {
+        writeln!(
+            out,
+            "baseline {test} class {class} vector {}",
+            dictionary.baseline(test)
+        )?;
+    }
+    for fault in 0..dictionary.fault_count() {
+        writeln!(out, "fault {fault} {}", dictionary.signature(fault))?;
+    }
+    Ok(())
 }
 
 /// Parses the v1 text format back into a dictionary.
@@ -189,9 +231,8 @@ pub fn read_same_different(text: &str) -> Result<SameDifferentDictionary, ParseD
     if signatures.len() != faults {
         return Err(err(0, "missing fault records"));
     }
-    Ok(SameDifferentDictionary::from_parts(
-        signatures, baselines, classes, outputs,
-    ))
+    SameDifferentDictionary::from_parts(signatures, baselines, classes, outputs)
+        .map_err(|e| err(0, &e.to_string()))
 }
 
 #[cfg(test)]
@@ -220,6 +261,15 @@ mod tests {
         assert!(text.starts_with("same-different-dictionary v1\n"));
         assert!(text.contains("baseline 0 class 2 vector 01"));
         assert!(text.contains("fault 3 01"));
+    }
+
+    #[test]
+    fn streaming_writer_agrees_with_in_memory_writer() {
+        let d = sample();
+        let text = write_same_different(&d);
+        let mut bytes = Vec::new();
+        write_same_different_to(&d, &mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), text);
     }
 
     #[test]

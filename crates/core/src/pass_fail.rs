@@ -1,6 +1,6 @@
 //! The classic pass/fail fault dictionary.
 
-use sdd_logic::BitVec;
+use sdd_logic::{BitVec, SddError};
 use sdd_sim::{Partition, ResponseMatrix};
 
 use crate::DictionarySizes;
@@ -45,6 +45,32 @@ impl PassFailDictionary {
             tests: matrix.test_count(),
             outputs: matrix.output_count(),
         }
+    }
+
+    /// Reassembles a dictionary from stored signature rows, as the binary
+    /// store reads them back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::WidthMismatch`] when any signature's width
+    /// differs from `tests`.
+    pub fn from_parts(
+        signatures: Vec<BitVec>,
+        tests: usize,
+        outputs: usize,
+    ) -> Result<Self, SddError> {
+        if let Some(bad) = signatures.iter().find(|s| s.len() != tests) {
+            return Err(SddError::WidthMismatch {
+                context: "stored pass/fail signature width",
+                expected: tests,
+                actual: bad.len(),
+            });
+        }
+        Ok(Self {
+            signatures,
+            tests,
+            outputs,
+        })
     }
 
     /// Number of faults `n`.

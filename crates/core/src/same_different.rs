@@ -72,20 +72,48 @@ impl SameDifferentDictionary {
         }
     }
 
-    /// Reassembles a dictionary from stored parts (used by [`crate::io`]).
-    pub(crate) fn from_parts(
+    /// Reassembles a dictionary from stored parts, as the text format
+    /// ([`crate::io`]) and the binary store read them back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] when `baselines` and
+    /// `baseline_classes` disagree in length, and [`SddError::WidthMismatch`]
+    /// when a signature's width differs from the test count or a baseline's
+    /// width differs from `outputs`.
+    pub fn from_parts(
         signatures: Vec<BitVec>,
         baselines: Vec<BitVec>,
         baseline_classes: Vec<u32>,
         outputs: usize,
-    ) -> Self {
-        assert_eq!(baselines.len(), baseline_classes.len());
-        Self {
+    ) -> Result<Self, SddError> {
+        if baselines.len() != baseline_classes.len() {
+            return Err(SddError::CountMismatch {
+                context: "baseline classes per baseline vector",
+                expected: baselines.len(),
+                actual: baseline_classes.len(),
+            });
+        }
+        if let Some(bad) = baselines.iter().find(|b| b.len() != outputs) {
+            return Err(SddError::WidthMismatch {
+                context: "stored baseline width",
+                expected: outputs,
+                actual: bad.len(),
+            });
+        }
+        if let Some(bad) = signatures.iter().find(|s| s.len() != baselines.len()) {
+            return Err(SddError::WidthMismatch {
+                context: "stored same/different signature width",
+                expected: baselines.len(),
+                actual: bad.len(),
+            });
+        }
+        Ok(Self {
             signatures,
             baselines,
             baseline_classes,
             outputs,
-        }
+        })
     }
 
     /// Builds the degenerate dictionary whose baselines are all the

@@ -180,6 +180,53 @@ impl BitVec {
         }
     }
 
+    /// Number of 64-bit storage words (`len().div_ceil(64)`).
+    pub fn word_count(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// Iterates over the packed storage words, least-significant bit first,
+    /// with bits beyond `len` forced to zero — the canonical little-endian
+    /// word image used by the binary dictionary store.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_logic::BitVec;
+    /// let v: BitVec = "101".parse()?;
+    /// assert_eq!(v.as_words().collect::<Vec<u64>>(), vec![0b101]);
+    /// # Ok::<(), sdd_logic::ParseBitVecError>(())
+    /// ```
+    pub fn as_words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.masked_words()
+    }
+
+    /// Reassembles a vector of `len` bits from its packed word image, as
+    /// produced by [`as_words`](Self::as_words). The inverse of `as_words`:
+    /// stale bits beyond `len` in the last word are cleared rather than
+    /// trusted, so any 8-byte-aligned payload slice deserializes safely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError::CountMismatch`] when `words.len()` differs from
+    /// `len.div_ceil(64)`.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Result<Self, crate::SddError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(crate::SddError::CountMismatch {
+                context: "bit vector storage words",
+                expected: len.div_ceil(64),
+                actual: words.len(),
+            });
+        }
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= u64::MAX >> (64 - tail_bits);
+            }
+        }
+        Ok(Self { words, len })
+    }
+
     /// Words with bits beyond `len` forced to zero, so that equality and
     /// hashing ignore stale storage.
     fn masked_words(&self) -> impl Iterator<Item = u64> + '_ {
@@ -560,5 +607,31 @@ mod tests {
     fn debug_is_nonempty() {
         let v: BitVec = "01".parse().unwrap();
         assert_eq!(format!("{v:?}"), "BitVec(\"01\")");
+    }
+
+    #[test]
+    fn words_round_trip_across_boundaries() {
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            let v: BitVec = (0..len).map(|i| i % 3 == 0).collect();
+            assert_eq!(v.word_count(), len.div_ceil(64));
+            let words: Vec<u64> = v.as_words().collect();
+            assert_eq!(words.len(), v.word_count());
+            let back = BitVec::from_words(words, len).unwrap();
+            assert_eq!(back, v, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_words_clears_stale_tail_bits() {
+        // A word with garbage above bit 2 must still equal "101".
+        let v = BitVec::from_words(vec![0b101 | (0xFF << 3)], 3).unwrap();
+        assert_eq!(v, "101".parse().unwrap());
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_words_rejects_wrong_word_count() {
+        assert!(BitVec::from_words(vec![0, 0], 64).is_err());
+        assert!(BitVec::from_words(vec![], 1).is_err());
     }
 }

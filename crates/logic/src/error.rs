@@ -52,6 +52,39 @@ pub enum SddError {
         /// What was empty.
         context: &'static str,
     },
+    /// Binary input ended before a complete record could be read.
+    Truncated {
+        /// What was being read (e.g. `"store header"`).
+        context: &'static str,
+        /// Bytes required.
+        expected: usize,
+        /// Bytes available.
+        actual: usize,
+    },
+    /// A serialized artifact carries a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version found in the input.
+        found: u16,
+        /// The newest version this build supports.
+        supported: u16,
+    },
+    /// Stored and recomputed checksums disagree: the payload is corrupt.
+    ChecksumMismatch {
+        /// What was being verified (e.g. `"store payload"`).
+        context: &'static str,
+        /// The checksum recorded in the input.
+        stored: u64,
+        /// The checksum computed over the bytes actually read.
+        computed: u64,
+    },
+    /// An operating-system I/O failure, carried as text so the error type
+    /// stays `Clone + PartialEq`.
+    Io {
+        /// The failing path or endpoint.
+        context: String,
+        /// The OS error message.
+        message: String,
+    },
 }
 
 impl SddError {
@@ -59,6 +92,14 @@ impl SddError {
     pub fn invalid(message: impl Into<String>) -> Self {
         SddError::Invalid {
             message: message.into(),
+        }
+    }
+
+    /// Wraps a [`std::io::Error`] with the path or endpoint it came from.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> Self {
+        SddError::Io {
+            context: context.into(),
+            message: error.to_string(),
         }
     }
 }
@@ -83,6 +124,27 @@ impl fmt::Display for SddError {
             SddError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             SddError::Invalid { message } => write!(f, "invalid input: {message}"),
             SddError::Empty { context } => write!(f, "{context} is empty"),
+            SddError::Truncated {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{context} truncated: need {expected} bytes, have {actual}"
+            ),
+            SddError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to {supported})"
+            ),
+            SddError::ChecksumMismatch {
+                context,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{context} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SddError::Io { context, message } => write!(f, "{context}: {message}"),
         }
     }
 }
@@ -127,6 +189,31 @@ mod tests {
         }
         .to_string()
         .contains("empty"));
+    }
+
+    #[test]
+    fn store_variants_format_their_evidence() {
+        let e = SddError::Truncated {
+            context: "store header",
+            expected: 64,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("store header"));
+        assert!(e.to_string().contains("64"));
+        let e = SddError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = SddError::ChecksumMismatch {
+            context: "store payload",
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = SddError::io("dict.sddb", &std::io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("dict.sddb"));
+        assert!(e.to_string().contains("disk on fire"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::Engine;
 /// assert_eq!(m.response(0, 0), *m.good_response(0));
 /// # Ok::<(), sdd_logic::ParseBitVecError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResponseMatrix {
     fault_count: usize,
     output_count: usize,
@@ -180,6 +180,87 @@ impl ResponseMatrix {
             distinct,
             good,
         }
+    }
+
+    /// Reassembles a matrix from its stored parts — the exact inverse of
+    /// the accessors, used by the binary dictionary store (`sdd-store`) so a
+    /// deserialized full dictionary is structurally identical to the
+    /// simulated one (same class labels, same distinct-vector tables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SddError`](sdd_logic::SddError) when the parts are
+    /// inconsistent: ragged class rows, class labels out of range, response
+    /// widths exceeding `output_count`, or a non-empty class-0 diff list.
+    pub fn from_class_parts(
+        good: Vec<BitVec>,
+        fault_count: usize,
+        output_count: usize,
+        class: Vec<u32>,
+        distinct: Vec<Vec<Vec<u32>>>,
+    ) -> Result<Self, sdd_logic::SddError> {
+        use sdd_logic::SddError;
+        if class.len() != good.len() * fault_count {
+            return Err(SddError::CountMismatch {
+                context: "response class matrix entries",
+                expected: good.len() * fault_count,
+                actual: class.len(),
+            });
+        }
+        if distinct.len() != good.len() {
+            return Err(SddError::CountMismatch {
+                context: "distinct-vector tables per test",
+                expected: good.len(),
+                actual: distinct.len(),
+            });
+        }
+        for (test, g) in good.iter().enumerate() {
+            if g.len() != output_count {
+                return Err(SddError::WidthMismatch {
+                    context: "fault-free response width",
+                    expected: output_count,
+                    actual: g.len(),
+                });
+            }
+            let table = &distinct[test];
+            if table.first().is_none_or(|c0| !c0.is_empty()) {
+                return Err(SddError::invalid(format!(
+                    "test {test}: class 0 must be present with an empty diff list"
+                )));
+            }
+            for diffs in table {
+                if diffs.iter().any(|&pos| pos as usize >= output_count) {
+                    return Err(SddError::invalid(format!(
+                        "test {test}: diff position out of range ({output_count} outputs)"
+                    )));
+                }
+            }
+            let classes = &class[test * fault_count..(test + 1) * fault_count];
+            if let Some(&bad) = classes.iter().find(|&&c| c as usize >= table.len()) {
+                return Err(SddError::invalid(format!(
+                    "test {test}: class label {bad} out of range ({} classes)",
+                    table.len()
+                )));
+            }
+        }
+        Ok(Self {
+            fault_count,
+            output_count,
+            class,
+            distinct,
+            good,
+        })
+    }
+
+    /// The sorted flipped-output positions of response class `class` under
+    /// `test` relative to the fault-free response (class 0 is empty) — the
+    /// raw stored form behind [`response`](Self::response).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not a class of `test`.
+    pub fn class_diffs(&self, test: usize, class: u32) -> &[u32] {
+        &self.distinct[test][class as usize]
     }
 
     /// Number of tests.
@@ -372,6 +453,85 @@ mod tests {
         }
         // Every collapsed c17 fault is detectable by exhaustive patterns.
         assert!(m.undetected_faults().is_empty());
+    }
+
+    #[test]
+    fn class_parts_round_trip_exactly() {
+        let (_, _, _, _, m) = setup(&["10111", "01101", "00000"]);
+        let good: Vec<BitVec> = (0..m.test_count())
+            .map(|t| m.good_response(t).clone())
+            .collect();
+        let class: Vec<u32> = (0..m.test_count())
+            .flat_map(|t| m.classes(t).to_vec())
+            .collect();
+        let distinct: Vec<Vec<Vec<u32>>> = (0..m.test_count())
+            .map(|t| {
+                (0..m.class_count(t))
+                    .map(|c| m.class_diffs(t, c as u32).to_vec())
+                    .collect()
+            })
+            .collect();
+        let back = ResponseMatrix::from_class_parts(
+            good,
+            m.fault_count(),
+            m.output_count(),
+            class,
+            distinct,
+        )
+        .unwrap();
+        assert_eq!(back, m, "parts reassemble the identical matrix");
+    }
+
+    #[test]
+    fn from_class_parts_rejects_inconsistent_parts() {
+        let (_, _, _, _, m) = setup(&["10111"]);
+        let good = vec![m.good_response(0).clone()];
+        let classes = m.classes(0).to_vec();
+        let distinct: Vec<Vec<Vec<u32>>> = vec![(0..m.class_count(0))
+            .map(|c| m.class_diffs(0, c as u32).to_vec())
+            .collect()];
+        // Wrong class-entry count.
+        assert!(ResponseMatrix::from_class_parts(
+            good.clone(),
+            m.fault_count() + 1,
+            m.output_count(),
+            classes.clone(),
+            distinct.clone(),
+        )
+        .is_err());
+        // Class label out of range.
+        let mut bad_classes = classes.clone();
+        bad_classes[0] = 99;
+        assert!(ResponseMatrix::from_class_parts(
+            good.clone(),
+            m.fault_count(),
+            m.output_count(),
+            bad_classes,
+            distinct.clone(),
+        )
+        .is_err());
+        // Diff position beyond the output count.
+        let mut bad_distinct = distinct.clone();
+        bad_distinct[0].last_mut().unwrap().push(99);
+        assert!(ResponseMatrix::from_class_parts(
+            good.clone(),
+            m.fault_count(),
+            m.output_count(),
+            classes.clone(),
+            bad_distinct,
+        )
+        .is_err());
+        // Class 0 must stay the fault-free (empty-diff) class.
+        let mut bad_distinct = distinct;
+        bad_distinct[0][0].push(0);
+        assert!(ResponseMatrix::from_class_parts(
+            good,
+            m.fault_count(),
+            m.output_count(),
+            classes,
+            bad_distinct,
+        )
+        .is_err());
     }
 
     #[test]

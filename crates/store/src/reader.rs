@@ -1,0 +1,254 @@
+//! Validated, lazily-indexed access to a `.sddb` byte image.
+
+use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
+use sdd_logic::{BitVec, SddError};
+use sdd_sim::ResponseMatrix;
+
+use crate::format::{self, Cursor, Header, HEADER_LEN};
+use crate::{DictionaryKind, StoredDictionary};
+
+/// A reader over a complete `.sddb` byte image (e.g. a whole file read —
+/// or mapped — into memory).
+///
+/// Opening validates the header and the payload checksum once; after that,
+/// [`signature`](Self::signature) loads single fault rows through the row
+/// index without decoding the rest of the payload, and
+/// [`dictionary`](Self::dictionary) decodes the whole artifact.
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::PassFailDictionary;
+/// use sdd_store::{encode, SddbReader, StoredDictionary};
+///
+/// let d = PassFailDictionary::build(&sdd_core::example::paper_example());
+/// let bytes = encode(&StoredDictionary::PassFail(d.clone()));
+/// let reader = SddbReader::open(&bytes)?;
+/// assert_eq!(reader.faults(), 4);
+/// assert_eq!(reader.signature(2)?, *d.signature(2)); // lazy row load
+/// # Ok::<(), sdd_logic::SddError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SddbReader<'a> {
+    payload: &'a [u8],
+    header: Header,
+}
+
+impl<'a> SddbReader<'a> {
+    /// Opens a byte image: decodes the header and verifies the payload
+    /// length and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Every corruption mode maps to a typed [`SddError`]:
+    /// [`SddError::Truncated`] when bytes are missing,
+    /// [`SddError::Invalid`] for bad magic / kind / trailing garbage,
+    /// [`SddError::ChecksumMismatch`] for flipped bits, and
+    /// [`SddError::UnsupportedVersion`] for newer formats.
+    pub fn open(bytes: &'a [u8]) -> Result<Self, SddError> {
+        let header = Header::decode(bytes)?;
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() < header.payload_len {
+            return Err(SddError::Truncated {
+                context: "store payload",
+                expected: HEADER_LEN + header.payload_len,
+                actual: bytes.len(),
+            });
+        }
+        if payload.len() > header.payload_len {
+            return Err(SddError::invalid(format!(
+                "{} trailing bytes after the payload",
+                payload.len() - header.payload_len
+            )));
+        }
+        let computed = format::fnv1a64(payload);
+        if computed != header.payload_checksum {
+            return Err(SddError::ChecksumMismatch {
+                context: "store payload",
+                stored: header.payload_checksum,
+                computed,
+            });
+        }
+        Ok(Self { payload, header })
+    }
+
+    /// The decoded header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Which dictionary kind the payload encodes.
+    pub fn kind(&self) -> DictionaryKind {
+        self.header.kind
+    }
+
+    /// Number of tests `k`.
+    pub fn tests(&self) -> usize {
+        self.header.tests
+    }
+
+    /// Number of faults `n`.
+    pub fn faults(&self) -> usize {
+        self.header.faults
+    }
+
+    /// Number of observed outputs `m`.
+    pub fn outputs(&self) -> usize {
+        self.header.outputs
+    }
+
+    /// Byte offset (within the payload) of the per-fault row index, for the
+    /// kinds that store signature rows.
+    fn row_index_start(&self) -> Result<usize, SddError> {
+        let h = &self.header;
+        match h.kind {
+            DictionaryKind::PassFail => Ok(0),
+            DictionaryKind::SameDifferent => Ok(h.tests * 4 + h.tests * h.outputs.div_ceil(64) * 8),
+            DictionaryKind::Full => Err(SddError::invalid(
+                "full dictionaries store response classes, not signature rows",
+            )),
+        }
+    }
+
+    /// Loads the signature row of one fault through the row index, without
+    /// decoding any other row — the partial-load path a tester-floor service
+    /// uses when it only needs a handful of candidates re-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Invalid`] for an out-of-range fault or a full-dictionary
+    /// payload, [`SddError::Truncated`] when the indexed row runs off the
+    /// payload.
+    pub fn signature(&self, fault: usize) -> Result<BitVec, SddError> {
+        if fault >= self.header.faults {
+            return Err(SddError::invalid(format!(
+                "fault {fault} out of range ({} faults)",
+                self.header.faults
+            )));
+        }
+        let index_start = self.row_index_start()?;
+        let mut cursor = Cursor::new(self.payload, "signature row index");
+        cursor.seek(index_start + fault * 8);
+        let offset = self.offset(cursor.u64()?)?;
+        let mut cursor = Cursor::new(self.payload, "signature row");
+        cursor.seek(offset);
+        cursor.bit_row(self.header.tests)
+    }
+
+    /// Loads the baseline output vector of one test (same/different
+    /// payloads only).
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Invalid`] for an out-of-range test or a non-
+    /// same/different payload, [`SddError::Truncated`] on short payloads.
+    pub fn baseline(&self, test: usize) -> Result<BitVec, SddError> {
+        if self.header.kind != DictionaryKind::SameDifferent {
+            return Err(SddError::invalid(
+                "baselines are only stored for same/different dictionaries",
+            ));
+        }
+        if test >= self.header.tests {
+            return Err(SddError::invalid(format!(
+                "test {test} out of range ({} tests)",
+                self.header.tests
+            )));
+        }
+        let baseline_bytes = self.header.outputs.div_ceil(64) * 8;
+        let mut cursor = Cursor::new(self.payload, "baseline row");
+        cursor.seek(self.header.tests * 4 + test * baseline_bytes);
+        cursor.bit_row(self.header.outputs)
+    }
+
+    fn offset(&self, raw: u64) -> Result<usize, SddError> {
+        usize::try_from(raw)
+            .map_err(|_| SddError::invalid(format!("row offset {raw} exceeds usize")))
+    }
+
+    /// Decodes the whole payload into an in-memory dictionary.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SddError`]s for truncated sections, out-of-range offsets, or
+    /// structurally inconsistent parts.
+    pub fn dictionary(&self) -> Result<StoredDictionary, SddError> {
+        let h = &self.header;
+        match h.kind {
+            DictionaryKind::PassFail => {
+                let signatures = self.signature_rows()?;
+                Ok(StoredDictionary::PassFail(PassFailDictionary::from_parts(
+                    signatures, h.tests, h.outputs,
+                )?))
+            }
+            DictionaryKind::SameDifferent => {
+                let mut cursor = Cursor::new(self.payload, "baseline classes");
+                let mut classes = Vec::with_capacity(h.tests);
+                for _ in 0..h.tests {
+                    classes.push(cursor.u32()?);
+                }
+                let mut baselines = Vec::with_capacity(h.tests);
+                let mut cursor = Cursor::new(self.payload, "baseline rows");
+                cursor.seek(h.tests * 4);
+                for _ in 0..h.tests {
+                    baselines.push(cursor.bit_row(h.outputs)?);
+                }
+                let signatures = self.signature_rows()?;
+                Ok(StoredDictionary::SameDifferent(
+                    SameDifferentDictionary::from_parts(signatures, baselines, classes, h.outputs)?,
+                ))
+            }
+            DictionaryKind::Full => self.full_dictionary(),
+        }
+    }
+
+    /// Reads every signature row through the row index.
+    fn signature_rows(&self) -> Result<Vec<BitVec>, SddError> {
+        let index_start = self.row_index_start()?;
+        let mut index = Cursor::new(self.payload, "signature row index");
+        index.seek(index_start);
+        let mut rows = Vec::with_capacity(self.header.faults);
+        for _ in 0..self.header.faults {
+            let offset = self.offset(index.u64()?)?;
+            let mut row = Cursor::new(self.payload, "signature row");
+            row.seek(offset);
+            rows.push(row.bit_row(self.header.tests)?);
+        }
+        Ok(rows)
+    }
+
+    fn full_dictionary(&self) -> Result<StoredDictionary, SddError> {
+        let h = &self.header;
+        let mut cursor = Cursor::new(self.payload, "fault-free responses");
+        let mut good = Vec::with_capacity(h.tests);
+        for _ in 0..h.tests {
+            good.push(cursor.bit_row(h.outputs)?);
+        }
+        let mut cursor = Cursor::new(self.payload, "response class matrix");
+        cursor.seek(h.tests * h.outputs.div_ceil(64) * 8);
+        let mut class = Vec::with_capacity(h.tests * h.faults);
+        for _ in 0..h.tests * h.faults {
+            class.push(cursor.u32()?);
+        }
+        let mut index = Cursor::new(self.payload, "distinct-table index");
+        index.seek(h.tests * h.outputs.div_ceil(64) * 8 + h.tests * h.faults * 4);
+        let mut distinct = Vec::with_capacity(h.tests);
+        for _ in 0..h.tests {
+            let offset = self.offset(index.u64()?)?;
+            let mut table = Cursor::new(self.payload, "distinct-vector table");
+            table.seek(offset);
+            let class_count = table.u32()? as usize;
+            let mut classes = Vec::with_capacity(class_count);
+            for _ in 0..class_count {
+                let len = table.u32()? as usize;
+                let mut diffs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    diffs.push(table.u32()?);
+                }
+                classes.push(diffs);
+            }
+            distinct.push(classes);
+        }
+        let matrix = ResponseMatrix::from_class_parts(good, h.faults, h.outputs, class, distinct)?;
+        Ok(StoredDictionary::Full(FullDictionary::new(matrix)))
+    }
+}

@@ -1,0 +1,140 @@
+//! Payload assembly: each dictionary kind serialized to its `.sddb` payload.
+//!
+//! Section layout per kind (offsets relative to the payload start, which is
+//! byte 64 of the file):
+//!
+//! * **Pass/fail** — `[row index: n×u64] [signature rows: n × ⌈k/64⌉×u64]`.
+//! * **Same/different** — `[baseline classes: k×u32] [baselines: k ×
+//!   ⌈m/64⌉×u64] [row index: n×u64] [signature rows: n × ⌈k/64⌉×u64]`.
+//! * **Full** — `[good responses: k × ⌈m/64⌉×u64] [class matrix: k·n×u32]
+//!   [table index: k×u64] [per-test distinct tables]`, where each table is
+//!   `class_count:u32` followed by `class_count` diff lists
+//!   (`len:u32, len×u32` flipped-output positions).
+//!
+//! The row index is redundant for the fixed-width signature rows of v1 —
+//! offsets are computable — but it is what lets a reader load single rows
+//! without trusting arithmetic on dimensions, and it keeps the format stable
+//! if a later version compresses rows to variable width.
+
+use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
+
+use crate::format::{push_bit_row, push_u32, push_u64, Header, HEADER_LEN};
+use crate::{format, DictionaryKind, StoredDictionary};
+
+/// Serializes any dictionary into a complete `.sddb` byte image
+/// (header + checksummed payload).
+pub fn encode(dictionary: &StoredDictionary) -> Vec<u8> {
+    let (kind, tests, faults, outputs, payload) = match dictionary {
+        StoredDictionary::PassFail(d) => (
+            DictionaryKind::PassFail,
+            d.test_count(),
+            d.fault_count(),
+            d.sizes().outputs as usize,
+            pass_fail_payload(d),
+        ),
+        StoredDictionary::SameDifferent(d) => (
+            DictionaryKind::SameDifferent,
+            d.test_count(),
+            d.fault_count(),
+            d.sizes().outputs as usize,
+            same_different_payload(d),
+        ),
+        StoredDictionary::Full(d) => (
+            DictionaryKind::Full,
+            d.test_count(),
+            d.fault_count(),
+            d.matrix().output_count(),
+            full_payload(d),
+        ),
+    };
+    let header = Header {
+        kind,
+        tests,
+        faults,
+        outputs,
+        payload_len: payload.len(),
+        payload_checksum: format::fnv1a64(&payload),
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Appends a row index (`count` × u64 offsets of fixed-width rows starting
+/// at `rows_start`) followed by nothing — rows are pushed by the caller.
+fn push_row_index(out: &mut Vec<u8>, count: usize, rows_start: usize, row_bytes: usize) {
+    for row in 0..count {
+        push_u64(out, (rows_start + row * row_bytes) as u64);
+    }
+}
+
+fn pass_fail_payload(d: &PassFailDictionary) -> Vec<u8> {
+    let n = d.fault_count();
+    let row_bytes = d.test_count().div_ceil(64) * 8;
+    let index_bytes = n * 8;
+    let mut out = Vec::with_capacity(index_bytes + n * row_bytes);
+    push_row_index(&mut out, n, index_bytes, row_bytes);
+    for fault in 0..n {
+        push_bit_row(&mut out, d.signature(fault));
+    }
+    out
+}
+
+fn same_different_payload(d: &SameDifferentDictionary) -> Vec<u8> {
+    let k = d.test_count();
+    let n = d.fault_count();
+    let baseline_bytes = (d.sizes().outputs as usize).div_ceil(64) * 8;
+    let row_bytes = k.div_ceil(64) * 8;
+    let index_start = k * 4 + k * baseline_bytes;
+    let rows_start = index_start + n * 8;
+    let mut out = Vec::with_capacity(rows_start + n * row_bytes);
+    for &class in d.baseline_classes() {
+        push_u32(&mut out, class);
+    }
+    for test in 0..k {
+        push_bit_row(&mut out, d.baseline(test));
+    }
+    push_row_index(&mut out, n, rows_start, row_bytes);
+    for fault in 0..n {
+        push_bit_row(&mut out, d.signature(fault));
+    }
+    out
+}
+
+fn full_payload(d: &FullDictionary) -> Vec<u8> {
+    let m = d.matrix();
+    let k = m.test_count();
+    let n = m.fault_count();
+    // Distinct tables first, into a scratch buffer, recording each test's
+    // offset relative to the tables section.
+    let mut tables = Vec::new();
+    let mut table_offsets = Vec::with_capacity(k);
+    for test in 0..k {
+        table_offsets.push(tables.len());
+        push_u32(&mut tables, m.class_count(test) as u32);
+        for class in 0..m.class_count(test) as u32 {
+            let diffs = m.class_diffs(test, class);
+            push_u32(&mut tables, diffs.len() as u32);
+            for &pos in diffs {
+                push_u32(&mut tables, pos);
+            }
+        }
+    }
+    let good_bytes = m.output_count().div_ceil(64) * 8;
+    let tables_start = k * good_bytes + k * n * 4 + k * 8;
+    let mut out = Vec::with_capacity(tables_start + tables.len());
+    for test in 0..k {
+        push_bit_row(&mut out, m.good_response(test));
+    }
+    for test in 0..k {
+        for &class in m.classes(test) {
+            push_u32(&mut out, class);
+        }
+    }
+    for offset in table_offsets {
+        push_u64(&mut out, (tables_start + offset) as u64);
+    }
+    out.extend_from_slice(&tables);
+    out
+}

@@ -1,0 +1,80 @@
+//! Persist a dictionary to the binary store and serve it over TCP — the
+//! deployment shape the paper's dictionaries are built for: compute once
+//! next to the ATPG flow, then answer tester-floor diagnosis queries all
+//! day.
+//!
+//! ```text
+//! cargo run --example persist_and_serve
+//! ```
+
+use same_different::dict::Procedure1Options;
+use same_different::serve::{serve, Client, ServeConfig};
+use same_different::store::{save, StoredDictionary};
+use same_different::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the c17 same/different dictionary (Procedures 1 + 2).
+    let exp = Experiment::new(same_different::netlist::library::c17());
+    let tests = exp.diagnostic_tests(&Default::default()).tests;
+    let suite = exp.build_dictionaries(
+        &tests,
+        &Procedure1Options {
+            calls1: 5,
+            ..Default::default()
+        },
+    );
+    println!(
+        "built c17 same/different dictionary: {} faults x {} tests, {} indistinguished pairs",
+        suite.same_different.fault_count(),
+        suite.same_different.test_count(),
+        suite.procedure2_pairs,
+    );
+
+    // 2. Persist it to the checksummed binary store.
+    let dir = std::env::temp_dir().join(format!("sdd-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("c17.sddb");
+    save(
+        &path,
+        &StoredDictionary::SameDifferent(suite.same_different),
+    )?;
+    println!(
+        "saved {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 3. Serve it and talk the line protocol over loopback.
+    let handle = serve(&ServeConfig::default())?;
+    println!("serving on {}", handle.addr());
+    let mut client = Client::connect(handle.addr())?;
+    println!(
+        "> LOAD c17 ...\n< {}",
+        client.request(&format!("LOAD c17 {}", path.display()))?
+    );
+
+    // A corrupted datalog: the first test's outputs survive (fault 0 makes
+    // test 0 read 10 instead of the fault-free response), the second test's
+    // first bit was lost in transfer.
+    let fault = exp.universe().fault(exp.faults()[0]);
+    let mut observation = Vec::new();
+    for (t, test) in tests.iter().enumerate() {
+        let response =
+            same_different::sim::reference::faulty_response(exp.circuit(), exp.view(), fault, test);
+        let mut token = response.to_string();
+        if t == 1 {
+            token.replace_range(0..1, "X");
+        }
+        observation.push(token);
+    }
+    let observation = observation.join("/");
+    println!("> DIAG c17 {observation}");
+    println!("< {}", client.request(&format!("DIAG c17 {observation}"))?);
+
+    println!("> STATS\n< {}", client.request("STATS")?);
+    println!("> SHUTDOWN\n< {}", client.request("SHUTDOWN")?);
+    handle.wait();
+    println!("server drained");
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -4,15 +4,23 @@
 //! sdd generate <circuit> [--seed N] [-o out.bench]      emit a synthetic benchmark
 //! sdd info <file.bench>                                 circuit and fault statistics
 //! sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]
-//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]
+//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--out dict.txt|dict.sddb]
+//! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
-//! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt --observed obs.txt
+//! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
+//! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES] [name=dict ...]
 //! ```
 //!
 //! Test files hold one input pattern per line (`0`/`1` characters, one per
 //! view input: primary inputs then flip-flop pseudo-inputs). Observation
 //! files hold one output response per line (primary outputs then flip-flop
 //! pseudo-outputs), in test order.
+//!
+//! Dictionary files are accepted in both formats everywhere, sniffed by
+//! magic number: the diffable v1 text format and the binary `.sddb` store.
+//! `--out` picks the output format from the extension (`.sddb` → binary,
+//! anything else → text, streamed record-by-record) and `-o` remains the
+//! text-only spelling older scripts use.
 
 use std::fs;
 use std::process::ExitCode;
@@ -31,11 +39,12 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("atpg") => cmd_atpg(&args[1..]),
-        Some("dictionary") => cmd_dictionary(&args[1..]),
+        Some("dictionary") | Some("build") => cmd_dictionary(&args[1..]),
         Some("inject") => cmd_inject(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: sdd <generate|info|atpg|dictionary|diagnose> ...");
+            eprintln!("usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|serve> ...");
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
         }
@@ -123,18 +132,27 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         return Err("usage: sdd generate <circuit> [--seed N] [-o out.bench]".into());
     };
     let seed: u64 = seed.map_or(Ok(1), |s| s.parse().map_err(|_| "bad --seed"))?;
-    let profile = generator::profile(name).ok_or_else(|| {
-        format!(
-            "unknown circuit {name:?}; known: {}",
-            generator::ISCAS89_PROFILES
-                .iter()
-                .chain(&generator::ISCAS85_PROFILES)
-                .map(|p| p.name)
-                .collect::<Vec<_>>()
-                .join(", ")
-        )
-    })?;
-    emit(output, &bench::write(&generator::generate(profile, seed)))
+    // The embedded library circuits come first; everything else is drawn
+    // from the synthetic benchmark generator.
+    let circuit = match name.as_str() {
+        "c17" => same_different::netlist::library::c17(),
+        "demo_seq" => same_different::netlist::library::demo_seq(),
+        _ => {
+            let profile = generator::profile(name).ok_or_else(|| {
+                format!(
+                    "unknown circuit {name:?}; known: c17, demo_seq, {}",
+                    generator::ISCAS89_PROFILES
+                        .iter()
+                        .chain(&generator::ISCAS85_PROFILES)
+                        .map(|p| p.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            generator::generate(profile, seed)
+        }
+    };
+    emit(output, &bench::write(&circuit))
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -221,17 +239,20 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let mut tests_path = None;
     let mut calls1 = None;
     let mut output = None;
+    let mut out = None;
     let positional = parse_flags(
         args,
         &mut [
             ("--tests", &mut tests_path),
             ("--calls1", &mut calls1),
             ("-o", &mut output),
+            ("--out", &mut out),
         ],
     )?;
     let [path] = positional.as_slice() else {
         return Err(
-            "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [-o dict.txt]"
+            "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] \
+             [--out dict.txt|dict.sddb]"
                 .into(),
         );
     };
@@ -258,7 +279,30 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
         exp.faults().len() * (exp.faults().len() - 1) / 2,
         matrix.pass_fail_partition().indistinguished_pairs(),
     );
-    emit(output, &dict_io::write_same_different(&dictionary))
+    match out {
+        Some(path) if path.ends_with(".sddb") => same_different::store::save(
+            &path,
+            &same_different::store::StoredDictionary::SameDifferent(dictionary),
+        )
+        .map_err(|e| e.to_string()),
+        Some(path) => {
+            // Stream record-by-record: for large designs the text blob is
+            // bigger than the dictionary itself.
+            let file = fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            dict_io::write_same_different_to(&dictionary, &mut writer)
+                .and_then(|()| std::io::Write::flush(&mut writer))
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        None => match output {
+            Some(_) => emit(output, &dict_io::write_same_different(&dictionary)),
+            None => {
+                let stdout = std::io::stdout();
+                dict_io::write_same_different_to(&dictionary, &mut stdout.lock())
+                    .map_err(|e| format!("stdout: {e}"))
+            }
+        },
+    }
 }
 
 fn cmd_inject(args: &[String]) -> Result<(), String> {
@@ -346,11 +390,9 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         exp.view().inputs().len(),
         "test pattern",
     )?;
-    let dict_text = {
-        let p = dict_path.ok_or("missing --dict")?;
-        fs::read_to_string(&p).map_err(|e| format!("{p}: {e}"))?
-    };
-    let dictionary = dict_io::read_same_different(&dict_text).map_err(|e| e.to_string())?;
+    // Sniffed by magic number: binary .sddb and v1 text both load here.
+    let dictionary = same_different::store::load_same_different(dict_path.ok_or("missing --dict")?)
+        .map_err(|e| e.to_string())?;
     let observed = load_patterns(
         &observed_path.ok_or("missing --observed")?,
         exp.view().outputs().len(),
@@ -385,5 +427,73 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         let fault = exp.universe().fault(exp.faults()[pos]);
         println!("  {}", fault.describe(exp.circuit()));
     }
+    Ok(())
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let (digits, shift) = match s.trim_end_matches(['k', 'K', 'm', 'M', 'g', 'G']) {
+        d if d.len() == s.len() => (d, 0u32),
+        d => (
+            d,
+            match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            },
+        ),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| format!("bad byte count {s:?} (try 512m, 2g, 1048576)"))?;
+    base.checked_shl(shift)
+        .filter(|v| v >> shift == base)
+        .ok_or_else(|| format!("byte count {s:?} overflows"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = None;
+    let mut workers = None;
+    let mut mem_cap = None;
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--addr", &mut addr),
+            ("--workers", &mut workers),
+            ("--mem-cap", &mut mem_cap),
+        ],
+    )?;
+    let mut config = same_different::serve::ServeConfig::default();
+    if let Some(addr) = addr {
+        config.addr = addr;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(cap) = mem_cap {
+        config.memory_cap = parse_bytes(&cap)?;
+    }
+    let handle = same_different::serve::serve(&config).map_err(|e| e.to_string())?;
+    // Preload `name=path` dictionaries through the protocol itself, so the
+    // CLI exercises exactly what a remote client would.
+    if !positional.is_empty() {
+        let mut client = same_different::serve::Client::connect(handle.addr())
+            .map_err(|e| format!("preload connection: {e}"))?;
+        for spec in &positional {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad dictionary spec {spec:?} (want name=path)"))?;
+            let reply = client
+                .request(&format!("LOAD {name} {path}"))
+                .map_err(|e| format!("{spec}: {e}"))?;
+            if let Some(message) = reply.strip_prefix("ERR ") {
+                return Err(format!("{path}: {message}"));
+            }
+            eprintln!("{reply}");
+        }
+    }
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    eprintln!("server drained; bye");
     Ok(())
 }

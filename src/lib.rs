@@ -20,6 +20,8 @@
 //! | simulation | `sdd-sim` | [`sim`] |
 //! | test generation | `sdd-atpg` | [`atpg`] |
 //! | dictionaries | `sdd-core` | [`dict`] |
+//! | binary persistence | `sdd-store` | [`store`] |
+//! | diagnosis service | this crate | [`serve`] |
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,9 @@ pub use sdd_fault as fault;
 pub use sdd_logic as logic;
 pub use sdd_netlist as netlist;
 pub use sdd_sim as sim;
+pub use sdd_store as store;
+
+pub mod serve;
 
 use sdd_atpg::{AtpgOptions, GeneratedTestSet};
 use sdd_fault::{CollapsedFaults, FaultId, FaultUniverse};

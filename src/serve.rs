@@ -1,0 +1,636 @@
+//! A concurrent diagnosis service over TCP — the tester-floor deployment
+//! shape: one precomputed dictionary, thousands of diagnosis queries per
+//! lot.
+//!
+//! The server speaks a line-delimited text protocol (one request per line,
+//! space-separated tokens; replies start with `OK` or `ERR`):
+//!
+//! ```text
+//! LOAD <name> <path>        load a dictionary (.sddb binary or v1 text)
+//! DIAG <name> <obs>         diagnose one observation against <name>
+//! BATCH <name> <obs>...     diagnose many; replies `OK BATCH <count>`
+//!                           then one result line per observation
+//! STATS                     registry and traffic counters
+//! QUIT                      close this connection
+//! SHUTDOWN                  drain in-flight requests and stop the server
+//! ```
+//!
+//! Observations are ternary (`0`/`1`/`X`), matching what corrupted tester
+//! datalogs actually contain: a pass/fail dictionary takes one `k`-bit
+//! signature token; same/different and full dictionaries take `k`
+//! slash-separated `m`-bit output responses (`01X/1X0/...`). Every query is
+//! routed through the masked-diagnosis ladder
+//! ([`sdd_core::diagnose`]) and reports where it landed
+//! (`exact`, `consistent`, `ranked`) alongside the ranked candidates.
+//!
+//! Loaded dictionaries live in a registry with least-recently-used eviction
+//! under a configurable memory cap, so a box serving many designs keeps its
+//! footprint bounded. Each worker thread reuses one diagnosis scratch
+//! buffer across requests, keeping the hot path allocation-light.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
+use sdd_logic::{MaskedBitVec, SddError};
+use sdd_store::StoredDictionary;
+
+/// How the server is bound and provisioned.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:4017` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Registry memory cap in bytes; least-recently-used dictionaries are
+    /// evicted when loading would exceed it.
+    pub memory_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            memory_cap: 64 << 20,
+        }
+    }
+}
+
+/// How many ranked candidates a `DIAG` reply includes in its `top=` field.
+const TOP_CANDIDATES: usize = 5;
+
+/// Read timeout used to re-check the shutdown flag on idle connections.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One loaded dictionary plus its LRU bookkeeping.
+struct Entry {
+    dictionary: Arc<StoredDictionary>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The dictionary registry: named dictionaries under a memory cap with
+/// least-recently-used eviction.
+struct Registry {
+    cap: usize,
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: HashMap<String, Entry>,
+    bytes: usize,
+    clock: u64,
+    evictions: u64,
+}
+
+impl Registry {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// Inserts (or replaces) a dictionary, then evicts least-recently-used
+    /// entries until the total fits the cap. The entry just inserted is
+    /// never evicted: a dictionary larger than the cap alone is admitted,
+    /// because refusing it would make the service useless for that design.
+    fn insert(&self, name: &str, dictionary: StoredDictionary) -> usize {
+        let bytes = dictionary.approx_bytes();
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.insert(
+            name.to_owned(),
+            Entry {
+                dictionary: Arc::new(dictionary),
+                bytes,
+                last_used: clock,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.bytes > self.cap && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(n, _)| n.as_str() != name)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(n, _)| n.clone());
+            match victim {
+                Some(victim) => {
+                    let evicted = inner.entries.remove(&victim).expect("victim exists");
+                    inner.bytes -= evicted.bytes;
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        bytes
+    }
+
+    /// Fetches a dictionary and marks it most-recently-used.
+    fn get(&self, name: &str) -> Option<Arc<StoredDictionary>> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.get_mut(name).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.dictionary)
+        })
+    }
+
+    fn stats(&self) -> (usize, usize, u64) {
+        let inner = self.inner.lock().expect("registry lock");
+        (inner.entries.len(), inner.bytes, inner.evictions)
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    registry: Registry,
+    shutting_down: AtomicBool,
+    requests: AtomicU64,
+    diagnoses: AtomicU64,
+    addr: SocketAddr,
+}
+
+/// A running server: its bound address and the handles needed to stop it.
+///
+/// Obtained from [`serve`]; dropping the handle does **not** stop the
+/// server — call [`shutdown`](Self::shutdown) or send `SHUTDOWN` over a
+/// connection, then [`wait`](Self::wait).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests the same graceful shutdown a `SHUTDOWN` command does:
+    /// stop accepting, finish in-flight requests, release the port.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully drained and every thread exited.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Flags the shutdown and pokes the acceptor loose from `accept()` with a
+/// throwaway connection.
+fn begin_shutdown(shared: &Shared) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+/// Binds the listener and spawns the acceptor and worker threads.
+///
+/// Returns once the port is bound; serving continues in the background
+/// until a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) drains it.
+///
+/// # Errors
+///
+/// [`SddError::Io`] when the address cannot be bound.
+pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| SddError::io(config.addr.clone(), &e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SddError::io(config.addr.clone(), &e))?;
+    let shared = Arc::new(Shared {
+        registry: Registry::new(config.memory_cap),
+        shutting_down: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        diagnoses: AtomicU64::new(0),
+        addr,
+    });
+
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let receiver = Arc::clone(&receiver);
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || worker_loop(&receiver, &shared))
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break; // the poke, or a client that raced it
+                        }
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        if shared.shutting_down.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Dropping the sender lets workers drain the queue and exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Per-worker reusable buffers: the ranked-candidate scratch the masked
+/// matcher fills and the parsed per-test responses of the current request.
+#[derive(Default)]
+struct Scratch {
+    ranking: Vec<ScoredCandidate>,
+    responses: Vec<MaskedBitVec>,
+}
+
+fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Arc<Shared>) {
+    let mut scratch = Scratch::default();
+    loop {
+        let stream = {
+            let guard = receiver.lock().expect("connection queue lock");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, shared, &mut scratch),
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scratch) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return; // in-flight request finished; drop the connection
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let request = line.trim().to_owned();
+                line.clear();
+                if request.is_empty() {
+                    continue;
+                }
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                match respond(&request, shared, scratch, &mut writer) {
+                    Ok(ConnectionFate::Keep) => {}
+                    Ok(ConnectionFate::Close) => return,
+                    Err(_) => return, // client went away mid-reply
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle poll tick; partial line stays buffered
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+enum ConnectionFate {
+    Keep,
+    Close,
+}
+
+/// Parses one request line, writes the reply line(s), and says whether the
+/// connection stays open.
+fn respond(
+    request: &str,
+    shared: &Arc<Shared>,
+    scratch: &mut Scratch,
+    writer: &mut TcpStream,
+) -> io::Result<ConnectionFate> {
+    let mut tokens = request.split_whitespace();
+    let verb = tokens.next().unwrap_or_default().to_ascii_uppercase();
+    match verb.as_str() {
+        "LOAD" => {
+            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
+                (Some(name), Some(path), None) => load_reply(name, path, shared),
+                _ => err_reply("usage: LOAD <name> <path>"),
+            };
+            writeln!(writer, "{reply}")?;
+        }
+        "DIAG" => {
+            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
+                (Some(name), Some(obs), None) => diag_reply(name, obs, shared, scratch),
+                _ => err_reply("usage: DIAG <dict> <observation>"),
+            };
+            writeln!(writer, "{reply}")?;
+        }
+        "BATCH" => match tokens.next() {
+            Some(name) => {
+                let observations: Vec<&str> = tokens.collect();
+                writeln!(writer, "OK BATCH {}", observations.len())?;
+                for (index, obs) in observations.iter().enumerate() {
+                    let reply = diag_reply(name, obs, shared, scratch);
+                    writeln!(writer, "{index} {reply}")?;
+                }
+            }
+            None => writeln!(writer, "{}", err_reply("usage: BATCH <dict> <obs>..."))?,
+        },
+        "STATS" => {
+            let (dicts, bytes, evictions) = shared.registry.stats();
+            writeln!(
+                writer,
+                "OK STATS dicts={dicts} bytes={bytes} cap={} requests={} diags={} evictions={evictions}",
+                shared.registry.cap,
+                shared.requests.load(Ordering::Relaxed),
+                shared.diagnoses.load(Ordering::Relaxed),
+            )?;
+        }
+        "QUIT" => {
+            writeln!(writer, "OK BYE")?;
+            writer.flush()?;
+            return Ok(ConnectionFate::Close);
+        }
+        "SHUTDOWN" => {
+            writeln!(writer, "OK BYE")?;
+            writer.flush()?;
+            begin_shutdown(shared);
+            return Ok(ConnectionFate::Close);
+        }
+        other => {
+            writeln!(
+                writer,
+                "{}",
+                err_reply(&format!("unknown command {other:?}"))
+            )?;
+        }
+    }
+    writer.flush()?;
+    Ok(ConnectionFate::Keep)
+}
+
+fn err_reply(message: &str) -> String {
+    // Replies are single lines; scrub any newline an error message carries.
+    format!("ERR {}", message.replace('\n', " "))
+}
+
+fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => return err_reply(&SddError::io(path, &e).to_string()),
+    };
+    let dictionary = if sdd_store::is_binary(&bytes) {
+        sdd_store::decode(&bytes)
+    } else {
+        sdd_store::read_same_different_auto(&bytes).map(StoredDictionary::SameDifferent)
+    };
+    match dictionary {
+        Ok(d) => {
+            let kind = d.kind().name();
+            let (faults, tests) = (d.fault_count(), d.test_count());
+            let resident = shared.registry.insert(name, d);
+            format!("OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident}")
+        }
+        Err(e) => err_reply(&e.to_string()),
+    }
+}
+
+fn diag_reply(name: &str, obs: &str, shared: &Arc<Shared>, scratch: &mut Scratch) -> String {
+    let Some(dictionary) = shared.registry.get(name) else {
+        return err_reply(&format!("no dictionary loaded as {name:?}"));
+    };
+    shared.diagnoses.fetch_add(1, Ordering::Relaxed);
+    match diagnose(&dictionary, obs, scratch) {
+        Ok(reply) => reply,
+        Err(e) => err_reply(&e.to_string()),
+    }
+}
+
+/// Routes one observation through the masked-diagnosis ladder of the named
+/// dictionary kind, reusing the worker's scratch buffers.
+fn diagnose(
+    dictionary: &StoredDictionary,
+    obs: &str,
+    scratch: &mut Scratch,
+) -> Result<String, SddError> {
+    match dictionary {
+        StoredDictionary::PassFail(d) => {
+            let observed: MaskedBitVec = obs.parse()?;
+            let (quality, known) =
+                match_signatures_masked_into(d.signatures(), &observed, &mut scratch.ranking)?;
+            Ok(format_report(quality, known, &scratch.ranking))
+        }
+        StoredDictionary::SameDifferent(d) => {
+            parse_responses(obs, &mut scratch.responses)?;
+            let observed = d.encode_observed_masked(&scratch.responses)?;
+            let (quality, known) =
+                match_signatures_masked_into(d.signatures(), &observed, &mut scratch.ranking)?;
+            Ok(format_report(quality, known, &scratch.ranking))
+        }
+        StoredDictionary::Full(d) => {
+            parse_responses(obs, &mut scratch.responses)?;
+            let report = d.diagnose_masked(&scratch.responses)?;
+            Ok(format_report(report.quality, report.known, &report.ranking))
+        }
+    }
+}
+
+/// Parses `01X/1X0/...` into the reusable per-test response buffer.
+fn parse_responses(obs: &str, responses: &mut Vec<MaskedBitVec>) -> Result<(), SddError> {
+    responses.clear();
+    for token in obs.split('/') {
+        responses.push(token.parse()?);
+    }
+    Ok(())
+}
+
+fn quality_name(quality: MatchQuality) -> &'static str {
+    match quality {
+        MatchQuality::Exact => "exact",
+        MatchQuality::ConsistentUnderMask => "consistent",
+        MatchQuality::Ranked => "ranked",
+    }
+}
+
+/// Formats a ranked diagnosis as a single reply line:
+/// `OK DIAG quality=<q> known=<b> distance=<d> best=<i,j> top=<f:miss:conf,...>`.
+fn format_report(quality: MatchQuality, known: usize, ranking: &[ScoredCandidate]) -> String {
+    let distance = ranking.first().map_or(0, |c| c.mismatches);
+    let best: Vec<String> = ranking
+        .iter()
+        .take_while(|c| c.mismatches == distance)
+        .map(|c| c.fault.to_string())
+        .collect();
+    let top: Vec<String> = ranking
+        .iter()
+        .take(TOP_CANDIDATES)
+        .map(|c| format!("{}:{}:{:.4}", c.fault, c.mismatches, c.confidence))
+        .collect();
+    format!(
+        "OK DIAG quality={} known={known} distance={distance} best={} top={}",
+        quality_name(quality),
+        best.join(","),
+        top.join(","),
+    )
+}
+
+/// A minimal blocking client for the line protocol — what the smoke tests,
+/// examples, and one-off scripts drive the server with.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self {
+            reader: BufReader::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    fn send(&mut self, request: &str) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()
+    }
+
+    fn receive(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    /// Sends one request line and reads one reply line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors, including the server closing mid-reply.
+    pub fn request(&mut self, request: &str) -> io::Result<String> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Sends a `BATCH` request and reads the counted multi-line reply,
+    /// returning one result line per observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a non-`OK BATCH` first line comes back as
+    /// [`io::ErrorKind::InvalidData`] carrying the server's reply.
+    pub fn batch(&mut self, dictionary: &str, observations: &[&str]) -> io::Result<Vec<String>> {
+        self.send(&format!("BATCH {dictionary} {}", observations.join(" ")))?;
+        let head = self.receive()?;
+        let count: usize = head
+            .strip_prefix("OK BATCH ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, head.clone()))?;
+        (0..count).map(|_| self.receive()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_core::PassFailDictionary;
+
+    fn pf() -> StoredDictionary {
+        StoredDictionary::PassFail(PassFailDictionary::build(
+            &sdd_core::example::paper_example(),
+        ))
+    }
+
+    #[test]
+    fn registry_evicts_least_recently_used_under_cap() {
+        let one = pf().approx_bytes();
+        let registry = Registry::new(2 * one);
+        registry.insert("a", pf());
+        registry.insert("b", pf());
+        assert!(registry.get("a").is_some(), "a is now most recently used");
+        registry.insert("c", pf()); // over cap: evicts b, the LRU entry
+        let (dicts, bytes, evictions) = registry.stats();
+        assert_eq!((dicts, evictions), (2, 1));
+        assert!(bytes <= 2 * one);
+        assert!(registry.get("b").is_none(), "b was evicted");
+        assert!(registry.get("a").is_some() && registry.get("c").is_some());
+    }
+
+    #[test]
+    fn registry_admits_an_oversized_dictionary_alone() {
+        let registry = Registry::new(1); // cap smaller than any dictionary
+        registry.insert("big", pf());
+        let (dicts, _, evictions) = registry.stats();
+        assert_eq!((dicts, evictions), (1, 0), "sole entry is never evicted");
+        registry.insert("bigger", pf());
+        let (dicts, _, evictions) = registry.stats();
+        assert_eq!((dicts, evictions), (1, 1), "previous entry made room");
+    }
+
+    #[test]
+    fn replacing_a_dictionary_does_not_leak_accounting() {
+        let one = pf().approx_bytes();
+        let registry = Registry::new(10 * one);
+        registry.insert("a", pf());
+        registry.insert("a", pf());
+        let (dicts, bytes, evictions) = registry.stats();
+        assert_eq!((dicts, bytes, evictions), (1, one, 0));
+    }
+
+    #[test]
+    fn diagnose_formats_the_ladder() {
+        let mut scratch = Scratch::default();
+        let d = pf();
+        let reply = diagnose(&d, "01", &mut scratch).unwrap();
+        assert!(reply.starts_with("OK DIAG quality=exact"), "{reply}");
+        assert!(reply.contains("best=0"), "{reply}");
+        let reply = diagnose(&d, "0X", &mut scratch).unwrap();
+        assert!(reply.contains("quality=consistent"), "{reply}");
+        // Width mismatch is an ERR-able typed error, not a panic.
+        assert!(diagnose(&d, "011", &mut scratch).is_err());
+    }
+}

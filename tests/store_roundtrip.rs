@@ -1,0 +1,169 @@
+//! End-to-end persistence tests on real c17 dictionaries: every kind
+//! round-trips text ↔ binary ↔ memory exactly, and every corruption mode
+//! of the binary store surfaces as its typed error.
+
+use same_different::dict::{io as dict_io, Procedure1Options};
+use same_different::logic::SddError;
+use same_different::store::{
+    self, decode, encode, DictionaryKind, SddbReader, StoredDictionary, HEADER_LEN,
+};
+use same_different::{DictionarySuite, Experiment};
+
+fn c17_suite() -> DictionarySuite {
+    let exp = Experiment::new(same_different::netlist::library::c17());
+    let tests = exp.diagnostic_tests(&Default::default());
+    exp.build_dictionaries(
+        &tests.tests,
+        &Procedure1Options {
+            calls1: 3,
+            ..Default::default()
+        },
+    )
+}
+
+fn kinds(suite: &DictionarySuite) -> [StoredDictionary; 3] {
+    [
+        StoredDictionary::PassFail(suite.pass_fail.clone()),
+        StoredDictionary::SameDifferent(suite.same_different.clone()),
+        StoredDictionary::Full(suite.full.clone()),
+    ]
+}
+
+#[test]
+fn every_kind_round_trips_through_the_binary_store() {
+    let suite = c17_suite();
+    for dictionary in kinds(&suite) {
+        let bytes = encode(&dictionary);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, dictionary, "{:?}", dictionary.kind());
+    }
+}
+
+#[test]
+fn same_different_round_trips_text_to_binary_to_memory() {
+    let suite = c17_suite();
+    let d = &suite.same_different;
+
+    // memory -> text -> memory
+    let text = dict_io::write_same_different(d);
+    let from_text = dict_io::read_same_different(&text).unwrap();
+    assert_eq!(&from_text, d);
+
+    // memory -> binary -> memory, through the parsed-from-text copy so the
+    // whole chain text -> binary -> memory is exercised.
+    let bytes = encode(&StoredDictionary::SameDifferent(from_text));
+    let from_binary = store::read_same_different_auto(&bytes).unwrap();
+    assert_eq!(&from_binary, d);
+
+    // ...and back out to text: the binary store loses nothing the text
+    // format records.
+    assert_eq!(dict_io::write_same_different(&from_binary), text);
+
+    // The sniffing reader accepts the text bytes unchanged too.
+    assert_eq!(
+        store::read_same_different_auto(text.as_bytes()).unwrap(),
+        *d
+    );
+}
+
+#[test]
+fn lazy_row_loads_agree_with_full_decodes() {
+    let suite = c17_suite();
+    let bytes = encode(&StoredDictionary::SameDifferent(
+        suite.same_different.clone(),
+    ));
+    let reader = SddbReader::open(&bytes).unwrap();
+    assert_eq!(reader.kind(), DictionaryKind::SameDifferent);
+    for fault in 0..suite.same_different.fault_count() {
+        assert_eq!(
+            reader.signature(fault).unwrap(),
+            *suite.same_different.signature(fault)
+        );
+    }
+    for test in 0..suite.same_different.test_count() {
+        assert_eq!(
+            reader.baseline(test).unwrap(),
+            *suite.same_different.baseline(test)
+        );
+    }
+}
+
+#[test]
+fn truncated_file_is_a_typed_truncation_error() {
+    let suite = c17_suite();
+    for dictionary in kinds(&suite) {
+        let bytes = encode(&dictionary);
+        // Cut mid-payload.
+        assert!(
+            matches!(
+                decode(&bytes[..bytes.len() - 5]),
+                Err(SddError::Truncated { .. })
+            ),
+            "{:?}",
+            dictionary.kind()
+        );
+        // Cut mid-header.
+        assert!(matches!(
+            decode(&bytes[..HEADER_LEN / 2]),
+            Err(SddError::Truncated { .. })
+        ));
+    }
+}
+
+#[test]
+fn flipped_header_byte_is_a_checksum_error() {
+    let suite = c17_suite();
+    let mut bytes = encode(&StoredDictionary::PassFail(suite.pass_fail.clone()));
+    bytes[9] ^= 0x40; // inside the header, outside the magic
+    assert!(matches!(
+        decode(&bytes),
+        Err(SddError::ChecksumMismatch {
+            context: "store header",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_error() {
+    let suite = c17_suite();
+    let mut bytes = encode(&StoredDictionary::Full(suite.full.clone()));
+    let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+    bytes[mid] ^= 0x01;
+    assert!(matches!(
+        decode(&bytes),
+        Err(SddError::ChecksumMismatch {
+            context: "store payload",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn save_and_load_round_trip_on_disk() {
+    let suite = c17_suite();
+    let dir = std::env::temp_dir().join(format!("sdd-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for dictionary in kinds(&suite) {
+        let path = dir.join(format!("{}.sddb", dictionary.kind().name()));
+        store::save(&path, &dictionary).unwrap();
+        assert_eq!(store::load(&path).unwrap(), dictionary);
+    }
+    // The sniffing loader reads both spellings from disk.
+    let text_path = dir.join("dict.txt");
+    std::fs::write(
+        &text_path,
+        dict_io::write_same_different(&suite.same_different),
+    )
+    .unwrap();
+    assert_eq!(
+        store::load_same_different(&text_path).unwrap(),
+        suite.same_different
+    );
+    let binary_path = dir.join("same-different.sddb");
+    assert_eq!(
+        store::load_same_different(&binary_path).unwrap(),
+        suite.same_different
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
