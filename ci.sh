@@ -28,6 +28,15 @@ cargo test --offline --release -q --test store_roundtrip --test serve_smoke
 step "dictionary load bench (text parse vs binary read, JSON)"
 cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10
 
+step "dictionary build bench (serial vs parallel, JSON)"
+# Small circuit + low patience keeps CI fast; BENCH_build.json tracks the
+# perf trajectory, and the gate fails on a missing/malformed/non-identical
+# report (speedup itself is host-dependent and not gated).
+# --jobs 4 exercises the threaded path even on a single-core runner.
+cargo run --offline --release -p sdd-bench --bin build_bench -- \
+    --circuit s953 --calls1 3 --jobs 4 --out BENCH_build.json
+cargo run --offline --release -p sdd-bench --bin build_bench -- --check BENCH_build.json
+
 step "cargo fmt --check"
 if ! cargo fmt --version >/dev/null 2>&1; then
     echo "rustfmt not installed; skipping"

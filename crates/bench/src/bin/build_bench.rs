@@ -1,0 +1,258 @@
+//! Dictionary *construction* benchmark: times the three build stages —
+//! fault simulation, Procedure 1 (baseline selection), Procedure 2
+//! (baseline replacement) — at `jobs=1` versus `jobs=N`, and proves the
+//! parallel path produces a byte-identical `.sddb` dictionary.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin build_bench -- [options]
+//!
+//!   --circuit <name>   ISCAS'89-shaped benchmark (default: s1423)
+//!   --ttype <t>        diag | 10det (default: diag)
+//!   --seed <u64>       generation seed (default: 1)
+//!   --calls1 <n>       Procedure 1 restart patience (default: 10)
+//!   --jobs <n>         parallel worker count (default: all hardware threads)
+//!   --out <path>       where to write the JSON report (default: BENCH_build.json)
+//!   --check <path>     validate an existing report instead of benchmarking;
+//!                      exits non-zero if the file is missing or malformed
+//! ```
+//!
+//! The report is one JSON object, e.g.:
+//!
+//! ```json
+//! {"circuit":"s1423","ttype":"diag","seed":1,"faults":1501,"tests":241,
+//!  "jobs":4,"available_parallelism":4,
+//!  "simulate_s_jobs1":1.91,"simulate_s_jobsn":0.52,
+//!  "procedure1_s_jobs1":10.80,"procedure1_s_jobsn":2.95,
+//!  "procedure2_s":0.41,
+//!  "simulate_speedup":3.67,"procedure1_speedup":3.66,
+//!  "indistinguished_pairs":210,"procedure1_calls":14,"identical":true}
+//! ```
+//!
+//! `identical` is the headline correctness claim: the serial and parallel
+//! response matrices compare equal, Procedure 1 selects the same baselines
+//! with the same figure of merit, and the encoded `.sddb` bytes match.
+//! Speedups depend on the host (`available_parallelism` is recorded so a
+//! single-core CI box's numbers are not misread as a regression).
+
+use std::time::Instant;
+
+use same_different::Experiment;
+use sdd_bench::TestSetType;
+use sdd_core::{replace_baselines, select_baselines, Procedure1Options, SameDifferentDictionary};
+use sdd_store::StoredDictionary;
+
+/// Keys [`check`] requires to hold a finite, non-negative number.
+const NUMERIC_KEYS: &[&str] = &[
+    "seed",
+    "faults",
+    "tests",
+    "jobs",
+    "available_parallelism",
+    "simulate_s_jobs1",
+    "simulate_s_jobsn",
+    "procedure1_s_jobs1",
+    "procedure1_s_jobsn",
+    "procedure2_s",
+    "simulate_speedup",
+    "procedure1_speedup",
+    "indistinguished_pairs",
+    "procedure1_calls",
+];
+
+fn main() {
+    let mut circuit = "s1423".to_owned();
+    let mut ttype = TestSetType::Diagnostic;
+    let mut seed: u64 = 1;
+    let mut calls1: usize = 10;
+    let mut jobs = sdd_sim::available_jobs();
+    let mut out = "BENCH_build.json".to_owned();
+    let mut check_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--circuit" => circuit = args.next().expect("--circuit takes a name"),
+            "--ttype" => {
+                ttype = match args.next().expect("--ttype takes diag|10det").as_str() {
+                    "diag" => TestSetType::Diagnostic,
+                    "10det" => TestSetType::TenDetect,
+                    other => {
+                        eprintln!("unknown ttype {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed u64")
+            }
+            "--calls1" => {
+                calls1 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--calls1 n")
+            }
+            "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).expect("--jobs n"),
+            "--out" => out = args.next().expect("--out takes a path"),
+            "--check" => check_path = Some(args.next().expect("--check takes a path")),
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check(&path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(why) => {
+                eprintln!("{path}: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run(&circuit, ttype, seed, calls1, jobs);
+    std::fs::write(&out, &report).expect("write report");
+    println!("{report}");
+    eprintln!("wrote {out}");
+}
+
+/// Runs the benchmark and renders the JSON report.
+fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize) -> String {
+    let jobs = jobs.max(1);
+    let exp = Experiment::iscas89(circuit, seed).unwrap_or_else(|| {
+        eprintln!("unknown circuit {circuit:?}");
+        std::process::exit(2);
+    });
+    let atpg = sdd_atpg::AtpgOptions {
+        seed,
+        ..Default::default()
+    };
+    let tests = match ttype {
+        TestSetType::Diagnostic => exp.diagnostic_tests(&atpg),
+        TestSetType::TenDetect => exp.detection_tests(10, &atpg),
+    };
+
+    // Stage 1: fault simulation, serial then parallel.
+    let start = Instant::now();
+    let matrix_serial = exp.simulate_jobs(&tests.tests, 1);
+    let simulate_s_jobs1 = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let matrix = exp.simulate_jobs(&tests.tests, jobs);
+    let simulate_s_jobsn = start.elapsed().as_secs_f64();
+    let mut identical = matrix == matrix_serial;
+
+    // Stage 2: Procedure 1, serial then parallel.
+    let options = |jobs| Procedure1Options {
+        calls1,
+        seed,
+        jobs,
+        ..Procedure1Options::default()
+    };
+    let start = Instant::now();
+    let selection_serial = select_baselines(&matrix_serial, &options(1));
+    let procedure1_s_jobs1 = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut selection = select_baselines(&matrix, &options(jobs));
+    let procedure1_s_jobsn = start.elapsed().as_secs_f64();
+    identical &= selection.baselines == selection_serial.baselines
+        && selection.indistinguished_pairs == selection_serial.indistinguished_pairs
+        && selection.calls == selection_serial.calls;
+
+    // Stage 3: Procedure 2 (serial by construction — passes are inherently
+    // sequential), then the byte-level identity proof.
+    let start = Instant::now();
+    let pairs = replace_baselines(&matrix, &mut selection.baselines);
+    let procedure2_s = start.elapsed().as_secs_f64();
+
+    let mut serial_baselines = selection_serial.baselines;
+    replace_baselines(&matrix_serial, &mut serial_baselines);
+    let bytes = sdd_store::encode(&StoredDictionary::SameDifferent(
+        SameDifferentDictionary::build(&matrix, &selection.baselines),
+    ));
+    let serial_bytes = sdd_store::encode(&StoredDictionary::SameDifferent(
+        SameDifferentDictionary::build(&matrix_serial, &serial_baselines),
+    ));
+    identical &= bytes == serial_bytes;
+
+    format!(
+        "{{\"circuit\":\"{}\",\"ttype\":\"{}\",\"seed\":{},\"faults\":{},\"tests\":{},\
+         \"jobs\":{},\"available_parallelism\":{},\
+         \"simulate_s_jobs1\":{:.3},\"simulate_s_jobsn\":{:.3},\
+         \"procedure1_s_jobs1\":{:.3},\"procedure1_s_jobsn\":{:.3},\
+         \"procedure2_s\":{:.3},\
+         \"simulate_speedup\":{:.2},\"procedure1_speedup\":{:.2},\
+         \"indistinguished_pairs\":{},\"procedure1_calls\":{},\"identical\":{}}}",
+        circuit,
+        ttype,
+        seed,
+        exp.faults().len(),
+        tests.len(),
+        jobs,
+        sdd_sim::available_jobs(),
+        simulate_s_jobs1,
+        simulate_s_jobsn,
+        procedure1_s_jobs1,
+        procedure1_s_jobsn,
+        procedure2_s,
+        simulate_s_jobs1 / simulate_s_jobsn.max(1e-9),
+        procedure1_s_jobs1 / procedure1_s_jobsn.max(1e-9),
+        pairs,
+        selection.calls,
+        identical,
+    )
+}
+
+/// Validates a previously written report: the file must exist, look like a
+/// single JSON object, carry every numeric key with a finite non-negative
+/// value, name a circuit, and claim `"identical":true`.
+///
+/// The workspace has no JSON parser (and takes no dependencies), so this is
+/// a schema check by string scanning — exactly strong enough for CI to
+/// refuse an empty, truncated, or `identical:false` report.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("unreadable: {err}"))?;
+    let body = text.trim();
+    if !(body.starts_with('{') && body.ends_with('}')) {
+        return Err("not a JSON object".to_owned());
+    }
+    for key in NUMERIC_KEYS {
+        let value = field(body, key).ok_or_else(|| format!("missing key {key:?}"))?;
+        let number: f64 = value
+            .parse()
+            .map_err(|_| format!("key {key:?} holds non-numeric {value:?}"))?;
+        if !number.is_finite() || number < 0.0 {
+            return Err(format!("key {key:?} holds invalid value {number}"));
+        }
+    }
+    match field(body, "circuit") {
+        Some(value) if value.starts_with('"') && value.len() > 2 => {}
+        _ => return Err("missing or empty key \"circuit\"".to_owned()),
+    }
+    match field(body, "identical") {
+        Some("true") => Ok(()),
+        Some(value) => Err(format!("\"identical\" is {value}, expected true")),
+        None => Err("missing key \"identical\"".to_owned()),
+    }
+}
+
+/// Extracts the raw value text after `"key":` up to the next top-level
+/// delimiter. Sufficient for the flat objects this binary writes.
+fn field<'t>(body: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let end = if let Some(tail) = rest.strip_prefix('"') {
+        // String value: spans up to and including the closing quote.
+        tail.find('"')? + 2
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
+}

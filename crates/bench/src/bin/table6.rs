@@ -8,6 +8,9 @@
 //!   --seed <u64>       generation seed (default: 1)
 //!   --calls1 <n>       Procedure 1 restart patience (default: 100, the paper's value)
 //!   --lower <n|off>    LOWER cutoff (default: 10, the paper's value)
+//!   --jobs <n>         worker threads for simulation + Procedure 1 restarts
+//!                      (default: all hardware threads; rows are identical
+//!                      for every value)
 //!   --fast             preset: --calls1 10, fewer random ATPG blocks
 //! ```
 
@@ -18,7 +21,10 @@ use sdd_netlist::generator::ISCAS89_PROFILES;
 fn main() {
     let mut circuits: Vec<String> = Vec::new();
     let mut ttypes = vec![TestSetType::Diagnostic, TestSetType::TenDetect];
-    let mut config = Table6Config::default();
+    let mut config = Table6Config {
+        jobs: sdd_sim::available_jobs(),
+        ..Table6Config::default()
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +61,7 @@ fn main() {
                     Some(v.parse().expect("n"))
                 };
             }
+            "--jobs" => config.jobs = args.next().and_then(|s| s.parse().ok()).expect("--jobs n"),
             "--fast" => {
                 config.calls1 = 10;
                 config.atpg = AtpgOptions {

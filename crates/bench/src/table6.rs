@@ -35,6 +35,11 @@ pub struct Table6Config {
     /// The paper's `CALLS_1` constant (100 in the paper; smaller values
     /// trade resolution for speed on big circuits).
     pub calls1: usize,
+    /// Worker threads for fault simulation and Procedure 1 restarts. Rows
+    /// are identical for every value; the default stays serial so library
+    /// users opt into threads explicitly (the `table6` binary defaults to
+    /// all hardware threads).
+    pub jobs: usize,
     /// ATPG knobs.
     pub atpg: AtpgOptions,
 }
@@ -45,6 +50,7 @@ impl Default for Table6Config {
             seed: 1,
             lower: Some(10),
             calls1: 100,
+            jobs: 1,
             atpg: AtpgOptions::default(),
         }
     }
@@ -141,7 +147,7 @@ pub fn run_row(circuit: &str, ttype: TestSetType, config: &Table6Config) -> Opti
         TestSetType::Diagnostic => exp.diagnostic_tests(&atpg),
         TestSetType::TenDetect => exp.detection_tests(10, &atpg),
     };
-    let matrix = exp.simulate(&tests.tests);
+    let matrix = exp.simulate_jobs(&tests.tests, config.jobs);
 
     let indist_full = matrix.full_partition().indistinguished_pairs();
     let indist_pass_fail = matrix.pass_fail_partition().indistinguished_pairs();
@@ -152,6 +158,7 @@ pub fn run_row(circuit: &str, ttype: TestSetType, config: &Table6Config) -> Opti
             lower: config.lower,
             calls1: config.calls1,
             seed: config.seed,
+            jobs: config.jobs,
             ..Procedure1Options::default()
         },
     );

@@ -60,8 +60,8 @@ pub use full::FullDictionary;
 pub use ordering::{order_tests_for_resolution, resolution_profile};
 pub use pass_fail::PassFailDictionary;
 pub use procedure1::{
-    score_candidates, select_baselines, select_baselines_budgeted, select_baselines_once,
-    BaselineSelection, Procedure1Options,
+    score_candidates, score_candidates_into, select_baselines, select_baselines_budgeted,
+    select_baselines_once, BaselineSelection, Procedure1Options, ScoreScratch,
 };
 pub use procedure2::{
     replace_baselines, replace_baselines_budgeted, replace_baselines_pass, ReplacementOutcome,

@@ -13,6 +13,17 @@
 //! test costs a single O(n) sweep (see `DESIGN.md` §3) while computing
 //! exactly the paper's `dist` values — the worked-example tests reproduce
 //! Tables 4 and 5 digit for digit.
+//!
+//! Restarts are embarrassingly parallel, and this module exploits that:
+//! restart `i`'s test order is derived *independently* from `(seed, i)`
+//! (restart 0 is the natural order) rather than from one evolving generator,
+//! so any worker can evaluate any restart. With
+//! [`jobs`](Procedure1Options::jobs) > 1 restarts are evaluated in waves of
+//! `jobs` scoped threads and reduced in restart-index order under the serial
+//! stopping rule, with ties broken toward the lowest restart index — making
+//! the selection **bit-identical for every `jobs` value** at a fixed seed.
+//! Restarts a serial run would never have reached (the tail of a wave after
+//! the stopping rule fires) are computed speculatively and discarded.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -24,7 +35,7 @@ use sdd_sim::{Partition, ResponseMatrix};
 use crate::Budget;
 
 /// Knobs for [`select_baselines`]. Defaults are the paper's experimental
-/// settings: `LOWER = 10`, `CALLS_1 = 100`.
+/// settings: `LOWER = 10`, `CALLS_1 = 100`, and serial evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Procedure1Options {
     /// The `LOWER` cutoff: stop scanning a test's candidates after this many
@@ -38,6 +49,11 @@ pub struct Procedure1Options {
     pub max_calls: usize,
     /// Seed for the random test orders.
     pub seed: u64,
+    /// Worker threads evaluating restarts concurrently. The result is
+    /// identical for every value (see the module docs); more jobs only buy
+    /// wall-clock time. `0` is treated as 1; callers wanting "all the
+    /// hardware" pass [`sdd_sim::available_jobs`].
+    pub jobs: usize,
 }
 
 impl Default for Procedure1Options {
@@ -47,8 +63,21 @@ impl Default for Procedure1Options {
             calls1: 100,
             max_calls: 5_000,
             seed: 1,
+            jobs: 1,
         }
     }
+}
+
+/// Reusable buffers for [`score_candidates_into`]: the group-size table, the
+/// `(group, class)` occurrence counts, and the output gains. One scratch per
+/// worker thread amortizes all scoring allocations across an entire
+/// Procedure 1 restart (or Procedure 2 pass), where scoring runs once per
+/// test.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    sizes: Vec<usize>,
+    counts: HashMap<(u32, u32), u64>,
+    gains: Vec<u64>,
 }
 
 /// The result of baseline selection.
@@ -82,20 +111,33 @@ pub struct BaselineSelection {
 /// assert_eq!(score_candidates(&m, 0, &Partition::unit(4)), vec![3, 3, 4]);
 /// ```
 pub fn score_candidates(matrix: &ResponseMatrix, test: usize, pairs: &Partition) -> Vec<u64> {
+    score_candidates_into(matrix, test, pairs, &mut ScoreScratch::default()).to_vec()
+}
+
+/// [`score_candidates`] into a caller-owned [`ScoreScratch`], allocating
+/// nothing once the scratch has warmed up. Returns the gains indexed by
+/// class id, borrowed from the scratch.
+pub fn score_candidates_into<'s>(
+    matrix: &ResponseMatrix,
+    test: usize,
+    pairs: &Partition,
+    scratch: &'s mut ScoreScratch,
+) -> &'s [u64] {
     let classes = matrix.classes(test);
-    let sizes = pairs.group_sizes();
-    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    pairs.group_sizes_into(&mut scratch.sizes);
+    scratch.counts.clear();
     for (fault, &class) in classes.iter().enumerate() {
         let group = pairs.group_of(fault);
-        if sizes[group as usize] >= 2 {
-            *counts.entry((group, class)).or_insert(0) += 1;
+        if scratch.sizes[group as usize] >= 2 {
+            *scratch.counts.entry((group, class)).or_insert(0) += 1;
         }
     }
-    let mut gains = vec![0u64; matrix.class_count(test)];
-    for (&(group, class), &count) in &counts {
-        gains[class as usize] += count * (sizes[group as usize] as u64 - count);
+    scratch.gains.clear();
+    scratch.gains.resize(matrix.class_count(test), 0);
+    for (&(group, class), &count) in &scratch.counts {
+        scratch.gains[class as usize] += count * (scratch.sizes[group as usize] as u64 - count);
     }
-    gains
+    &scratch.gains
 }
 
 /// One Procedure 1 pass over the tests in `order`, with the `LOWER` cutoff
@@ -112,6 +154,17 @@ pub fn select_baselines_once(
     order: &[usize],
     lower: Option<usize>,
 ) -> (Vec<u32>, u64) {
+    select_baselines_once_with(matrix, order, lower, &mut ScoreScratch::default())
+}
+
+/// [`select_baselines_once`] reusing a caller-owned scoring scratch — the
+/// form the restart workers drive.
+fn select_baselines_once_with(
+    matrix: &ResponseMatrix,
+    order: &[usize],
+    lower: Option<usize>,
+    scratch: &mut ScoreScratch,
+) -> (Vec<u32>, u64) {
     assert_eq!(
         order.len(),
         matrix.test_count(),
@@ -120,8 +173,8 @@ pub fn select_baselines_once(
     let mut pairs = Partition::unit(matrix.fault_count());
     let mut baselines = vec![0u32; matrix.test_count()];
     for &test in order {
-        let gains = score_candidates(matrix, test, &pairs);
-        let best = pick_with_lower(&gains, lower);
+        let gains = score_candidates_into(matrix, test, &pairs, scratch);
+        let best = pick_with_lower(gains, lower);
         baselines[test] = best;
         let classes = matrix.classes(test);
         pairs.refine_bits(|i| classes[i] == best);
@@ -197,7 +250,7 @@ pub fn select_baselines_budgeted(
     budget: &Budget,
 ) -> BaselineSelection {
     let start = Instant::now();
-    let mut rng = Prng::seed_from_u64(options.seed);
+    let jobs = options.jobs.max(1);
     let bound = matrix.full_partition().indistinguished_pairs();
 
     // Guard candidate: the all-fault-free assignment (a pass/fail
@@ -212,25 +265,31 @@ pub fn select_baselines_budgeted(
     let mut calls = 0;
     let mut stale = 0;
     let mut completed = true;
+    let mut scratches: Vec<ScoreScratch> = (0..jobs).map(|_| ScoreScratch::default()).collect();
 
-    // First call uses the natural test order, restarts use random orders.
-    let mut order: Vec<usize> = (0..matrix.test_count()).collect();
-    while stale < options.calls1 && calls < options.max_calls && best_pairs > bound {
-        if !budget.allows(calls, start.elapsed()) {
-            completed = false;
-            break;
-        }
-        if calls > 0 {
-            rng.shuffle(&mut order);
-        }
-        let (baselines, pairs) = select_baselines_once(matrix, &order, options.lower);
-        calls += 1;
-        if pairs < best_pairs {
-            best_pairs = pairs;
-            best_baselines = baselines;
-            stale = 0;
-        } else {
-            stale += 1;
+    // Waves of up to `jobs` restarts; the reduce below walks each wave in
+    // restart-index order applying exactly the serial stopping rule, so a
+    // wave's speculative tail (evaluated after the rule would have stopped)
+    // is discarded and the outcome is independent of `jobs`.
+    'search: while stale < options.calls1 && calls < options.max_calls && best_pairs > bound {
+        let wave = jobs.min(options.max_calls - calls);
+        let results = evaluate_wave(matrix, options, budget, start, calls, wave, &mut scratches);
+        for result in results {
+            let Some((baselines, pairs)) = result else {
+                completed = false; // budget ran out before this restart
+                break 'search;
+            };
+            calls += 1;
+            if pairs < best_pairs {
+                best_pairs = pairs;
+                best_baselines = baselines;
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+            if stale >= options.calls1 || calls >= options.max_calls || best_pairs <= bound {
+                break 'search;
+            }
         }
     }
 
@@ -240,6 +299,70 @@ pub fn select_baselines_budgeted(
         calls,
         completed,
     }
+}
+
+/// Evaluates restarts `first..first + wave` — on scoped worker threads when
+/// the wave has more than one member — returning their results in restart
+/// order. `None` marks a restart the [`Budget`] refused.
+fn evaluate_wave(
+    matrix: &ResponseMatrix,
+    options: &Procedure1Options,
+    budget: &Budget,
+    start: Instant,
+    first: usize,
+    wave: usize,
+    scratches: &mut [ScoreScratch],
+) -> Vec<Option<(Vec<u32>, u64)>> {
+    let mut results: Vec<Option<(Vec<u32>, u64)>> = (0..wave).map(|_| None).collect();
+    if wave == 1 {
+        results[0] = evaluate_restart(matrix, options, budget, start, first, &mut scratches[0]);
+        return results;
+    }
+    std::thread::scope(|scope| {
+        for ((offset, slot), scratch) in results.iter_mut().enumerate().zip(scratches) {
+            scope.spawn(move || {
+                *slot = evaluate_restart(matrix, options, budget, start, first + offset, scratch);
+            });
+        }
+    });
+    results
+}
+
+/// One restart: check the budget (each worker honors the shared deadline and
+/// call cap), derive the restart's own test order, run one pass.
+fn evaluate_restart(
+    matrix: &ResponseMatrix,
+    options: &Procedure1Options,
+    budget: &Budget,
+    start: Instant,
+    restart: usize,
+    scratch: &mut ScoreScratch,
+) -> Option<(Vec<u32>, u64)> {
+    if !budget.allows(restart, start.elapsed()) {
+        return None;
+    }
+    let order = restart_order(matrix.test_count(), options.seed, restart);
+    Some(select_baselines_once_with(
+        matrix,
+        &order,
+        options.lower,
+        scratch,
+    ))
+}
+
+/// The test order of restart `restart`: the natural order for restart 0 (the
+/// paper's first call), then an independent seeded shuffle per restart —
+/// derivable by any worker without replaying earlier restarts, which is what
+/// makes concurrent evaluation bit-compatible with serial.
+fn restart_order(test_count: usize, seed: u64, restart: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..test_count).collect();
+    if restart > 0 {
+        // Golden-ratio mixing keeps per-restart streams disjoint even for
+        // adjacent seeds.
+        let stream = seed ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Prng::seed_from_u64(stream).shuffle(&mut order);
+    }
+    order
 }
 
 #[cfg(test)]
@@ -300,6 +423,73 @@ mod tests {
         let m = paper_example();
         let opts = Procedure1Options::default();
         assert_eq!(select_baselines(&m, &opts), select_baselines(&m, &opts));
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial_exactly() {
+        let m = paper_example();
+        for seed in 0..8 {
+            // calls1 = 0 forces the wave/reduce machinery to stop on the
+            // guard candidate; larger values exercise real restart waves.
+            for calls1 in [1usize, 3, 25] {
+                let base = Procedure1Options {
+                    calls1,
+                    seed,
+                    ..Procedure1Options::default()
+                };
+                let serial = select_baselines(&m, &base);
+                for jobs in [2usize, 4, 9] {
+                    let parallel = select_baselines(
+                        &m,
+                        &Procedure1Options {
+                            jobs,
+                            ..base.clone()
+                        },
+                    );
+                    assert_eq!(serial, parallel, "seed {seed} calls1 {calls1} jobs {jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restart_orders_are_permutations_and_independent() {
+        let natural: Vec<usize> = (0..20).collect();
+        assert_eq!(restart_order(20, 42, 0), natural, "restart 0 is natural");
+        for restart in 1..10 {
+            let order = restart_order(20, 42, restart);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, natural, "restart {restart} permutes all tests");
+            assert_eq!(
+                order,
+                restart_order(20, 42, restart),
+                "derivation is a pure function of (seed, restart)"
+            );
+        }
+    }
+
+    #[test]
+    fn call_cap_budget_is_jobs_invariant() {
+        // A call-cap budget is deterministic (unlike a wall-clock deadline),
+        // so capped parallel runs must equal capped serial runs bit for bit.
+        let m = paper_example();
+        for cap in [0usize, 1, 2, 5] {
+            let serial = select_baselines_budgeted(
+                &m,
+                &Procedure1Options::default(),
+                &Budget::max_calls(cap),
+            );
+            let parallel = select_baselines_budgeted(
+                &m,
+                &Procedure1Options {
+                    jobs: 4,
+                    ..Procedure1Options::default()
+                },
+                &Budget::max_calls(cap),
+            );
+            assert_eq!(serial, parallel, "cap {cap}");
+        }
     }
 
     #[test]

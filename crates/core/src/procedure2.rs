@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use sdd_sim::{Partition, ResponseMatrix};
 
-use crate::{score_candidates, Budget};
+use crate::{score_candidates_into, Budget, ScoreScratch};
 
 /// One replacement pass over all tests. Returns `true` if any baseline was
 /// replaced.
@@ -28,6 +28,17 @@ use crate::{score_candidates, Budget};
 ///
 /// Panics if `baselines.len()` differs from the matrix's test count.
 pub fn replace_baselines_pass(matrix: &ResponseMatrix, baselines: &mut [u32]) -> bool {
+    replace_baselines_pass_with(matrix, baselines, &mut ScoreScratch::default())
+}
+
+/// [`replace_baselines_pass`] reusing a caller-owned scoring scratch across
+/// the pass's per-test candidate scans (and, via
+/// [`replace_baselines_budgeted`], across passes).
+fn replace_baselines_pass_with(
+    matrix: &ResponseMatrix,
+    baselines: &mut [u32],
+    scratch: &mut ScoreScratch,
+) -> bool {
     let k = matrix.test_count();
     let n = matrix.fault_count();
     assert_eq!(baselines.len(), k, "one baseline class per test");
@@ -48,7 +59,7 @@ pub fn replace_baselines_pass(matrix: &ResponseMatrix, baselines: &mut [u32]) ->
     let mut prefix = Partition::unit(n);
     for j in 0..k {
         let without_j = prefix.intersect(&suffix[j + 1]);
-        let gains = score_candidates(matrix, j, &without_j);
+        let gains = score_candidates_into(matrix, j, &without_j, scratch);
         let current = gains[baselines[j] as usize];
         let (best_class, best_gain) = gains
             .iter()
@@ -124,13 +135,14 @@ pub fn replace_baselines_budgeted(
     let start = Instant::now();
     let mut passes = 0;
     let mut completed = true;
+    let mut scratch = ScoreScratch::default();
     loop {
         if !budget.allows(passes, start.elapsed()) {
             completed = false;
             break;
         }
         passes += 1;
-        if !replace_baselines_pass(matrix, baselines) {
+        if !replace_baselines_pass_with(matrix, baselines, &mut scratch) {
             break;
         }
     }

@@ -42,6 +42,7 @@ mod compactor;
 mod corruption;
 pub mod deductive;
 mod engine;
+mod parallel;
 mod partition;
 pub mod reference;
 mod response;
@@ -50,6 +51,7 @@ mod tester;
 pub use compactor::SpaceCompactor;
 pub use corruption::{CorruptionModel, TruncatedLog};
 pub use engine::{Engine, FaultEffect};
+pub use parallel::available_jobs;
 pub use partition::Partition;
 pub use response::ResponseMatrix;
 pub use tester::{FailEntry, FailLog, Observation, ScanChains};

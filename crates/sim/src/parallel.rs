@@ -1,0 +1,30 @@
+//! Worker-count selection for parallel construction.
+//!
+//! Every parallel entry point in the workspace takes an explicit `jobs`
+//! count rather than consulting the machine itself, so library results are
+//! reproducible by construction and the caller (CLI flag, benchmark, test)
+//! decides how much hardware to use. [`available_jobs`] is the conventional
+//! default for those callers: the number of hardware threads the OS grants
+//! this process, clamped to at least 1.
+
+/// The number of worker threads to use when the caller asked for "all the
+/// hardware": `std::thread::available_parallelism()`, or 1 when the OS
+/// cannot say (the conservative choice — serial construction is always
+/// correct, just slower).
+///
+/// # Example
+///
+/// ```
+/// assert!(sdd_sim::available_jobs() >= 1);
+/// ```
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one_job() {
+        assert!(super::available_jobs() >= 1);
+    }
+}

@@ -116,11 +116,20 @@ impl Partition {
 
     /// Sizes of all groups.
     pub fn group_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.group_count()];
+        let mut sizes = Vec::new();
+        self.group_sizes_into(&mut sizes);
+        sizes
+    }
+
+    /// [`group_sizes`](Self::group_sizes) into a caller-owned buffer, so hot
+    /// loops (candidate scoring runs once per test per Procedure 1 restart)
+    /// can reuse one allocation.
+    pub fn group_sizes_into(&self, sizes: &mut Vec<usize>) {
+        sizes.clear();
+        sizes.resize(self.group_count(), 0);
         for &g in &self.group_of {
             sizes[g as usize] += 1;
         }
-        sizes
     }
 
     /// Number of fault pairs in the same group — the paper's

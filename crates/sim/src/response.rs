@@ -2,12 +2,25 @@
 //! fault dictionaries are built from.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use sdd_fault::{FaultId, FaultUniverse};
 use sdd_logic::{BitVec, PatternBlock, LANES};
 use sdd_netlist::{Circuit, CombView};
 
 use crate::Engine;
+
+/// Smallest fault chunk worth shipping to a worker thread: below this the
+/// per-chunk fixed costs (a fresh [`Engine`], a redundant fault-free pass
+/// per pattern block, the label remap on merge) rival the fault simulation
+/// itself.
+const MIN_CHUNK_FAULTS: usize = 32;
+
+/// Chunks per worker. More than one lets fast workers steal the slack of
+/// slow chunks (fault cost varies wildly with cone size) without shrinking
+/// chunks so far the fixed costs dominate.
+const CHUNKS_PER_JOB: usize = 4;
 
 /// For every test and every fault, *which* output vector the faulty circuit
 /// produces — encoded as a small per-test class label rather than the vector
@@ -118,6 +131,128 @@ impl ResponseMatrix {
             distinct,
             good,
         }
+    }
+
+    /// [`simulate`](Self::simulate) fanned out over `jobs` worker threads.
+    ///
+    /// The fault list is split into contiguous chunks; each worker owns a
+    /// private [`Engine`] (and its pattern-block scratch) and simulates whole
+    /// chunks, pulling the next chunk index from a shared counter. Chunk
+    /// results are then merged **in fault order**, re-interning each test's
+    /// distinct output vectors in the order the serial scan would first meet
+    /// them — so the result is identical (`==`, and byte-identical once
+    /// stored) to the serial matrix for any `jobs`, and scheduling order
+    /// cannot leak into class labels.
+    ///
+    /// `jobs == 1`, an empty fault list, or a fault list too small to cover
+    /// two chunks all fall back to the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any test's width differs from the view's input count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_fault::FaultUniverse;
+    /// use sdd_netlist::{library, CombView};
+    /// use sdd_sim::ResponseMatrix;
+    /// use sdd_logic::BitVec;
+    ///
+    /// let c17 = library::c17();
+    /// let view = CombView::new(&c17);
+    /// let universe = FaultUniverse::enumerate(&c17);
+    /// let collapsed = universe.collapse_on(&c17);
+    /// let tests: Vec<BitVec> = vec!["10111".parse()?, "01101".parse()?];
+    /// let serial = ResponseMatrix::simulate(&c17, &view, &universe, collapsed.representatives(), &tests);
+    /// let parallel = ResponseMatrix::simulate_jobs(&c17, &view, &universe, collapsed.representatives(), &tests, 4);
+    /// assert_eq!(serial, parallel);
+    /// # Ok::<(), sdd_logic::ParseBitVecError>(())
+    /// ```
+    pub fn simulate_jobs(
+        circuit: &Circuit,
+        view: &CombView,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        tests: &[BitVec],
+        jobs: usize,
+    ) -> Self {
+        let jobs = jobs.max(1);
+        let chunk = faults
+            .len()
+            .div_ceil(jobs * CHUNKS_PER_JOB)
+            .max(MIN_CHUNK_FAULTS);
+        if jobs == 1 || faults.len() <= chunk {
+            return Self::simulate(circuit, view, universe, faults, tests);
+        }
+
+        let chunks: Vec<&[FaultId]> = faults.chunks(chunk).collect();
+        let next = AtomicUsize::new(0);
+        let parts: Mutex<Vec<(usize, Self)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(chunks.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk_faults) = chunks.get(index) else {
+                        break;
+                    };
+                    let part = Self::simulate(circuit, view, universe, chunk_faults, tests);
+                    parts.lock().expect("chunk result lock").push((index, part));
+                });
+            }
+        });
+        let mut parts = parts.into_inner().expect("chunk result lock");
+        parts.sort_unstable_by_key(|&(index, _)| index);
+        Self::merge_fault_chunks(parts.into_iter().map(|(_, part)| part), view, tests.len())
+    }
+
+    /// Concatenates per-chunk matrices (contiguous fault ranges of one fault
+    /// list, same tests) back into one matrix, re-interning class labels per
+    /// test in chunk-then-fault order — exactly the first-occurrence order of
+    /// the serial scan.
+    fn merge_fault_chunks(
+        parts: impl Iterator<Item = Self>,
+        view: &CombView,
+        tests: usize,
+    ) -> Self {
+        let mut fault_count = 0;
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); tests];
+        let mut distinct: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new()]; tests];
+        let mut interner: Vec<HashMap<Vec<u32>, u32>> =
+            (0..tests).map(|_| HashMap::new()).collect();
+        let mut good: Option<Vec<BitVec>> = None;
+        let mut remap: Vec<u32> = Vec::new();
+
+        for part in parts {
+            debug_assert_eq!(part.test_count(), tests, "chunks share one test set");
+            fault_count += part.fault_count;
+            // Every chunk simulated the same fault-free responses; keep the
+            // first copy.
+            good.get_or_insert(part.good);
+            for test in 0..tests {
+                remap.clear();
+                remap.push(0); // class 0 is fault-free in every chunk
+                for diffs in &part.distinct[test][1..] {
+                    let fresh = distinct[test].len() as u32;
+                    let label = *interner[test].entry(diffs.clone()).or_insert_with(|| {
+                        distinct[test].push(diffs.clone());
+                        fresh
+                    });
+                    remap.push(label);
+                }
+                let row = &part.class[test * part.fault_count..(test + 1) * part.fault_count];
+                rows[test].extend(row.iter().map(|&label| remap[label as usize]));
+            }
+        }
+
+        Self::from_class_parts(
+            good.unwrap_or_default(),
+            fault_count,
+            view.outputs().len(),
+            rows.concat(),
+            distinct,
+        )
+        .expect("chunk merge preserves matrix invariants")
     }
 
     /// Builds a matrix from explicit responses instead of simulation: one
@@ -532,6 +667,32 @@ mod tests {
             bad_distinct,
         )
         .is_err());
+    }
+
+    #[test]
+    fn parallel_simulation_equals_serial_for_any_jobs() {
+        // s298 has enough collapsed faults to split into several chunks, so
+        // the merge path (not the small-work fallback) is what's tested.
+        let c = generator_circuit();
+        let view = CombView::new(&c);
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let ids = collapsed.representatives();
+        let width = view.inputs().len();
+        let mut rng = sdd_logic::Prng::seed_from_u64(7);
+        let patterns: Vec<BitVec> = (0..70)
+            .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let serial = ResponseMatrix::simulate(&c, &view, &universe, ids, &patterns);
+        for jobs in [2, 3, 4, 16] {
+            let parallel =
+                ResponseMatrix::simulate_jobs(&c, &view, &universe, ids, &patterns, jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+        }
+    }
+
+    fn generator_circuit() -> Circuit {
+        sdd_netlist::generator::iscas89("s298", 1).expect("known profile")
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! sdd generate <circuit> [--seed N] [-o out.bench]      emit a synthetic benchmark
 //! sdd info <file.bench>                                 circuit and fault statistics
 //! sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]
-//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--out dict.txt|dict.sddb]
+//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--jobs N] [--out dict.txt|dict.sddb]
 //! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
@@ -238,6 +238,7 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
 fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let mut tests_path = None;
     let mut calls1 = None;
+    let mut jobs = None;
     let mut output = None;
     let mut out = None;
     let positional = parse_flags(
@@ -245,27 +246,34 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
         &mut [
             ("--tests", &mut tests_path),
             ("--calls1", &mut calls1),
+            ("--jobs", &mut jobs),
             ("-o", &mut output),
             ("--out", &mut out),
         ],
     )?;
     let [path] = positional.as_slice() else {
         return Err(
-            "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] \
+            "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--jobs N] \
              [--out dict.txt|dict.sddb]"
                 .into(),
         );
     };
     let tests_path = tests_path.ok_or("missing --tests")?;
     let calls1: usize = calls1.map_or(Ok(20), |s| s.parse().map_err(|_| "bad --calls1"))?;
+    // Construction output is identical for every --jobs value; the flag only
+    // decides how many threads build it.
+    let jobs: usize = jobs.map_or(Ok(same_different::sim::available_jobs()), |s| {
+        s.parse().map_err(|_| "bad --jobs")
+    })?;
 
     let exp = Experiment::new(load_circuit(path)?);
     let tests = load_patterns(&tests_path, exp.view().inputs().len(), "test pattern")?;
-    let matrix = exp.simulate(&tests);
+    let matrix = exp.simulate_jobs(&tests, jobs);
     let mut selection = select_baselines(
         &matrix,
         &Procedure1Options {
             calls1,
+            jobs,
             ..Procedure1Options::default()
         },
     );

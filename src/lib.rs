@@ -132,12 +132,20 @@ impl Experiment {
 
     /// Fault-simulates `tests` over the collapsed fault list.
     pub fn simulate(&self, tests: &[BitVec]) -> ResponseMatrix {
-        ResponseMatrix::simulate(
+        self.simulate_jobs(tests, 1)
+    }
+
+    /// [`simulate`](Self::simulate) fanned out over `jobs` worker threads —
+    /// identical output for every `jobs` value (see
+    /// [`ResponseMatrix::simulate_jobs`]).
+    pub fn simulate_jobs(&self, tests: &[BitVec], jobs: usize) -> ResponseMatrix {
+        ResponseMatrix::simulate_jobs(
             &self.circuit,
             &self.view,
             &self.universe,
             self.faults(),
             tests,
+            jobs,
         )
     }
 
@@ -167,12 +175,15 @@ impl Experiment {
     /// Fault-simulates `tests` and builds all three dictionary types, with
     /// baselines selected by Procedure 1 and improved by Procedure 2 —
     /// the whole Table 6 inner loop in one call.
+    ///
+    /// `options.jobs` parallelizes both the fault simulation and the
+    /// Procedure 1 restarts; the result is identical for every value.
     pub fn build_dictionaries(
         &self,
         tests: &[BitVec],
         options: &sdd_core::Procedure1Options,
     ) -> DictionarySuite {
-        let matrix = self.simulate(tests);
+        let matrix = self.simulate_jobs(tests, options.jobs);
         let pass_fail = sdd_core::PassFailDictionary::build(&matrix);
         let mut selection = sdd_core::select_baselines(&matrix, options);
         let procedure1_pairs = selection.indistinguished_pairs;

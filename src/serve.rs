@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
 use sdd_logic::{MaskedBitVec, SddError};
@@ -74,6 +74,9 @@ struct Entry {
     dictionary: Arc<StoredDictionary>,
     bytes: usize,
     last_used: u64,
+    /// Microseconds the `LOAD` spent reading, decoding, and inserting —
+    /// surfaced per dictionary in `STATS` so slow loads are visible.
+    load_us: u64,
 }
 
 /// The dictionary registry: named dictionaries under a memory cap with
@@ -103,7 +106,7 @@ impl Registry {
     /// entries until the total fits the cap. The entry just inserted is
     /// never evicted: a dictionary larger than the cap alone is admitted,
     /// because refusing it would make the service useless for that design.
-    fn insert(&self, name: &str, dictionary: StoredDictionary) -> usize {
+    fn insert(&self, name: &str, dictionary: StoredDictionary, load_us: u64) -> usize {
         let bytes = dictionary.approx_bytes();
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
@@ -114,6 +117,7 @@ impl Registry {
                 dictionary: Arc::new(dictionary),
                 bytes,
                 last_used: clock,
+                load_us,
             },
         ) {
             inner.bytes -= old.bytes;
@@ -149,10 +153,30 @@ impl Registry {
         })
     }
 
-    fn stats(&self) -> (usize, usize, u64) {
+    fn stats(&self) -> RegistryStats {
         let inner = self.inner.lock().expect("registry lock");
-        (inner.entries.len(), inner.bytes, inner.evictions)
+        let mut entries: Vec<(String, usize, u64)> = inner
+            .entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.bytes, e.load_us))
+            .collect();
+        entries.sort_unstable();
+        RegistryStats {
+            dicts: inner.entries.len(),
+            bytes: inner.bytes,
+            evictions: inner.evictions,
+            entries,
+        }
     }
+}
+
+/// A consistent snapshot of the registry for `STATS`.
+struct RegistryStats {
+    dicts: usize,
+    bytes: usize,
+    evictions: u64,
+    /// Per dictionary, sorted by name: `(name, resident bytes, load µs)`.
+    entries: Vec<(String, usize, u64)>,
 }
 
 /// State shared by the acceptor and every worker.
@@ -162,6 +186,8 @@ struct Shared {
     requests: AtomicU64,
     diagnoses: AtomicU64,
     addr: SocketAddr,
+    /// Size of the worker pool, reported by `STATS`.
+    workers: usize,
 }
 
 /// A running server: its bound address and the handles needed to stop it.
@@ -226,11 +252,12 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
         requests: AtomicU64::new(0),
         diagnoses: AtomicU64::new(0),
         addr,
+        workers: config.workers.max(1),
     });
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
     let receiver = Arc::new(Mutex::new(receiver));
-    let workers = (0..config.workers.max(1))
+    let workers = (0..shared.workers)
         .map(|_| {
             let receiver = Arc::clone(&receiver);
             let shared = Arc::clone(&shared);
@@ -373,14 +400,21 @@ fn respond(
             None => writeln!(writer, "{}", err_reply("usage: BATCH <dict> <obs>..."))?,
         },
         "STATS" => {
-            let (dicts, bytes, evictions) = shared.registry.stats();
-            writeln!(
-                writer,
-                "OK STATS dicts={dicts} bytes={bytes} cap={} requests={} diags={} evictions={evictions}",
+            let stats = shared.registry.stats();
+            let mut reply = format!(
+                "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={}",
+                shared.workers,
+                stats.dicts,
+                stats.bytes,
                 shared.registry.cap,
                 shared.requests.load(Ordering::Relaxed),
                 shared.diagnoses.load(Ordering::Relaxed),
-            )?;
+                stats.evictions,
+            );
+            for (name, bytes, load_us) in &stats.entries {
+                reply.push_str(&format!(" dict={name}:{bytes}:{load_us}us"));
+            }
+            writeln!(writer, "{reply}")?;
         }
         "QUIT" => {
             writeln!(writer, "OK BYE")?;
@@ -411,6 +445,7 @@ fn err_reply(message: &str) -> String {
 }
 
 fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
+    let start = Instant::now();
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) => return err_reply(&SddError::io(path, &e).to_string()),
@@ -424,8 +459,11 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
         Ok(d) => {
             let kind = d.kind().name();
             let (faults, tests) = (d.fault_count(), d.test_count());
-            let resident = shared.registry.insert(name, d);
-            format!("OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident}")
+            let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let resident = shared.registry.insert(name, d, load_us);
+            format!(
+                "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us}"
+            )
         }
         Err(e) => err_reply(&e.to_string()),
     }
@@ -589,13 +627,18 @@ mod tests {
     fn registry_evicts_least_recently_used_under_cap() {
         let one = pf().approx_bytes();
         let registry = Registry::new(2 * one);
-        registry.insert("a", pf());
-        registry.insert("b", pf());
+        registry.insert("a", pf(), 11);
+        registry.insert("b", pf(), 22);
         assert!(registry.get("a").is_some(), "a is now most recently used");
-        registry.insert("c", pf()); // over cap: evicts b, the LRU entry
-        let (dicts, bytes, evictions) = registry.stats();
-        assert_eq!((dicts, evictions), (2, 1));
-        assert!(bytes <= 2 * one);
+        registry.insert("c", pf(), 33); // over cap: evicts b, the LRU entry
+        let stats = registry.stats();
+        assert_eq!((stats.dicts, stats.evictions), (2, 1));
+        assert!(stats.bytes <= 2 * one);
+        assert_eq!(
+            stats.entries,
+            vec![("a".to_owned(), one, 11), ("c".to_owned(), one, 33)],
+            "per-dictionary stats are sorted by name and keep load times"
+        );
         assert!(registry.get("b").is_none(), "b was evicted");
         assert!(registry.get("a").is_some() && registry.get("c").is_some());
     }
@@ -603,22 +646,31 @@ mod tests {
     #[test]
     fn registry_admits_an_oversized_dictionary_alone() {
         let registry = Registry::new(1); // cap smaller than any dictionary
-        registry.insert("big", pf());
-        let (dicts, _, evictions) = registry.stats();
-        assert_eq!((dicts, evictions), (1, 0), "sole entry is never evicted");
-        registry.insert("bigger", pf());
-        let (dicts, _, evictions) = registry.stats();
-        assert_eq!((dicts, evictions), (1, 1), "previous entry made room");
+        registry.insert("big", pf(), 0);
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.dicts, stats.evictions),
+            (1, 0),
+            "sole entry is never evicted"
+        );
+        registry.insert("bigger", pf(), 0);
+        let stats = registry.stats();
+        assert_eq!(
+            (stats.dicts, stats.evictions),
+            (1, 1),
+            "previous entry made room"
+        );
     }
 
     #[test]
     fn replacing_a_dictionary_does_not_leak_accounting() {
         let one = pf().approx_bytes();
         let registry = Registry::new(10 * one);
-        registry.insert("a", pf());
-        registry.insert("a", pf());
-        let (dicts, bytes, evictions) = registry.stats();
-        assert_eq!((dicts, bytes, evictions), (1, one, 0));
+        registry.insert("a", pf(), 5);
+        registry.insert("a", pf(), 7);
+        let stats = registry.stats();
+        assert_eq!((stats.dicts, stats.bytes, stats.evictions), (1, one, 0));
+        assert_eq!(stats.entries[0].2, 7, "reload refreshes the load time");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Determinism of parallel dictionary construction: for a fixed seed,
+//! building with `jobs=4` must be *bit-identical* to building with
+//! `jobs=1` — same baselines, same figure of merit, and byte-for-byte the
+//! same `.sddb` encoding. Parallelism is an implementation detail, never
+//! an observable one.
+
+use same_different::dict::{
+    replace_baselines, select_baselines, Procedure1Options, SameDifferentDictionary,
+};
+use same_different::store::{encode, StoredDictionary};
+use same_different::Experiment;
+
+/// Selects baselines on `matrix` at the given job count, runs Procedure 2,
+/// and returns everything an observer could compare: the selection, its
+/// figure of merit, the consumed restarts, and the dictionary's `.sddb`
+/// bytes.
+fn build(
+    matrix: &same_different::sim::ResponseMatrix,
+    seed: u64,
+    jobs: usize,
+) -> (Vec<u32>, u64, usize, Vec<u8>) {
+    let selection = select_baselines(
+        matrix,
+        &Procedure1Options {
+            calls1: 5,
+            seed,
+            jobs,
+            ..Procedure1Options::default()
+        },
+    );
+    let mut baselines = selection.baselines.clone();
+    replace_baselines(matrix, &mut baselines);
+    let bytes = encode(&StoredDictionary::SameDifferent(
+        SameDifferentDictionary::build(matrix, &baselines),
+    ));
+    (
+        selection.baselines,
+        selection.indistinguished_pairs,
+        selection.calls,
+        bytes,
+    )
+}
+
+#[test]
+fn paper_example_is_identical_serial_and_parallel() {
+    let matrix = same_different::dict::example::paper_example();
+    for seed in [0, 1, 42] {
+        let serial = build(&matrix, seed, 1);
+        let parallel = build(&matrix, seed, 4);
+        assert_eq!(serial, parallel, "seed {seed}");
+    }
+}
+
+#[test]
+fn generated_circuit_is_identical_serial_and_parallel() {
+    let exp = Experiment::iscas89("s298", 7).unwrap();
+    let tests = exp.diagnostic_tests(&Default::default());
+
+    // The response matrices themselves must compare equal for any fan-out.
+    let matrix = exp.simulate_jobs(&tests.tests, 1);
+    for jobs in [2, 4] {
+        assert_eq!(exp.simulate_jobs(&tests.tests, jobs), matrix, "jobs {jobs}");
+    }
+
+    // And so must everything built on top of them, down to the stored bytes.
+    let serial = build(&matrix, 7, 1);
+    let parallel = build(&matrix, 7, 4);
+    assert_eq!(serial, parallel);
+    assert!(!serial.3.is_empty());
+}

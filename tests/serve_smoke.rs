@@ -126,10 +126,13 @@ fn served_diagnosis_matches_in_process_diagnosis() {
     let reply = client.request("NONSENSE").unwrap();
     assert!(reply.starts_with("ERR "), "{reply}");
 
-    // STATS reflects the traffic this test generated.
+    // STATS reflects the provisioning and the traffic this test generated,
+    // including the per-dictionary load-time entry.
     let stats = client.request("STATS").unwrap();
-    assert!(stats.starts_with("OK STATS dicts=1 "), "{stats}");
+    assert!(stats.starts_with("OK STATS workers=2 dicts=1 "), "{stats}");
     assert!(stats.contains("evictions=0"), "{stats}");
+    assert!(stats.contains(" dict=c17:"), "{stats}");
+    assert!(stats.ends_with("us"), "{stats}");
 
     // SHUTDOWN acknowledges, then the server drains and releases the port.
     let reply = client.request("SHUTDOWN").unwrap();
