@@ -22,8 +22,9 @@ fi
 step "cargo test --offline --release --workspace -q"
 cargo test --offline --release --workspace -q
 
-step "store round-trip + serve smoke (c17)"
-cargo test --offline --release -q --test store_roundtrip --test serve_smoke
+step "store round-trip + serve smoke + sharding (c17, s298)"
+cargo test --offline --release -q --test store_roundtrip --test serve_smoke \
+    --test shard_manifest --test shard_equivalence
 
 step "dictionary load bench (text parse vs binary read, JSON)"
 cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10

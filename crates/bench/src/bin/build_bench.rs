@@ -33,6 +33,13 @@
 //! with the same figure of merit, and the encoded `.sddb` bytes match.
 //! Speedups depend on the host (`available_parallelism` is recorded so a
 //! single-core CI box's numbers are not misread as a regression).
+//!
+//! The report also carries a `shard_bench` point comparing the unsharded
+//! deployment (cold `.sddb` read + decode + first diagnosis) against the
+//! sharded one (manifest open + every shard load + merged diagnosis):
+//! `shards`, `unsharded_cold_s`, `sharded_cold_s`, and `shard_identical`,
+//! the second correctness claim — the merged cross-shard ranking equals the
+//! unsharded one bit for bit.
 
 use std::time::Instant;
 
@@ -57,6 +64,9 @@ const NUMERIC_KEYS: &[&str] = &[
     "procedure1_speedup",
     "indistinguished_pairs",
     "procedure1_calls",
+    "shards",
+    "unsharded_cold_s",
+    "sharded_cold_s",
 ];
 
 fn main() {
@@ -173,13 +183,18 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
 
     let mut serial_baselines = selection_serial.baselines;
     replace_baselines(&matrix_serial, &mut serial_baselines);
-    let bytes = sdd_store::encode(&StoredDictionary::SameDifferent(
-        SameDifferentDictionary::build(&matrix, &selection.baselines),
-    ));
+    let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
+    let bytes = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone()));
     let serial_bytes = sdd_store::encode(&StoredDictionary::SameDifferent(
         SameDifferentDictionary::build(&matrix_serial, &serial_baselines),
     ));
     identical &= bytes == serial_bytes;
+
+    // Shard bench: cold-load + first-diagnosis latency, unsharded `.sddb`
+    // versus a cone-partitioned shard set, plus the bit-identity proof of
+    // the merged cross-shard ranking.
+    let (shards, unsharded_cold_s, sharded_cold_s, shard_identical) =
+        shard_bench(&exp, &matrix, StoredDictionary::SameDifferent(dictionary));
 
     format!(
         "{{\"circuit\":\"{}\",\"ttype\":\"{}\",\"seed\":{},\"faults\":{},\"tests\":{},\
@@ -188,7 +203,9 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
          \"procedure1_s_jobs1\":{:.3},\"procedure1_s_jobsn\":{:.3},\
          \"procedure2_s\":{:.3},\
          \"simulate_speedup\":{:.2},\"procedure1_speedup\":{:.2},\
-         \"indistinguished_pairs\":{},\"procedure1_calls\":{},\"identical\":{}}}",
+         \"indistinguished_pairs\":{},\"procedure1_calls\":{},\
+         \"shards\":{},\"unsharded_cold_s\":{:.6},\"sharded_cold_s\":{:.6},\
+         \"shard_identical\":{},\"identical\":{}}}",
         circuit,
         ttype,
         seed,
@@ -205,7 +222,78 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
         procedure1_s_jobs1 / procedure1_s_jobsn.max(1e-9),
         pairs,
         selection.calls,
+        shards,
+        unsharded_cold_s,
+        sharded_cold_s,
+        shard_identical,
         identical,
+    )
+}
+
+/// Times the two deployment shapes from a cold start and proves the merged
+/// cross-shard ranking is bit-identical to the unsharded one. The probe
+/// observation is fault 0's simulated responses — a realistic single-fault
+/// datalog.
+fn shard_bench(
+    exp: &Experiment,
+    matrix: &sdd_sim::ResponseMatrix,
+    whole: StoredDictionary,
+) -> (usize, f64, f64, bool) {
+    use same_different::shard::{diagnose_sharded, ShardObservation};
+
+    let dir = std::env::temp_dir().join(format!("sdd-shard-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard bench dir");
+    let whole_path = dir.join("bench.sddb");
+    sdd_store::save(&whole_path, &whole).expect("write unsharded dictionary");
+    let shards = 4.min(whole.fault_count());
+    let cones = sdd_sim::OutputCones::compute(exp.circuit(), exp.view());
+    let ranges = cones.shard_ranges(exp.universe(), exp.faults(), shards);
+    let shard_cones: Vec<sdd_logic::BitVec> = ranges
+        .iter()
+        .map(|r| cones.shard_cone(exp.universe(), exp.faults(), r.clone()))
+        .collect();
+    let manifest_path = dir.join("bench.sddm");
+    sdd_store::write_sharded(&manifest_path, &whole, &ranges, Some(&shard_cones))
+        .expect("write sharded dictionary");
+    drop(whole);
+
+    let responses: Vec<sdd_logic::MaskedBitVec> = (0..matrix.test_count())
+        .map(|t| sdd_logic::MaskedBitVec::from_known(matrix.response(t, matrix.class(t, 0))))
+        .collect();
+    let observation = ShardObservation::Responses(&responses);
+
+    let start = Instant::now();
+    let bytes = std::fs::read(&whole_path).expect("read unsharded dictionary");
+    let cold = sdd_store::decode(&bytes).expect("decode unsharded dictionary");
+    let unsharded_report =
+        diagnose_sharded(&[(0, &cold)], observation).expect("unsharded diagnosis");
+    let unsharded_cold_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let reader = sdd_store::ShardedReader::open(&manifest_path).expect("open manifest");
+    let loaded: Vec<(usize, StoredDictionary)> = reader
+        .manifest()
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, record)| {
+            (
+                record.fault_start,
+                reader.load_shard(i).expect("load shard"),
+            )
+        })
+        .collect();
+    let refs: Vec<(usize, &StoredDictionary)> =
+        loaded.iter().map(|(start, d)| (*start, d)).collect();
+    let sharded_report = diagnose_sharded(&refs, observation).expect("sharded diagnosis");
+    let sharded_cold_s = start.elapsed().as_secs_f64();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        ranges.len(),
+        unsharded_cold_s,
+        sharded_cold_s,
+        sharded_report == unsharded_report,
     )
 }
 
@@ -235,11 +323,14 @@ fn check(path: &str) -> Result<(), String> {
         Some(value) if value.starts_with('"') && value.len() > 2 => {}
         _ => return Err("missing or empty key \"circuit\"".to_owned()),
     }
-    match field(body, "identical") {
-        Some("true") => Ok(()),
-        Some(value) => Err(format!("\"identical\" is {value}, expected true")),
-        None => Err("missing key \"identical\"".to_owned()),
+    for claim in ["shard_identical", "identical"] {
+        match field(body, claim) {
+            Some("true") => {}
+            Some(value) => return Err(format!("{claim:?} is {value}, expected true")),
+            None => return Err(format!("missing key {claim:?}")),
+        }
     }
+    Ok(())
 }
 
 /// Extracts the raw value text after `"key":` up to the next top-level

@@ -525,6 +525,126 @@ pub fn two_phase_diagnose_masked(
     Ok(ranked)
 }
 
+/// Merges per-shard masked rankings into one global [`NoisyDiagnosisReport`]
+/// that is bit-identical to diagnosing against the unsharded dictionary.
+///
+/// Each entry pairs a shard's first global fault index with its *sorted*
+/// local ranking (as produced by [`match_signatures_masked_into`] or any
+/// `diagnose_masked`); local fault positions are rebased by the offset and
+/// the rankings are k-way merged on `(mismatches, global fault)` — exactly
+/// the unsharded sort key, so for shards that tile the fault list the merged
+/// order equals the global stable sort. `fully_known` is whether the
+/// observation had no masked bits (a property of the observation, identical
+/// for every shard), and it re-derives the quality ladder the same way a
+/// single-dictionary diagnosis would: minimum mismatches of zero means
+/// [`MatchQuality::Exact`] on full data, [`MatchQuality::ConsistentUnderMask`]
+/// under a mask, anything else is [`MatchQuality::Ranked`].
+///
+/// # Errors
+///
+/// Returns [`SddError::Empty`] when no shard contributed any candidate and
+/// [`SddError::CountMismatch`] when shards disagree on the known-bit count
+/// (they scored different observations).
+///
+/// # Example
+///
+/// ```
+/// use sdd_core::diagnose::{match_signatures_masked, merge_shard_rankings};
+/// use sdd_core::PassFailDictionary;
+/// use sdd_logic::MaskedBitVec;
+///
+/// let d = PassFailDictionary::build(&sdd_core::example::paper_example());
+/// let observed = MaskedBitVec::from_known("01".parse()?);
+/// let whole = d.diagnose_masked(&observed)?;
+/// // Split the 4 faults into two shards and diagnose each independently.
+/// let lo = match_signatures_masked(&d.signatures()[..2], &observed)?;
+/// let hi = match_signatures_masked(&d.signatures()[2..], &observed)?;
+/// let merged = merge_shard_rankings(
+///     &[(0, &lo.ranking[..]), (2, &hi.ranking[..])],
+///     observed.is_fully_known(),
+/// )?;
+/// assert_eq!(merged, whole);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn merge_shard_rankings(
+    shards: &[(usize, &[ScoredCandidate])],
+    fully_known: bool,
+) -> Result<NoisyDiagnosisReport, SddError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let total: usize = shards.iter().map(|(_, r)| r.len()).sum();
+    if total == 0 {
+        return Err(SddError::Empty {
+            context: "shard rankings",
+        });
+    }
+    let known = shards
+        .iter()
+        .flat_map(|(_, r)| r.first())
+        .map(|c| c.known)
+        .max()
+        .unwrap_or(0);
+    // Seed the heap with each shard's best candidate; every pop advances
+    // one shard's cursor, so the merge is O(total · log shards).
+    let mut heap = BinaryHeap::with_capacity(shards.len());
+    for (index, &(offset, ranking)) in shards.iter().enumerate() {
+        if let Some(c) = ranking.first() {
+            if c.known != known {
+                return Err(SddError::CountMismatch {
+                    context: "known bits across shard rankings",
+                    expected: known,
+                    actual: c.known,
+                });
+            }
+            heap.push(Reverse((c.mismatches, offset + c.fault, index, 0usize)));
+        }
+    }
+    let mut ranking = Vec::with_capacity(total);
+    while let Some(Reverse((mismatches, fault, index, pos))) = heap.pop() {
+        let (offset, shard) = shards[index];
+        let local = shard[pos];
+        if local.known != known {
+            return Err(SddError::CountMismatch {
+                context: "known bits across shard rankings",
+                expected: known,
+                actual: local.known,
+            });
+        }
+        ranking.push(ScoredCandidate { fault, ..local });
+        debug_assert_eq!(local.mismatches, mismatches);
+        if let Some(next) = shard.get(pos + 1) {
+            debug_assert!(
+                (next.mismatches, next.fault) > (local.mismatches, local.fault),
+                "shard rankings must be sorted by (mismatches, fault)"
+            );
+            heap.push(Reverse((
+                next.mismatches,
+                offset + next.fault,
+                index,
+                pos + 1,
+            )));
+        }
+    }
+    let min = ranking[0].mismatches;
+    let best = ranking
+        .iter()
+        .take_while(|c| c.mismatches == min)
+        .map(|c| c.fault)
+        .collect();
+    let quality = match (min, fully_known) {
+        (0, true) => MatchQuality::Exact,
+        (0, false) => MatchQuality::ConsistentUnderMask,
+        _ => MatchQuality::Ranked,
+    };
+    Ok(NoisyDiagnosisReport {
+        ranking,
+        best,
+        quality,
+        known,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -765,6 +885,44 @@ mod tests {
         ));
         assert!(matches!(
             d.diagnose(&[bv("11")]),
+            Err(SddError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merged_shards_reproduce_the_whole_ranking() {
+        let d = PassFailDictionary::build(&paper_example());
+        // With and without masked bits, over every possible cut point.
+        for observed in [mv("01"), mv("1X"), mv("XX")] {
+            let whole = d.diagnose_masked(&observed).unwrap();
+            for cut in 1..d.fault_count() {
+                let lo = match_signatures_masked(&d.signatures()[..cut], &observed).unwrap();
+                let hi = match_signatures_masked(&d.signatures()[cut..], &observed).unwrap();
+                let merged = merge_shard_rankings(
+                    &[(0, &lo.ranking[..]), (cut, &hi.ranking[..])],
+                    observed.is_fully_known(),
+                )
+                .unwrap();
+                assert_eq!(merged, whole, "cut at {cut}, observed {observed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_inconsistent_shards() {
+        assert!(matches!(
+            merge_shard_rankings(&[], true),
+            Err(SddError::Empty { .. })
+        ));
+        assert!(matches!(
+            merge_shard_rankings(&[(0, &[][..])], true),
+            Err(SddError::Empty { .. })
+        ));
+        let d = PassFailDictionary::build(&paper_example());
+        let full = match_signatures_masked(d.signatures(), &mv("01")).unwrap();
+        let masked = match_signatures_masked(d.signatures(), &mv("0X")).unwrap();
+        assert!(matches!(
+            merge_shard_rankings(&[(0, &full.ranking[..]), (4, &masked.ranking[..])], false),
             Err(SddError::CountMismatch { .. })
         ));
     }

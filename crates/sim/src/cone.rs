@@ -1,0 +1,277 @@
+//! Output-cone reachability: which view outputs each net — and therefore
+//! each fault — can possibly affect.
+//!
+//! A stuck-at fault only ever corrupts outputs in the forward cone of its
+//! site net, so the cone is the natural partitioning key for sharded
+//! dictionary storage: faults whose cones share outputs belong together,
+//! and a shard's union cone tells a diagnosis service which failing outputs
+//! could implicate it. Reachability follows combinational edges only —
+//! flip-flop data nets are pseudo outputs under the full-scan assumption,
+//! so a cone never crosses the sequential boundary.
+//!
+//! # Example
+//!
+//! ```
+//! use sdd_fault::FaultUniverse;
+//! use sdd_netlist::{library, CombView};
+//! use sdd_sim::OutputCones;
+//!
+//! let c17 = library::c17();
+//! let view = CombView::new(&c17);
+//! let cones = OutputCones::compute(&c17, &view);
+//! let universe = FaultUniverse::enumerate(&c17);
+//! let collapsed = universe.collapse_on(&c17);
+//! // Every collapsed fault reaches at least one output.
+//! for &id in collapsed.representatives() {
+//!     assert!(cones.fault_cone(&universe, id).any());
+//! }
+//! ```
+
+use std::ops::Range;
+
+use sdd_fault::{FaultId, FaultUniverse};
+use sdd_logic::BitVec;
+use sdd_netlist::{Circuit, CombView, Driver, NetId};
+
+/// Per-net output reachability over a full-scan combinational view: bit `o`
+/// of a net's cone is set when the net can affect view output `o` (primary
+/// outputs first, then flip-flop data nets, in [`CombView::outputs`] order).
+#[derive(Debug, Clone)]
+pub struct OutputCones {
+    /// Packed cone rows, `words_per` words per net, indexed by net id.
+    cones: Vec<u64>,
+    words_per: usize,
+    outputs: usize,
+}
+
+impl OutputCones {
+    /// Computes every net's output cone with one reverse-topological sweep:
+    /// each net's cone is its own output positions unioned with the cones of
+    /// every gate it feeds.
+    pub fn compute(circuit: &Circuit, view: &CombView) -> Self {
+        let outputs = view.outputs().len();
+        let words_per = outputs.div_ceil(64).max(1);
+        let mut cones = vec![0u64; circuit.net_count() * words_per];
+        for (position, &net) in view.outputs().iter().enumerate() {
+            cones[net.index() * words_per + position / 64] |= 1u64 << (position % 64);
+        }
+        // view.order() lists fan-ins before consumers, so walking it in
+        // reverse visits every consumer before the nets that feed it. Net
+        // ids carry no topological meaning, so the gate's finished row is
+        // copied out before being OR-ed into its fan-ins.
+        let mut row = vec![0u64; words_per];
+        for &net in view.order().iter().rev() {
+            if let Driver::Gate { inputs, .. } = circuit.driver(net) {
+                row.copy_from_slice(&cones[net.index() * words_per..][..words_per]);
+                for &source in inputs {
+                    let start = source.index() * words_per;
+                    for (w, &bits) in cones[start..start + words_per].iter_mut().zip(&row) {
+                        *w |= bits;
+                    }
+                }
+            }
+        }
+        Self {
+            cones,
+            words_per,
+            outputs,
+        }
+    }
+
+    /// Number of view outputs `m` (the width of every cone).
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn words(&self, net: NetId) -> &[u64] {
+        &self.cones[net.index() * self.words_per..(net.index() + 1) * self.words_per]
+    }
+
+    /// The outputs reachable from `net`, as an `m`-bit vector.
+    pub fn net_cone(&self, net: NetId) -> BitVec {
+        BitVec::from_words(self.words(net).to_vec(), self.outputs)
+            .expect("cone rows only set bits below the output count")
+    }
+
+    /// The outputs a fault can corrupt: the cone of its site net (the
+    /// branch's feeding net or the stem itself).
+    pub fn fault_cone(&self, universe: &FaultUniverse, id: FaultId) -> BitVec {
+        self.net_cone(universe.site_net(id))
+    }
+
+    /// The lowest output position a fault can reach, or `m` for a fault
+    /// that reaches none — the sort key cone partitioning groups by.
+    fn lowest_output(&self, universe: &FaultUniverse, id: FaultId) -> usize {
+        let words = self.words(universe.site_net(id));
+        for (w, &bits) in words.iter().enumerate() {
+            if bits != 0 {
+                return w * 64 + bits.trailing_zeros() as usize;
+            }
+        }
+        self.outputs
+    }
+
+    /// Partitions `faults` into `shards` contiguous, non-empty ranges whose
+    /// boundaries snap to cone changes: each cut lands where adjacent faults
+    /// stop sharing their lowest reachable output, as close to an even split
+    /// as the cone structure allows. Where no cone boundary exists nearby,
+    /// the cut degrades to the plain contiguous-chunk position, so the
+    /// result is always a valid cover of `0..faults.len()`.
+    pub fn shard_ranges(
+        &self,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        shards: usize,
+    ) -> Vec<Range<usize>> {
+        let n = faults.len();
+        let shards = shards.clamp(1, n.max(1));
+        if n == 0 {
+            return Vec::new();
+        }
+        let keys: Vec<usize> = faults
+            .iter()
+            .map(|&id| self.lowest_output(universe, id))
+            .collect();
+        // Snap each even-split target to the nearest cone boundary within a
+        // quarter-chunk window; prefer the closest, then the earlier one.
+        let window = (n / (shards * 4)).max(1);
+        let mut cuts = Vec::with_capacity(shards + 1);
+        cuts.push(0);
+        for s in 1..shards {
+            let target = s * n / shards;
+            let floor = cuts.last().unwrap() + 1;
+            let lo = target.saturating_sub(window).max(floor);
+            let hi = (target + window).min(n - (shards - s));
+            let snapped = (lo..=hi)
+                .filter(|&p| keys[p] != keys[p - 1])
+                .min_by_key(|&p| (p.abs_diff(target), p))
+                .unwrap_or_else(|| target.clamp(floor, hi.max(floor)));
+            cuts.push(snapped);
+        }
+        cuts.push(n);
+        cuts.windows(2).map(|w| w[0]..w[1]).collect()
+    }
+
+    /// The union cone of a fault range — what a shard manifest records so a
+    /// service can test whether failing outputs could implicate the shard.
+    pub fn shard_cone(
+        &self,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+        range: Range<usize>,
+    ) -> BitVec {
+        let mut union = vec![0u64; self.words_per];
+        for &id in &faults[range] {
+            for (w, &bits) in union.iter_mut().zip(self.words(universe.site_net(id))) {
+                *w |= bits;
+            }
+        }
+        BitVec::from_words(union, self.outputs).expect("cone rows only set bits below the outputs")
+    }
+}
+
+/// Plain even contiguous chunks of `0..n` — the partitioning used when no
+/// circuit (and so no cone information) is available.
+pub fn contiguous_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..shards)
+        .map(|s| s * n / shards..(s + 1) * n / shards)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::library;
+
+    fn c17_fixture() -> (Circuit, CombView, FaultUniverse, Vec<FaultId>) {
+        let circuit = library::c17();
+        let view = CombView::new(&circuit);
+        let universe = FaultUniverse::enumerate(&circuit);
+        let collapsed = universe.collapse_on(&circuit);
+        let faults = collapsed.representatives().to_vec();
+        (circuit, view, universe, faults)
+    }
+
+    #[test]
+    fn output_stems_reach_exactly_themselves() {
+        let (circuit, view, _, _) = c17_fixture();
+        let cones = OutputCones::compute(&circuit, &view);
+        for (position, &net) in view.outputs().iter().enumerate() {
+            let cone = cones.net_cone(net);
+            assert!(cone.bit(position), "output reaches itself");
+        }
+    }
+
+    #[test]
+    fn every_collapsed_fault_reaches_an_output() {
+        let (circuit, view, universe, faults) = c17_fixture();
+        let cones = OutputCones::compute(&circuit, &view);
+        for &id in &faults {
+            assert!(cones.fault_cone(&universe, id).any(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn cones_respect_the_sequential_boundary() {
+        // demo_seq has flip-flops; a DFF data net is a pseudo output whose
+        // cone must not leak through the flip-flop into the next frame.
+        let circuit = library::demo_seq();
+        let view = CombView::new(&circuit);
+        let cones = OutputCones::compute(&circuit, &view);
+        for &q in circuit.dffs() {
+            let cone = cones.net_cone(q);
+            // The DFF *output* net is a pseudo input; whatever it reaches is
+            // combinational from there, and never includes nothing-at-all
+            // unless the flop is dangling.
+            assert_eq!(cone.len(), view.outputs().len());
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_stay_contiguous() {
+        let (circuit, view, universe, faults) = c17_fixture();
+        let cones = OutputCones::compute(&circuit, &view);
+        for shards in [1, 2, 3, faults.len(), faults.len() + 5] {
+            let ranges = cones.shard_ranges(&universe, &faults, shards);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, faults.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()), "no empty shard");
+            assert!(ranges.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn shard_cone_is_the_union_of_member_cones() {
+        let (circuit, view, universe, faults) = c17_fixture();
+        let cones = OutputCones::compute(&circuit, &view);
+        let union = cones.shard_cone(&universe, &faults, 0..faults.len());
+        for &id in &faults {
+            let cone = cones.fault_cone(&universe, id);
+            for o in 0..cone.len() {
+                if cone.bit(o) {
+                    assert!(union.bit(o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_fallback_covers_everything() {
+        assert!(contiguous_ranges(0, 4).is_empty());
+        let ranges = contiguous_ranges(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 10);
+        let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(contiguous_ranges(2, 5).len(), 2, "clamped to fault count");
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod compactor;
+mod cone;
 mod corruption;
 pub mod deductive;
 mod engine;
@@ -49,6 +50,7 @@ mod response;
 mod tester;
 
 pub use compactor::SpaceCompactor;
+pub use cone::{contiguous_ranges, OutputCones};
 pub use corruption::{CorruptionModel, TruncatedLog};
 pub use engine::{Engine, FaultEffect};
 pub use parallel::available_jobs;

@@ -137,6 +137,21 @@ impl Header {
     }
 }
 
+/// `a * b` with overflow reported as [`SddError::Invalid`] — every offset
+/// computed from header-declared dimensions goes through this (or
+/// [`checked_add`]) so a crafted header cannot wrap an offset in release
+/// builds or panic in debug builds.
+pub(crate) fn checked_mul(a: usize, b: usize, what: &'static str) -> Result<usize, SddError> {
+    a.checked_mul(b)
+        .ok_or_else(|| SddError::invalid(format!("{what}: {a} * {b} overflows usize")))
+}
+
+/// `a + b` with overflow reported as [`SddError::Invalid`].
+pub(crate) fn checked_add(a: usize, b: usize, what: &'static str) -> Result<usize, SddError> {
+    a.checked_add(b)
+        .ok_or_else(|| SddError::invalid(format!("{what}: {a} + {b} overflows usize")))
+}
+
 /// A little-endian reading cursor over a payload slice that turns every
 /// out-of-bounds read into a typed [`SddError::Truncated`].
 pub(crate) struct Cursor<'a> {
@@ -158,6 +173,12 @@ impl<'a> Cursor<'a> {
         self.pos = pos;
     }
 
+    /// Bytes left between the cursor and the end of the slice — the upper
+    /// bound for any count-driven allocation.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
     fn take(&mut self, len: usize) -> Result<&'a [u8], SddError> {
         let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
         match end {
@@ -174,6 +195,11 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Reads exactly `len` raw bytes.
+    pub(crate) fn bytes_exact(&mut self, len: usize) -> Result<&'a [u8], SddError> {
+        self.take(len)
+    }
+
     pub(crate) fn u32(&mut self) -> Result<u32, SddError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -185,7 +211,7 @@ impl<'a> Cursor<'a> {
     /// Reads a bit row of `bits` logical bits stored as packed words.
     pub(crate) fn bit_row(&mut self, bits: usize) -> Result<BitVec, SddError> {
         let words = bits.div_ceil(64);
-        let raw = self.take(words * 8)?;
+        let raw = self.take(checked_mul(words, 8, "bit row length")?)?;
         let words: Vec<u64> = raw
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))

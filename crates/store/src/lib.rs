@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod format;
+mod manifest;
 mod reader;
 mod writer;
 
@@ -38,6 +39,10 @@ use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
 use sdd_logic::SddError;
 
 pub use format::{Header, HEADER_LEN, MAGIC, VERSION};
+pub use manifest::{
+    is_manifest, slice_dictionary, write_sharded, ShardManifest, ShardRecord, ShardedReader,
+    MANIFEST_HEADER_LEN, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 pub use reader::SddbReader;
 pub use writer::encode;
 

@@ -4,7 +4,7 @@ use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
 use sdd_logic::{BitVec, SddError};
 use sdd_sim::ResponseMatrix;
 
-use crate::format::{self, Cursor, Header, HEADER_LEN};
+use crate::format::{self, checked_add, checked_mul, Cursor, Header, HEADER_LEN};
 use crate::{DictionaryKind, StoredDictionary};
 
 /// A reader over a complete `.sddb` byte image (e.g. a whole file read —
@@ -103,7 +103,14 @@ impl<'a> SddbReader<'a> {
         let h = &self.header;
         match h.kind {
             DictionaryKind::PassFail => Ok(0),
-            DictionaryKind::SameDifferent => Ok(h.tests * 4 + h.tests * h.outputs.div_ceil(64) * 8),
+            DictionaryKind::SameDifferent => {
+                // classes (tests × u32) + baselines (tests × ⌈m/64⌉ words),
+                // every step checked: the dimensions come from the header.
+                let classes = checked_mul(h.tests, 4, "baseline class table")?;
+                let row = checked_mul(h.outputs.div_ceil(64), 8, "baseline row length")?;
+                let baselines = checked_mul(h.tests, row, "baseline table")?;
+                checked_add(classes, baselines, "signature index offset")
+            }
             DictionaryKind::Full => Err(SddError::invalid(
                 "full dictionaries store response classes, not signature rows",
             )),
@@ -128,7 +135,11 @@ impl<'a> SddbReader<'a> {
         }
         let index_start = self.row_index_start()?;
         let mut cursor = Cursor::new(self.payload, "signature row index");
-        cursor.seek(index_start + fault * 8);
+        cursor.seek(checked_add(
+            index_start,
+            checked_mul(fault, 8, "signature index entry")?,
+            "signature index entry",
+        )?);
         let offset = self.offset(cursor.u64()?)?;
         let mut cursor = Cursor::new(self.payload, "signature row");
         cursor.seek(offset);
@@ -154,9 +165,13 @@ impl<'a> SddbReader<'a> {
                 self.header.tests
             )));
         }
-        let baseline_bytes = self.header.outputs.div_ceil(64) * 8;
+        let baseline_bytes = checked_mul(self.header.outputs.div_ceil(64), 8, "baseline row")?;
         let mut cursor = Cursor::new(self.payload, "baseline row");
-        cursor.seek(self.header.tests * 4 + test * baseline_bytes);
+        cursor.seek(checked_add(
+            checked_mul(self.header.tests, 4, "baseline class table")?,
+            checked_mul(test, baseline_bytes, "baseline row offset")?,
+            "baseline row offset",
+        )?);
         cursor.bit_row(self.header.outputs)
     }
 
@@ -182,13 +197,13 @@ impl<'a> SddbReader<'a> {
             }
             DictionaryKind::SameDifferent => {
                 let mut cursor = Cursor::new(self.payload, "baseline classes");
-                let mut classes = Vec::with_capacity(h.tests);
+                let mut classes = Vec::with_capacity(guarded_count(h.tests, 4, &cursor)?);
                 for _ in 0..h.tests {
                     classes.push(cursor.u32()?);
                 }
-                let mut baselines = Vec::with_capacity(h.tests);
                 let mut cursor = Cursor::new(self.payload, "baseline rows");
-                cursor.seek(h.tests * 4);
+                cursor.seek(checked_mul(h.tests, 4, "baseline class table")?);
+                let mut baselines = Vec::with_capacity(guarded_count(h.tests, 8, &cursor)?);
                 for _ in 0..h.tests {
                     baselines.push(cursor.bit_row(h.outputs)?);
                 }
@@ -206,7 +221,7 @@ impl<'a> SddbReader<'a> {
         let index_start = self.row_index_start()?;
         let mut index = Cursor::new(self.payload, "signature row index");
         index.seek(index_start);
-        let mut rows = Vec::with_capacity(self.header.faults);
+        let mut rows = Vec::with_capacity(guarded_count(self.header.faults, 8, &index)?);
         for _ in 0..self.header.faults {
             let offset = self.offset(index.u64()?)?;
             let mut row = Cursor::new(self.payload, "signature row");
@@ -218,29 +233,40 @@ impl<'a> SddbReader<'a> {
 
     fn full_dictionary(&self) -> Result<StoredDictionary, SddError> {
         let h = &self.header;
+        let good_bytes = checked_mul(
+            h.tests,
+            checked_mul(h.outputs.div_ceil(64), 8, "fault-free row length")?,
+            "fault-free response table",
+        )?;
+        let class_entries = checked_mul(h.tests, h.faults, "response class matrix")?;
+        let class_bytes = checked_mul(class_entries, 4, "response class matrix")?;
         let mut cursor = Cursor::new(self.payload, "fault-free responses");
-        let mut good = Vec::with_capacity(h.tests);
+        let mut good = Vec::with_capacity(guarded_count(h.tests, 8, &cursor)?);
         for _ in 0..h.tests {
             good.push(cursor.bit_row(h.outputs)?);
         }
         let mut cursor = Cursor::new(self.payload, "response class matrix");
-        cursor.seek(h.tests * h.outputs.div_ceil(64) * 8);
-        let mut class = Vec::with_capacity(h.tests * h.faults);
-        for _ in 0..h.tests * h.faults {
+        cursor.seek(good_bytes);
+        let mut class = Vec::with_capacity(guarded_count(class_entries, 4, &cursor)?);
+        for _ in 0..class_entries {
             class.push(cursor.u32()?);
         }
         let mut index = Cursor::new(self.payload, "distinct-table index");
-        index.seek(h.tests * h.outputs.div_ceil(64) * 8 + h.tests * h.faults * 4);
-        let mut distinct = Vec::with_capacity(h.tests);
+        index.seek(checked_add(
+            good_bytes,
+            class_bytes,
+            "distinct-table index",
+        )?);
+        let mut distinct = Vec::with_capacity(guarded_count(h.tests, 8, &index)?);
         for _ in 0..h.tests {
             let offset = self.offset(index.u64()?)?;
             let mut table = Cursor::new(self.payload, "distinct-vector table");
             table.seek(offset);
             let class_count = table.u32()? as usize;
-            let mut classes = Vec::with_capacity(class_count);
+            let mut classes = Vec::with_capacity(guarded_count(class_count, 4, &table)?);
             for _ in 0..class_count {
                 let len = table.u32()? as usize;
-                let mut diffs = Vec::with_capacity(len);
+                let mut diffs = Vec::with_capacity(guarded_count(len, 4, &table)?);
                 for _ in 0..len {
                     diffs.push(table.u32()?);
                 }
@@ -251,4 +277,20 @@ impl<'a> SddbReader<'a> {
         let matrix = ResponseMatrix::from_class_parts(good, h.faults, h.outputs, class, distinct)?;
         Ok(StoredDictionary::Full(FullDictionary::new(matrix)))
     }
+}
+
+/// Refuses a count-driven allocation whose entries could not all fit in the
+/// bytes left after the cursor — the guard that keeps a crafted header or
+/// table prefix from requesting a multi-gigabyte `Vec` before the first
+/// truncated read is even attempted. `bytes_each` is the *minimum* encoded
+/// size of one entry.
+fn guarded_count(count: usize, bytes_each: usize, cursor: &Cursor<'_>) -> Result<usize, SddError> {
+    let need = checked_mul(count, bytes_each, "table allocation")?;
+    if need > cursor.remaining() {
+        return Err(SddError::invalid(format!(
+            "declared count {count} needs {need} bytes but only {} remain",
+            cursor.remaining()
+        )));
+    }
+    Ok(count)
 }

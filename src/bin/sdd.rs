@@ -4,7 +4,8 @@
 //! sdd generate <circuit> [--seed N] [-o out.bench]      emit a synthetic benchmark
 //! sdd info <file.bench>                                 circuit and fault statistics
 //! sdd atpg <file.bench> [--ttype diag|<n>det] [--seed N] [-o tests.txt]
-//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--jobs N] [--out dict.txt|dict.sddb]
+//! sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--jobs N]
+//!                [--shards K] [--out dict.txt|dict.sddb|dict.sddm]
 //! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
@@ -20,7 +21,10 @@
 //! magic number: the diffable v1 text format and the binary `.sddb` store.
 //! `--out` picks the output format from the extension (`.sddb` → binary,
 //! anything else → text, streamed record-by-record) and `-o` remains the
-//! text-only spelling older scripts use.
+//! text-only spelling older scripts use. With `--shards K` the dictionary
+//! is cut into `K` fault-range shards along output-cone boundaries and
+//! written as `<out>.sddm` (a checksummed shard manifest) plus one
+//! `<stem>.NNN.sddb` per shard — `sdd serve` then loads shards lazily.
 
 use std::fs;
 use std::process::ExitCode;
@@ -239,6 +243,7 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let mut tests_path = None;
     let mut calls1 = None;
     let mut jobs = None;
+    let mut shards = None;
     let mut output = None;
     let mut out = None;
     let positional = parse_flags(
@@ -247,6 +252,7 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
             ("--tests", &mut tests_path),
             ("--calls1", &mut calls1),
             ("--jobs", &mut jobs),
+            ("--shards", &mut shards),
             ("-o", &mut output),
             ("--out", &mut out),
         ],
@@ -254,12 +260,19 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
     let [path] = positional.as_slice() else {
         return Err(
             "usage: sdd dictionary <file.bench> --tests tests.txt [--calls1 N] [--jobs N] \
-             [--out dict.txt|dict.sddb]"
+             [--shards K] [--out dict.txt|dict.sddb|dict.sddm]"
                 .into(),
         );
     };
     let tests_path = tests_path.ok_or("missing --tests")?;
     let calls1: usize = calls1.map_or(Ok(20), |s| s.parse().map_err(|_| "bad --calls1"))?;
+    let shards: Option<usize> = match shards {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err("bad --shards (want a positive count)".into()),
+            Ok(k) => Some(k),
+        },
+    };
     // Construction output is identical for every --jobs value; the flag only
     // decides how many threads build it.
     let jobs: usize = jobs.map_or(Ok(same_different::sim::available_jobs()), |s| {
@@ -287,6 +300,41 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
         exp.faults().len() * (exp.faults().len() - 1) / 2,
         matrix.pass_fail_partition().indistinguished_pairs(),
     );
+    if let Some(k) = shards {
+        let manifest_path = out.ok_or("--shards requires --out <base>.sddm")?;
+        if !manifest_path.ends_with(".sddm") {
+            return Err(format!(
+                "--shards writes a shard manifest; --out {manifest_path:?} must end in .sddm"
+            ));
+        }
+        // Partition the collapsed fault list along output-cone boundaries
+        // (contiguous fallback when the cut windows find none), and record
+        // each shard's cone so `sdd serve` can prioritize lazy loads.
+        let cones = same_different::sim::OutputCones::compute(exp.circuit(), exp.view());
+        let ranges = cones.shard_ranges(exp.universe(), exp.faults(), k);
+        let shard_cones: Vec<BitVec> = ranges
+            .iter()
+            .map(|r| cones.shard_cone(exp.universe(), exp.faults(), r.clone()))
+            .collect();
+        let manifest = same_different::store::write_sharded(
+            &manifest_path,
+            &same_different::store::StoredDictionary::SameDifferent(dictionary),
+            &ranges,
+            Some(&shard_cones),
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} shard(s) beside {manifest_path}: {}",
+            manifest.shards.len(),
+            manifest
+                .shards
+                .iter()
+                .map(|s| format!("{} ({} faults)", s.file, s.fault_count))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        return Ok(());
+    }
     match out {
         Some(path) if path.ends_with(".sddb") => same_different::store::save(
             &path,

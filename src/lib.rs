@@ -52,6 +52,7 @@ pub use sdd_sim as sim;
 pub use sdd_store as store;
 
 pub mod serve;
+pub mod shard;
 
 use sdd_atpg::{AtpgOptions, GeneratedTestSet};
 use sdd_fault::{CollapsedFaults, FaultId, FaultUniverse};

@@ -6,7 +6,8 @@
 //! space-separated tokens; replies start with `OK` or `ERR`):
 //!
 //! ```text
-//! LOAD <name> <path>        load a dictionary (.sddb binary or v1 text)
+//! LOAD <name> <path>        load a dictionary (.sddb binary, .sddm shard
+//!                           manifest, or v1 text)
 //! DIAG <name> <obs>         diagnose one observation against <name>
 //! BATCH <name> <obs>...     diagnose many; replies `OK BATCH <count>`
 //!                           then one result line per observation
@@ -27,6 +28,15 @@
 //! under a configurable memory cap, so a box serving many designs keeps its
 //! footprint bounded. Each worker thread reuses one diagnosis scratch
 //! buffer across requests, keeping the hot path allocation-light.
+//!
+//! Loading a `.sddm` shard manifest registers the shard set without reading
+//! any shard: shards load lazily on the first `DIAG` that needs them, in
+//! cone-priority order (shards whose recorded output cone intersects the
+//! observation's failing outputs first). Every shard is still *scored* on
+//! every query — signatures compare against shard-global baselines, so a
+//! fault outside the failing cone can still be the best candidate, and
+//! skipping it would break the bit-identical merge. The LRU registry evicts
+//! at shard granularity, and `STATS` reports per-shard residency.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -38,8 +48,10 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
-use sdd_logic::{MaskedBitVec, SddError};
-use sdd_store::StoredDictionary;
+use sdd_logic::{BitVec, MaskedBitVec, SddError};
+use sdd_store::{ShardedReader, StoredDictionary};
+
+use crate::shard::{self, ShardObservation};
 
 /// How the server is bound and provisioned.
 #[derive(Debug, Clone)]
@@ -69,18 +81,50 @@ const TOP_CANDIDATES: usize = 5;
 /// Read timeout used to re-check the shutdown flag on idle connections.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// One loaded dictionary plus its LRU bookkeeping.
-struct Entry {
-    dictionary: Arc<StoredDictionary>,
+/// One loaded dictionary — whole, or a lazily-populated shard set.
+enum Entry {
+    Whole {
+        dictionary: Arc<StoredDictionary>,
+        bytes: usize,
+        last_used: u64,
+        /// Microseconds the `LOAD` spent reading, decoding, and inserting —
+        /// surfaced per dictionary in `STATS` so slow loads are visible.
+        load_us: u64,
+    },
+    Sharded {
+        reader: Arc<ShardedReader>,
+        /// One slot per manifest shard; `resident: None` until the first
+        /// `DIAG` that needs the shard loads it (or after eviction).
+        slots: Vec<ShardSlot>,
+        /// Microseconds the `LOAD` spent reading the manifest.
+        load_us: u64,
+    },
+}
+
+/// Residency state of one shard. The manifest itself is a few hundred bytes
+/// and is not counted against the memory cap; only resident shard payloads
+/// are.
+#[derive(Default)]
+struct ShardSlot {
+    resident: Option<Arc<StoredDictionary>>,
     bytes: usize,
     last_used: u64,
-    /// Microseconds the `LOAD` spent reading, decoding, and inserting —
-    /// surfaced per dictionary in `STATS` so slow loads are visible.
-    load_us: u64,
+    /// How many times this shard has been (re)loaded from disk — zero means
+    /// the shard has never been needed.
+    loads: u64,
+}
+
+/// What [`Registry::get`] found under a name.
+enum Fetched {
+    Whole(Arc<StoredDictionary>),
+    Sharded(Arc<ShardedReader>),
+    Missing,
 }
 
 /// The dictionary registry: named dictionaries under a memory cap with
-/// least-recently-used eviction.
+/// least-recently-used eviction. Whole dictionaries and individual resident
+/// shards are peer eviction units — a cold query against one design evicts
+/// the stalest *shard* elsewhere, not necessarily a whole design.
 struct Registry {
     cap: usize,
     inner: Mutex<RegistryInner>,
@@ -94,6 +138,54 @@ struct RegistryInner {
     evictions: u64,
 }
 
+impl RegistryInner {
+    /// Evicts least-recently-used units until the total fits `cap`. The
+    /// unit named by `keep` (a whole dictionary, or one shard of one) is
+    /// never evicted: an entry larger than the cap alone is admitted,
+    /// because refusing it would make the service useless for that design.
+    fn evict_over_cap(&mut self, cap: usize, keep: (&str, Option<usize>)) {
+        while self.bytes > cap {
+            let victim = self
+                .entries
+                .iter()
+                .flat_map(|(name, entry)| -> Vec<(u64, String, Option<usize>)> {
+                    match entry {
+                        Entry::Whole { last_used, .. } => {
+                            vec![(*last_used, name.clone(), None)]
+                        }
+                        Entry::Sharded { slots, .. } => slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.resident.is_some())
+                            .map(|(i, s)| (s.last_used, name.clone(), Some(i)))
+                            .collect(),
+                    }
+                })
+                .filter(|(_, name, slot)| (name.as_str(), *slot) != keep)
+                .min();
+            let Some((_, name, slot)) = victim else {
+                break;
+            };
+            match slot {
+                None => {
+                    if let Some(Entry::Whole { bytes, .. }) = self.entries.remove(&name) {
+                        self.bytes -= bytes;
+                    }
+                }
+                Some(index) => {
+                    if let Some(Entry::Sharded { slots, .. }) = self.entries.get_mut(&name) {
+                        let slot = &mut slots[index];
+                        slot.resident = None;
+                        self.bytes -= slot.bytes;
+                        slot.bytes = 0;
+                    }
+                }
+            }
+            self.evictions += 1;
+        }
+    }
+}
+
 impl Registry {
     fn new(cap: usize) -> Self {
         Self {
@@ -102,71 +194,189 @@ impl Registry {
         }
     }
 
-    /// Inserts (or replaces) a dictionary, then evicts least-recently-used
-    /// entries until the total fits the cap. The entry just inserted is
-    /// never evicted: a dictionary larger than the cap alone is admitted,
-    /// because refusing it would make the service useless for that design.
+    /// Locks the registry, recovering from poisoning: every mutation keeps
+    /// the accounting consistent before releasing the lock, so the state a
+    /// panicking worker left behind is safe to reuse — wedging every
+    /// subsequent request on an `expect` would turn one bad request into a
+    /// full outage.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts (or replaces) a whole dictionary, then evicts until the
+    /// total fits the cap.
     fn insert(&self, name: &str, dictionary: StoredDictionary, load_us: u64) -> usize {
         let bytes = dictionary.approx_bytes();
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        if let Some(old) = inner.entries.insert(
+        let old = inner.entries.insert(
             name.to_owned(),
-            Entry {
+            Entry::Whole {
                 dictionary: Arc::new(dictionary),
                 bytes,
                 last_used: clock,
                 load_us,
             },
-        ) {
-            inner.bytes -= old.bytes;
-        }
+        );
+        inner.bytes -= old.map_or(0, |e| entry_bytes(&e));
         inner.bytes += bytes;
-        while inner.bytes > self.cap && inner.entries.len() > 1 {
-            let victim = inner
-                .entries
-                .iter()
-                .filter(|(n, _)| n.as_str() != name)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(n, _)| n.clone());
-            match victim {
-                Some(victim) => {
-                    let evicted = inner.entries.remove(&victim).expect("victim exists");
-                    inner.bytes -= evicted.bytes;
-                    inner.evictions += 1;
-                }
-                None => break,
-            }
-        }
+        inner.evict_over_cap(self.cap, (name, None));
         bytes
     }
 
-    /// Fetches a dictionary and marks it most-recently-used.
-    fn get(&self, name: &str) -> Option<Arc<StoredDictionary>> {
-        let mut inner = self.inner.lock().expect("registry lock");
+    /// Registers (or replaces) a sharded dictionary by its manifest. No
+    /// shard is read here — slots start cold and populate on demand.
+    fn insert_manifest(&self, name: &str, reader: ShardedReader, load_us: u64) -> usize {
+        let slots = (0..reader.shard_count())
+            .map(|_| ShardSlot::default())
+            .collect();
+        let mut inner = self.lock();
+        let old = inner.entries.insert(
+            name.to_owned(),
+            Entry::Sharded {
+                reader: Arc::new(reader),
+                slots,
+                load_us,
+            },
+        );
+        inner.bytes -= old.map_or(0, |e| entry_bytes(&e));
+        0
+    }
+
+    /// Fetches whatever is registered under `name`, marking a whole
+    /// dictionary most-recently-used (shards are touched individually).
+    fn get(&self, name: &str) -> Fetched {
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        inner.entries.get_mut(name).map(|e| {
-            e.last_used = clock;
-            Arc::clone(&e.dictionary)
-        })
+        match inner.entries.get_mut(name) {
+            Some(Entry::Whole {
+                dictionary,
+                last_used,
+                ..
+            }) => {
+                *last_used = clock;
+                Fetched::Whole(Arc::clone(dictionary))
+            }
+            Some(Entry::Sharded { reader, .. }) => Fetched::Sharded(Arc::clone(reader)),
+            None => Fetched::Missing,
+        }
+    }
+
+    /// Fetches one resident shard and marks it most-recently-used; `None`
+    /// when the shard is cold, evicted, or the entry is gone.
+    fn resident_shard(&self, name: &str, index: usize) -> Option<Arc<StoredDictionary>> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(name) {
+            Some(Entry::Sharded { slots, .. }) => {
+                let slot = slots.get_mut(index)?;
+                let dictionary = slot.resident.as_ref().map(Arc::clone)?;
+                slot.last_used = clock;
+                Some(dictionary)
+            }
+            _ => None,
+        }
+    }
+
+    /// Makes a freshly-loaded shard resident (shard file I/O happens in the
+    /// worker, outside this lock), then evicts until the total fits the
+    /// cap — the shard just inserted is never its own victim. If the entry
+    /// was evicted or replaced mid-request, it is re-registered from
+    /// `reader` so the load is not wasted.
+    fn insert_shard(
+        &self,
+        name: &str,
+        reader: &Arc<ShardedReader>,
+        index: usize,
+        dictionary: StoredDictionary,
+    ) -> Arc<StoredDictionary> {
+        let bytes = dictionary.approx_bytes();
+        let dictionary = Arc::new(dictionary);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !matches!(inner.entries.get(name), Some(Entry::Sharded { .. })) {
+            let slots = (0..reader.shard_count())
+                .map(|_| ShardSlot::default())
+                .collect();
+            inner.entries.insert(
+                name.to_owned(),
+                Entry::Sharded {
+                    reader: Arc::clone(reader),
+                    slots,
+                    load_us: 0,
+                },
+            );
+        }
+        if let Some(Entry::Sharded { slots, .. }) = inner.entries.get_mut(name) {
+            if let Some(slot) = slots.get_mut(index) {
+                let replaced = std::mem::replace(&mut slot.bytes, bytes);
+                slot.resident = Some(Arc::clone(&dictionary));
+                slot.last_used = clock;
+                slot.loads += 1;
+                inner.bytes -= replaced;
+            }
+        }
+        inner.bytes += bytes;
+        inner.evict_over_cap(self.cap, (name, Some(index)));
+        dictionary
     }
 
     fn stats(&self) -> RegistryStats {
-        let inner = self.inner.lock().expect("registry lock");
-        let mut entries: Vec<(String, usize, u64)> = inner
+        let inner = self.lock();
+        let mut entries: Vec<StatsEntry> = inner
             .entries
             .iter()
-            .map(|(name, e)| (name.clone(), e.bytes, e.load_us))
+            .map(|(name, e)| match e {
+                Entry::Whole { bytes, load_us, .. } => StatsEntry {
+                    name: name.clone(),
+                    bytes: *bytes,
+                    load_us: *load_us,
+                    shards: Vec::new(),
+                },
+                Entry::Sharded { slots, load_us, .. } => StatsEntry {
+                    name: name.clone(),
+                    bytes: slots.iter().map(|s| s.bytes).sum(),
+                    load_us: *load_us,
+                    shards: slots
+                        .iter()
+                        .map(|s| ShardStat {
+                            status: match (&s.resident, s.loads) {
+                                (Some(_), _) => "resident",
+                                (None, 0) => "cold",
+                                (None, _) => "evicted",
+                            },
+                            bytes: s.bytes,
+                        })
+                        .collect(),
+                },
+            })
             .collect();
-        entries.sort_unstable();
+        entries.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        let total_shards = entries.iter().map(|e| e.shards.len()).sum();
+        let resident_shards = entries
+            .iter()
+            .flat_map(|e| &e.shards)
+            .filter(|s| s.status == "resident")
+            .count();
         RegistryStats {
             dicts: inner.entries.len(),
             bytes: inner.bytes,
             evictions: inner.evictions,
+            resident_shards,
+            total_shards,
             entries,
         }
+    }
+}
+
+fn entry_bytes(entry: &Entry) -> usize {
+    match entry {
+        Entry::Whole { bytes, .. } => *bytes,
+        Entry::Sharded { slots, .. } => slots.iter().map(|s| s.bytes).sum(),
     }
 }
 
@@ -175,8 +385,25 @@ struct RegistryStats {
     dicts: usize,
     bytes: usize,
     evictions: u64,
-    /// Per dictionary, sorted by name: `(name, resident bytes, load µs)`.
-    entries: Vec<(String, usize, u64)>,
+    /// Resident shards across every sharded entry.
+    resident_shards: usize,
+    /// Total shards across every sharded entry.
+    total_shards: usize,
+    /// Per dictionary, sorted by name.
+    entries: Vec<StatsEntry>,
+}
+
+struct StatsEntry {
+    name: String,
+    bytes: usize,
+    load_us: u64,
+    /// Empty for whole dictionaries; per-shard residency otherwise.
+    shards: Vec<ShardStat>,
+}
+
+struct ShardStat {
+    status: &'static str,
+    bytes: usize,
 }
 
 /// State shared by the acceptor and every worker.
@@ -308,7 +535,9 @@ fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Arc<Sh
     let mut scratch = Scratch::default();
     loop {
         let stream = {
-            let guard = receiver.lock().expect("connection queue lock");
+            // A worker that panicked mid-request poisons nothing the queue
+            // depends on — recover the receiver and keep serving.
+            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
         match stream {
@@ -339,10 +568,27 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scra
                     continue;
                 }
                 shared.requests.fetch_add(1, Ordering::Relaxed);
-                match respond(&request, shared, scratch, &mut writer) {
-                    Ok(ConnectionFate::Keep) => {}
-                    Ok(ConnectionFate::Close) => return,
-                    Err(_) => return, // client went away mid-reply
+                // One panicking request must not take the worker (and its
+                // queued connections) down with it: catch the unwind, tell
+                // the client, and keep serving. The scratch buffers are
+                // cleared at the start of every parse, so reusing them
+                // after a panic is safe.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    respond(&request, shared, scratch, &mut writer)
+                }));
+                match outcome {
+                    Ok(Ok(ConnectionFate::Keep)) => {}
+                    Ok(Ok(ConnectionFate::Close)) => return,
+                    Ok(Err(_)) => return, // client went away mid-reply
+                    Err(_) => {
+                        let reply = err_reply("internal error: request panicked");
+                        if writeln!(writer, "{reply}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
                 }
             }
             Err(e)
@@ -391,10 +637,20 @@ fn respond(
         "BATCH" => match tokens.next() {
             Some(name) => {
                 let observations: Vec<&str> = tokens.collect();
-                writeln!(writer, "OK BATCH {}", observations.len())?;
-                for (index, obs) in observations.iter().enumerate() {
-                    let reply = diag_reply(name, obs, shared, scratch);
-                    writeln!(writer, "{index} {reply}")?;
+                if observations.is_empty() {
+                    // An empty batch is a malformed request, not zero work:
+                    // replying `OK BATCH 0` would hide a truncated datalog.
+                    writeln!(
+                        writer,
+                        "{}",
+                        err_reply("empty batch: BATCH needs at least one observation")
+                    )?;
+                } else {
+                    writeln!(writer, "OK BATCH {}", observations.len())?;
+                    for (index, obs) in observations.iter().enumerate() {
+                        let reply = diag_reply(name, obs, shared, scratch);
+                        writeln!(writer, "{index} {reply}")?;
+                    }
                 }
             }
             None => writeln!(writer, "{}", err_reply("usage: BATCH <dict> <obs>..."))?,
@@ -411,10 +667,31 @@ fn respond(
                 shared.diagnoses.load(Ordering::Relaxed),
                 stats.evictions,
             );
-            for (name, bytes, load_us) in &stats.entries {
-                reply.push_str(&format!(" dict={name}:{bytes}:{load_us}us"));
+            if stats.total_shards > 0 {
+                reply.push_str(&format!(
+                    " shards={}/{}",
+                    stats.resident_shards, stats.total_shards
+                ));
+            }
+            for entry in &stats.entries {
+                reply.push_str(&format!(
+                    " dict={}:{}:{}us",
+                    entry.name, entry.bytes, entry.load_us
+                ));
+                for (index, shard) in entry.shards.iter().enumerate() {
+                    reply.push_str(&format!(
+                        " shard={}.{index}:{}:{}",
+                        entry.name, shard.status, shard.bytes
+                    ));
+                }
             }
             writeln!(writer, "{reply}")?;
+        }
+        // Test hook: deliberately panics a worker mid-request so the
+        // panic-containment path is exercisable end-to-end. Inert unless
+        // the operator opts in via the environment.
+        "PANIC" if std::env::var_os("SDD_SERVE_TEST_PANIC").is_some() => {
+            panic!("PANIC requested with SDD_SERVE_TEST_PANIC set");
         }
         "QUIT" => {
             writeln!(writer, "OK BYE")?;
@@ -450,6 +727,23 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
         Ok(bytes) => bytes,
         Err(e) => return err_reply(&SddError::io(path, &e).to_string()),
     };
+    if sdd_store::is_manifest(&bytes) {
+        // A shard manifest registers the set without touching any shard
+        // file — shards load lazily on the first DIAG that needs them.
+        return match ShardedReader::open(path) {
+            Ok(reader) => {
+                let m = reader.manifest();
+                let (kind, faults, tests, shards) =
+                    (m.kind.name(), m.faults, m.tests, reader.shard_count());
+                let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let resident = shared.registry.insert_manifest(name, reader, load_us);
+                format!(
+                    "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us} shards={shards}"
+                )
+            }
+            Err(e) => err_reply(&e.to_string()),
+        };
+    }
     let dictionary = if sdd_store::is_binary(&bytes) {
         sdd_store::decode(&bytes)
     } else {
@@ -470,14 +764,100 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
 }
 
 fn diag_reply(name: &str, obs: &str, shared: &Arc<Shared>, scratch: &mut Scratch) -> String {
-    let Some(dictionary) = shared.registry.get(name) else {
-        return err_reply(&format!("no dictionary loaded as {name:?}"));
-    };
-    shared.diagnoses.fetch_add(1, Ordering::Relaxed);
-    match diagnose(&dictionary, obs, scratch) {
-        Ok(reply) => reply,
-        Err(e) => err_reply(&e.to_string()),
+    match shared.registry.get(name) {
+        Fetched::Whole(dictionary) => {
+            shared.diagnoses.fetch_add(1, Ordering::Relaxed);
+            match diagnose(&dictionary, obs, scratch) {
+                Ok(reply) => reply,
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        Fetched::Sharded(reader) => {
+            shared.diagnoses.fetch_add(1, Ordering::Relaxed);
+            match diagnose_sharded_reply(name, &reader, obs, shared, scratch) {
+                Ok(reply) => reply,
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        Fetched::Missing => err_reply(&format!("no dictionary loaded as {name:?}")),
     }
+}
+
+/// Fetches one shard: the resident copy when warm, else loads the shard
+/// file (I/O outside the registry lock) and makes it resident.
+fn fetch_shard(
+    name: &str,
+    reader: &Arc<ShardedReader>,
+    index: usize,
+    shared: &Arc<Shared>,
+) -> Result<Arc<StoredDictionary>, SddError> {
+    if let Some(dictionary) = shared.registry.resident_shard(name, index) {
+        return Ok(dictionary);
+    }
+    let dictionary = reader.load_shard(index)?;
+    Ok(shared
+        .registry
+        .insert_shard(name, reader, index, dictionary))
+}
+
+/// Do two cone bitmaps share an output?
+fn cone_intersects(a: &BitVec, b: &BitVec) -> bool {
+    a.as_words().zip(b.as_words()).any(|(x, y)| x & y != 0)
+}
+
+/// Diagnoses against a sharded dictionary: loads shards lazily in
+/// cone-priority order, scores *every* shard (cones only order loading —
+/// see the module docs), and merges the rankings into the same reply the
+/// unsharded dictionary would produce.
+fn diagnose_sharded_reply(
+    name: &str,
+    reader: &Arc<ShardedReader>,
+    obs: &str,
+    shared: &Arc<Shared>,
+    scratch: &mut Scratch,
+) -> Result<String, SddError> {
+    let manifest = reader.manifest();
+    let count = reader.shard_count();
+    // Parse once, in the shape the manifest kind expects.
+    let signature: Option<MaskedBitVec> = match manifest.kind {
+        sdd_store::DictionaryKind::PassFail => Some(obs.parse()?),
+        _ => {
+            parse_responses(obs, &mut scratch.responses)?;
+            None
+        }
+    };
+    // Cone-priority order: load shards whose recorded cone intersects the
+    // observation's failing outputs first. Pass/fail observations carry no
+    // per-output information, so they keep index order.
+    let mut order: Vec<usize> = (0..count).collect();
+    if signature.is_none() {
+        // Failing outputs need one reference dictionary; prefer a warm
+        // shard, else load the highest-priority cold one (index 0).
+        let reference = match (0..count).find_map(|i| shared.registry.resident_shard(name, i)) {
+            Some(d) => d,
+            None => fetch_shard(name, reader, 0, shared)?,
+        };
+        let failing = shard::failing_outputs(&reference, &scratch.responses)?;
+        if failing.any() {
+            order.sort_by_key(|&i| (!cone_intersects(&manifest.shards[i].cone, &failing), i));
+        }
+    }
+    let mut fetched: Vec<(usize, Arc<StoredDictionary>)> = Vec::with_capacity(count);
+    for index in order {
+        let fault_start = manifest.shards[index].fault_start;
+        fetched.push((fault_start, fetch_shard(name, reader, index, shared)?));
+    }
+    fetched.sort_unstable_by_key(|&(fault_start, _)| fault_start);
+    let shards: Vec<(usize, &StoredDictionary)> = fetched
+        .iter()
+        .map(|(fault_start, d)| (*fault_start, d.as_ref()))
+        .collect();
+    let observation = match &signature {
+        Some(signature) => ShardObservation::Signature(signature),
+        None => ShardObservation::Responses(&scratch.responses),
+    };
+    let report = shard::diagnose_sharded(&shards, observation)?;
+    Ok(format_report(report.quality, report.known, &report.ranking))
 }
 
 /// Routes one observation through the masked-diagnosis ladder of the named
@@ -623,24 +1003,36 @@ mod tests {
         ))
     }
 
+    fn is_whole(fetched: &Fetched) -> bool {
+        matches!(fetched, Fetched::Whole(_))
+    }
+
     #[test]
     fn registry_evicts_least_recently_used_under_cap() {
         let one = pf().approx_bytes();
         let registry = Registry::new(2 * one);
         registry.insert("a", pf(), 11);
         registry.insert("b", pf(), 22);
-        assert!(registry.get("a").is_some(), "a is now most recently used");
+        assert!(is_whole(&registry.get("a")), "a is now most recently used");
         registry.insert("c", pf(), 33); // over cap: evicts b, the LRU entry
         let stats = registry.stats();
         assert_eq!((stats.dicts, stats.evictions), (2, 1));
         assert!(stats.bytes <= 2 * one);
+        let summary: Vec<(&str, usize, u64)> = stats
+            .entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.bytes, e.load_us))
+            .collect();
         assert_eq!(
-            stats.entries,
-            vec![("a".to_owned(), one, 11), ("c".to_owned(), one, 33)],
+            summary,
+            vec![("a", one, 11), ("c", one, 33)],
             "per-dictionary stats are sorted by name and keep load times"
         );
-        assert!(registry.get("b").is_none(), "b was evicted");
-        assert!(registry.get("a").is_some() && registry.get("c").is_some());
+        assert!(
+            matches!(registry.get("b"), Fetched::Missing),
+            "b was evicted"
+        );
+        assert!(is_whole(&registry.get("a")) && is_whole(&registry.get("c")));
     }
 
     #[test]
@@ -670,7 +1062,72 @@ mod tests {
         registry.insert("a", pf(), 7);
         let stats = registry.stats();
         assert_eq!((stats.dicts, stats.bytes, stats.evictions), (1, one, 0));
-        assert_eq!(stats.entries[0].2, 7, "reload refreshes the load time");
+        assert_eq!(
+            stats.entries[0].load_us, 7,
+            "reload refreshes the load time"
+        );
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let registry = Arc::new(Registry::new(64 << 20));
+        registry.insert("a", pf(), 1);
+        let poisoner = Arc::clone(&registry);
+        // Panic while holding the registry lock, the way a crashing worker
+        // mid-insert would.
+        let result = thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread panicked");
+        assert!(registry.inner.is_poisoned(), "the mutex really is poisoned");
+        // Every entry point must keep working.
+        assert!(is_whole(&registry.get("a")));
+        registry.insert("b", pf(), 2);
+        let stats = registry.stats();
+        assert_eq!(stats.dicts, 2);
+    }
+
+    #[test]
+    fn shard_slots_evict_at_shard_granularity() {
+        let dir = std::env::temp_dir().join(format!("sdd-serve-shard-lru-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest_path = dir.join("paper.sddm");
+        sdd_store::write_sharded(&manifest_path, &pf(), &[0..2, 2..4], None).unwrap();
+        let reader = Arc::new(ShardedReader::open(&manifest_path).unwrap());
+        let b0 = reader.load_shard(0).unwrap().approx_bytes();
+        let b1 = reader.load_shard(1).unwrap().approx_bytes();
+
+        // Cap fits one shard but not both.
+        let registry = Registry::new(b0.max(b1));
+        registry.insert_manifest("paper", ShardedReader::open(&manifest_path).unwrap(), 9);
+        let stats = registry.stats();
+        assert_eq!((stats.resident_shards, stats.total_shards), (0, 2));
+        assert_eq!(stats.bytes, 0, "a cold manifest costs nothing");
+        assert_eq!(stats.entries[0].shards[0].status, "cold");
+
+        let d0 = reader.load_shard(0).unwrap();
+        registry.insert_shard("paper", &reader, 0, d0);
+        let stats = registry.stats();
+        assert_eq!((stats.resident_shards, stats.evictions), (1, 0));
+
+        // Loading the second shard evicts the first — shard granularity,
+        // not the whole entry.
+        let d1 = reader.load_shard(1).unwrap();
+        registry.insert_shard("paper", &reader, 1, d1);
+        let stats = registry.stats();
+        assert_eq!((stats.resident_shards, stats.total_shards), (1, 2));
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries[0].shards[0].status, "evicted");
+        assert_eq!(stats.entries[0].shards[1].status, "resident");
+        assert!(registry.resident_shard("paper", 0).is_none());
+        assert!(registry.resident_shard("paper", 1).is_some());
+        assert!(
+            matches!(registry.get("paper"), Fetched::Sharded(_)),
+            "the entry itself survives shard eviction"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -147,6 +147,97 @@ fn served_diagnosis_matches_in_process_diagnosis() {
 }
 
 #[test]
+fn protocol_edge_cases_are_typed_errors() {
+    let dir = std::env::temp_dir().join(format!("sdd-serve-edge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (exp, tests, dict_path) = fixture(&dir);
+
+    let handle = serve(&ServeConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // LOAD of a nonexistent path reports the I/O failure, keeps serving.
+    let reply = client
+        .request(&format!(
+            "LOAD ghost {}",
+            dir.join("missing.sddb").display()
+        ))
+        .unwrap();
+    assert!(reply.starts_with("ERR "), "{reply}");
+
+    let reply = client
+        .request(&format!("LOAD c17 {}", dict_path.display()))
+        .unwrap();
+    assert!(reply.starts_with("OK LOADED"), "{reply}");
+
+    // An empty BATCH body is a malformed request, not `OK BATCH 0`.
+    let reply = client.request("BATCH c17").unwrap();
+    assert!(reply.starts_with("ERR "), "{reply}");
+    assert!(reply.contains("empty batch"), "{reply}");
+
+    // Observation shape mismatches come back typed: wrong response count,
+    // wrong response width, and a bare signature where responses belong.
+    let (good_obs, _) = masked_observation(&exp, &tests, 0);
+    let truncated = good_obs.rsplit_once('/').unwrap().0;
+    for bad in [truncated, "011/10", "01"] {
+        let reply = client.request(&format!("DIAG c17 {bad}")).unwrap();
+        assert!(reply.starts_with("ERR "), "{bad:?}: {reply}");
+    }
+
+    // The connection survived every error above.
+    let reply = client.request(&format!("DIAG c17 {good_obs}")).unwrap();
+    assert!(reply.starts_with("OK DIAG "), "{reply}");
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicked_request_does_not_wedge_the_server() {
+    // Opt into the deliberate-panic verb for this test binary.
+    std::env::set_var("SDD_SERVE_TEST_PANIC", "1");
+    let dir = std::env::temp_dir().join(format!("sdd-serve-panic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (exp, tests, dict_path) = fixture(&dir);
+
+    let handle = serve(&ServeConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client
+        .request(&format!("LOAD c17 {}", dict_path.display()))
+        .unwrap();
+    assert!(reply.starts_with("OK LOADED"), "{reply}");
+
+    // The panicking request is answered with a typed error...
+    let reply = client.request("PANIC").unwrap();
+    assert_eq!(reply, "ERR internal error: request panicked");
+
+    // ...and both this connection and fresh ones keep working afterwards.
+    let (obs, _) = masked_observation(&exp, &tests, 1);
+    let reply = client.request(&format!("DIAG c17 {obs}")).unwrap();
+    assert!(reply.starts_with("OK DIAG "), "{reply}");
+    let stats = client.request("STATS").unwrap();
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+
+    let mut fresh = Client::connect(handle.addr()).unwrap();
+    let reply = fresh.request("PANIC").unwrap();
+    assert_eq!(reply, "ERR internal error: request panicked");
+    let stats = fresh.request("STATS").unwrap();
+    assert!(stats.contains(" dict=c17:"), "{stats}");
+
+    handle.shutdown();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn concurrent_clients_get_consistent_answers() {
     let dir = std::env::temp_dir().join(format!("sdd-serve-conc-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,158 @@
+//! Corruption tests for the `.sddm` shard manifest: every damage mode a
+//! tester-floor file transfer can inflict surfaces as its distinct typed
+//! error, mirroring the `.sddb` coverage in `store_roundtrip.rs`.
+
+use same_different::dict::Procedure1Options;
+use same_different::logic::SddError;
+use same_different::store::{
+    self, format, slice_dictionary, write_sharded, ShardManifest, ShardedReader, StoredDictionary,
+    MANIFEST_HEADER_LEN,
+};
+use same_different::Experiment;
+
+/// Builds the c17 same/different dictionary and writes it as a two-shard
+/// manifest in a fresh temp dir; returns the dir, manifest path, and the
+/// unsharded dictionary.
+fn fixture(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, StoredDictionary) {
+    let exp = Experiment::new(same_different::netlist::library::c17());
+    let tests = exp.diagnostic_tests(&Default::default());
+    let suite = exp.build_dictionaries(
+        &tests.tests,
+        &Procedure1Options {
+            calls1: 3,
+            ..Default::default()
+        },
+    );
+    let whole = StoredDictionary::SameDifferent(suite.same_different);
+    let dir = std::env::temp_dir().join(format!("sdd-manifest-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest_path = dir.join("c17.sddm");
+    let n = whole.fault_count();
+    write_sharded(&manifest_path, &whole, &[0..n / 2, n / 2..n], None).unwrap();
+    (dir, manifest_path, whole)
+}
+
+/// Recomputes the header checksum after a deliberate header patch, so the
+/// test reaches the validation step it targets instead of tripping the
+/// checksum first.
+fn reseal_header(bytes: &mut [u8]) {
+    let checksum = format::fnv1a64(&bytes[..56]);
+    bytes[56..64].copy_from_slice(&checksum.to_le_bytes());
+}
+
+#[test]
+fn sharded_files_round_trip_through_the_reader() {
+    let (dir, manifest_path, whole) = fixture("roundtrip");
+    let reader = ShardedReader::open(&manifest_path).unwrap();
+    assert_eq!(reader.shard_count(), 2);
+    assert_eq!(reader.manifest().faults, whole.fault_count());
+    for (index, record) in reader.manifest().shards.iter().enumerate() {
+        let shard = reader.load_shard(index).unwrap();
+        assert_eq!(
+            shard,
+            slice_dictionary(&whole, record.fault_range()).unwrap()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_manifest_is_a_typed_truncation_error() {
+    let (dir, manifest_path, _) = fixture("truncated");
+    let bytes = std::fs::read(&manifest_path).unwrap();
+    assert!(matches!(
+        ShardManifest::decode(&bytes[..MANIFEST_HEADER_LEN / 2]),
+        Err(SddError::Truncated {
+            context: "shard manifest header",
+            ..
+        })
+    ));
+    // Cut mid-record: the header survives but a shard record does not.
+    assert!(matches!(
+        ShardManifest::decode(&bytes[..bytes.len() - 3]),
+        Err(SddError::ChecksumMismatch { .. } | SddError::Truncated { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_shard_payload_is_a_checksum_error() {
+    let (dir, manifest_path, _) = fixture("payload");
+    let reader = ShardedReader::open(&manifest_path).unwrap();
+    let shard_path = dir.join(&reader.manifest().shards[1].file);
+    let mut bytes = std::fs::read(&shard_path).unwrap();
+    let mid = bytes.len() - 5;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&shard_path, &bytes).unwrap();
+    assert!(reader.load_shard(0).is_ok(), "shard 0 is untouched");
+    assert!(matches!(
+        reader.load_shard(1),
+        Err(SddError::ChecksumMismatch { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skew_is_an_unsupported_version_error() {
+    let (dir, manifest_path, _) = fixture("version");
+    let pristine = std::fs::read(&manifest_path).unwrap();
+
+    // A newer manifest layout this build does not know.
+    let mut bytes = pristine.clone();
+    let bumped = (store::MANIFEST_VERSION + 1).to_le_bytes();
+    bytes[4..6].copy_from_slice(&bumped);
+    reseal_header(&mut bytes);
+    assert!(matches!(
+        ShardManifest::decode(&bytes),
+        Err(SddError::UnsupportedVersion {
+            supported: store::MANIFEST_VERSION,
+            ..
+        })
+    ));
+
+    // Shards written by a newer `.sddb` format than this build reads.
+    let mut bytes = pristine;
+    let bumped = (store::VERSION + 1).to_le_bytes();
+    bytes[8..10].copy_from_slice(&bumped);
+    reseal_header(&mut bytes);
+    assert!(matches!(
+        ShardManifest::decode(&bytes),
+        Err(SddError::UnsupportedVersion {
+            supported: store::VERSION,
+            ..
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_shard_count_is_a_typed_empty_error() {
+    let (dir, manifest_path, _) = fixture("empty");
+    let bytes = std::fs::read(&manifest_path).unwrap();
+    let mut bytes = bytes[..MANIFEST_HEADER_LEN].to_vec();
+    bytes[40..48].copy_from_slice(&0u64.to_le_bytes());
+    reseal_header(&mut bytes);
+    assert!(matches!(
+        ShardManifest::decode(&bytes),
+        Err(SddError::Empty {
+            context: "shard manifest"
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_body_byte_is_a_body_checksum_error() {
+    let (dir, manifest_path, _) = fixture("body");
+    let mut bytes = std::fs::read(&manifest_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    assert!(matches!(
+        ShardManifest::decode(&bytes),
+        Err(SddError::ChecksumMismatch {
+            context: "shard manifest body",
+            ..
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
