@@ -29,6 +29,12 @@ cargo test --offline --release -q --test store_roundtrip --test serve_smoke \
 step "dictionary load bench (text parse vs binary read, JSON)"
 cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10
 
+step "chaos smoke (7 injected failure classes against a live server, JSON)"
+# Fixed seed + small circuit keeps this a seconds-long gate; the driver
+# exits nonzero if any well-formed request fails to come back
+# OK/PARTIAL/BUSY/ERR, a verdict is wrong, or the server wedges (watchdog).
+cargo run --offline --release -p sdd-bench --bin chaos -- --circuit s298 --seed 7
+
 step "dictionary build bench (serial vs parallel, JSON)"
 # Small circuit + low patience keeps CI fast; BENCH_build.json tracks the
 # perf trajectory, and the gate fails on a missing/malformed/non-identical

@@ -1,0 +1,621 @@
+//! Chaos harness: seeded fault injection against a live diagnosis server.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin chaos -- \
+//!     [--circuit s298] [--seed 7] [--dir DIR] [--deadline-secs 120]
+//! ```
+//!
+//! Builds a small dictionary (whole `.sddb` plus a cone-sharded `.sddm`),
+//! starts an in-process `sdd serve` with deliberately tight limits, and
+//! replays a scripted failure schedule against it:
+//!
+//! 1. **Torn writes** — partial `*.tmp` staging files at several truncation
+//!    points next to the dictionary; the target must stay loadable.
+//! 2. **Shard corruption** — a flipped payload byte; `DIAG` must answer
+//!    `PARTIAL` with exact fault coverage, then recover after restore.
+//! 3. **Shard deletion** — a missing shard file; same degraded contract.
+//! 4. **Connection flood** — connections past `max_connections` must be
+//!    shed with `OK BUSY`, and service must resume once the flood drains.
+//! 5. **Slow loris** — a client dribbling a partial request is cut off at
+//!    the idle limit while a concurrent client stays served.
+//! 6. **Mid-request disconnect** — clients that vanish before reading
+//!    their reply must not wedge workers.
+//! 7. **Handler panic** — the env-gated `PANIC` request is contained to an
+//!    `ERR` reply on a connection that keeps working.
+//!
+//! Every well-formed request must come back `OK`, `PARTIAL`, `BUSY`, or
+//! `ERR`; the server must never hang (a watchdog thread aborts the run at
+//! the global deadline) and must drain cleanly at `SHUTDOWN`. Emits one
+//! JSON summary line on stdout; exits nonzero when any check fails.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use same_different::serve::{serve, ServeConfig};
+use same_different::store::{self, StoredDictionary};
+use same_different::Experiment;
+use sdd_core::Procedure1Options;
+use sdd_logic::{BitVec, Prng};
+
+/// Per-read socket timeout for harness clients: a server that stops
+/// answering turns into a typed check failure, not a hang.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server limits the schedule is calibrated against.
+const WORKERS: usize = 2;
+const MAX_CONNECTIONS: usize = 6;
+const IDLE_TIMEOUT: Duration = Duration::from_millis(1000);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn main() {
+    let mut circuit = "s298".to_owned();
+    let mut seed: u64 = 7;
+    let mut dir: Option<PathBuf> = None;
+    let mut deadline = Duration::from_secs(120);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--circuit" => circuit = value("--circuit"),
+            "--seed" => seed = value("--seed").parse().expect("bad --seed"),
+            "--dir" => dir = Some(PathBuf::from(value("--dir"))),
+            "--deadline-secs" => {
+                deadline = Duration::from_secs(value("--deadline-secs").parse().expect("bad secs"));
+            }
+            other => panic!("unknown option {other:?}"),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sdd-chaos-{seed}-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    // The watchdog is the deadlock detector: if the schedule has not
+    // finished by the deadline, something wedged — report and abort.
+    let started = Instant::now();
+    std::thread::spawn(move || {
+        std::thread::sleep(deadline);
+        eprintln!("chaos: global deadline {deadline:?} exceeded — server or harness wedged");
+        std::process::exit(2);
+    });
+
+    // Opt the server into the PANIC test hook for failure class 7.
+    std::env::set_var("SDD_SERVE_TEST_PANIC", "1");
+
+    let mut harness = Harness::new(&circuit, seed, &dir);
+    harness.run();
+    let failed = harness.finish(started.elapsed());
+    let _ = std::fs::remove_dir_all(&dir);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One line-protocol connection with bounded reads.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends raw bytes without a trailing newline (the loris primitive).
+    fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(bytes)?;
+        stream.flush()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_raw(format!("{line}\n").as_bytes())?;
+        self.read_line()
+    }
+}
+
+struct Harness {
+    seed: u64,
+    circuit: String,
+    dir: PathBuf,
+    addr: std::net::SocketAddr,
+    handle: Option<same_different::serve::ServerHandle>,
+    manifest: store::ShardManifest,
+    whole_path: PathBuf,
+    manifest_path: PathBuf,
+    /// `DIAG` observation strings (per-test responses, slash-joined).
+    observations: Vec<String>,
+    total_faults: usize,
+    checks: usize,
+    failures: Vec<String>,
+    busy_seen: u64,
+    partial_seen: u64,
+}
+
+impl Harness {
+    fn new(circuit: &str, seed: u64, dir: &Path) -> Self {
+        eprintln!("chaos: building {circuit} dictionary set (seed {seed})");
+        let exp = Experiment::iscas89(circuit, seed)
+            .unwrap_or_else(|| panic!("unknown circuit {circuit:?}"));
+        let tests = exp.diagnostic_tests(&Default::default());
+        let suite = exp.build_dictionaries(
+            &tests.tests,
+            &Procedure1Options {
+                calls1: 2,
+                ..Default::default()
+            },
+        );
+        let dictionary = StoredDictionary::SameDifferent(suite.same_different);
+        let total_faults = dictionary.fault_count();
+
+        let whole_path = dir.join(format!("{circuit}.sddb"));
+        store::save(&whole_path, &dictionary).expect("save whole dictionary");
+
+        let cones = same_different::sim::OutputCones::compute(exp.circuit(), exp.view());
+        let ranges = cones.shard_ranges(exp.universe(), exp.faults(), 3);
+        let shard_cones: Vec<BitVec> = ranges
+            .iter()
+            .map(|r| cones.shard_cone(exp.universe(), exp.faults(), r.clone()))
+            .collect();
+        let manifest_path = dir.join(format!("{circuit}.sddm"));
+        let manifest =
+            store::write_sharded(&manifest_path, &dictionary, &ranges, Some(&shard_cones))
+                .expect("write sharded dictionary");
+
+        // A seeded sample of injected-fault observations to diagnose.
+        let mut rng = Prng::seed_from_u64(seed);
+        let observations = (0..4)
+            .map(|_| {
+                let position = rng.gen_range(0..exp.faults().len());
+                let fault = exp.universe().fault(exp.faults()[position]);
+                tests
+                    .tests
+                    .iter()
+                    .map(|test| {
+                        same_different::sim::reference::faulty_response(
+                            exp.circuit(),
+                            exp.view(),
+                            fault,
+                            test,
+                        )
+                        .to_string()
+                    })
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+            .collect();
+
+        let config = ServeConfig {
+            workers: WORKERS,
+            max_connections: MAX_CONNECTIONS,
+            idle_timeout: IDLE_TIMEOUT,
+            write_timeout: WRITE_TIMEOUT,
+            ..ServeConfig::default()
+        };
+        let handle = serve(&config).expect("bind chaos server");
+        let addr = handle.addr();
+        eprintln!(
+            "chaos: serving on {addr} (workers={WORKERS} max_conns={MAX_CONNECTIONS} idle={IDLE_TIMEOUT:?})"
+        );
+        Self {
+            seed,
+            circuit: circuit.to_owned(),
+            dir: dir.to_path_buf(),
+            addr,
+            handle: Some(handle),
+            manifest,
+            whole_path,
+            manifest_path,
+            observations,
+            total_faults,
+            checks: 0,
+            failures: Vec::new(),
+            busy_seen: 0,
+            partial_seen: 0,
+        }
+    }
+
+    fn check(&mut self, ok: bool, what: &str, detail: &str) {
+        self.checks += 1;
+        if !ok {
+            eprintln!("chaos: FAIL {what}: {detail}");
+            self.failures.push(format!("{what}: {detail}"));
+        }
+    }
+
+    fn connect(&self) -> Conn {
+        Conn::connect(self.addr).expect("connect to chaos server")
+    }
+
+    /// A fresh connection that round-trips a request, retrying while the
+    /// pool drains a previous phase's backlog.
+    fn probe(&mut self, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let reply = self.connect().request("STATS");
+            match reply {
+                Ok(r) if r.starts_with("OK STATS") => {
+                    self.check(true, what, "");
+                    return;
+                }
+                Ok(r) if r.starts_with("OK BUSY") => {}
+                Ok(r) => {
+                    self.check(false, what, &format!("unexpected reply {r:?}"));
+                    return;
+                }
+                Err(_) => {}
+            }
+            if Instant::now() >= deadline {
+                self.check(false, what, "no OK STATS within 10s");
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    fn run(&mut self) {
+        let baseline = self.phase_load_and_baseline();
+        self.phase_torn_writes(&baseline);
+        self.phase_shard_corruption(&baseline);
+        self.phase_shard_deletion(&baseline);
+        self.phase_connection_flood();
+        self.phase_slow_loris();
+        self.phase_mid_request_disconnect();
+        self.phase_handler_panic();
+    }
+
+    /// Loads both artifacts and records the healthy replies — whole and
+    /// sharded must already agree before anything is injected.
+    fn phase_load_and_baseline(&mut self) -> Vec<String> {
+        eprintln!("chaos: phase baseline");
+        let mut conn = self.connect();
+        let load = |conn: &mut Conn, name: &str, path: &Path| {
+            conn.request(&format!("LOAD {name} {}", path.display()))
+                .unwrap_or_else(|e| format!("ERR {e}"))
+        };
+        let whole_path = self.whole_path.clone();
+        let manifest_path = self.manifest_path.clone();
+        let reply = load(&mut conn, "whole", &whole_path);
+        self.check(reply.starts_with("OK LOADED"), "load whole", &reply);
+        let reply = load(&mut conn, "sharded", &manifest_path);
+        self.check(reply.starts_with("OK LOADED"), "load manifest", &reply);
+
+        let mut baseline = Vec::new();
+        for (index, obs) in self.observations.clone().into_iter().enumerate() {
+            let whole = conn
+                .request(&format!("DIAG whole {obs}"))
+                .unwrap_or_else(|e| format!("ERR {e}"));
+            let sharded = conn
+                .request(&format!("DIAG sharded {obs}"))
+                .unwrap_or_else(|e| format!("ERR {e}"));
+            self.check(
+                whole.starts_with("OK DIAG"),
+                &format!("baseline whole diag {index}"),
+                &whole,
+            );
+            self.check(
+                whole == sharded,
+                &format!("baseline whole==sharded {index}"),
+                &format!("{whole} vs {sharded}"),
+            );
+            baseline.push(whole);
+        }
+        baseline
+    }
+
+    /// Failure class 1: the on-disk states a writer killed mid-`build`
+    /// leaves behind — partial staging files at seeded truncation points.
+    /// The committed artifacts must stay loadable through all of them.
+    fn phase_torn_writes(&mut self, baseline: &[String]) {
+        eprintln!("chaos: phase torn-writes");
+        let whole_bytes = std::fs::read(&self.whole_path).expect("read whole dictionary");
+        let mut rng = Prng::seed_from_u64(self.seed ^ 0xA5A5);
+        let mut cuts = vec![1, whole_bytes.len() / 2, whole_bytes.len() - 1];
+        for _ in 0..3 {
+            cuts.push(rng.gen_range(1..whole_bytes.len()));
+        }
+        let whole_path = self.whole_path.clone();
+        let manifest_path = self.manifest_path.clone();
+        for cut in cuts {
+            let tmp = store::temp_sibling(&whole_path);
+            std::fs::write(&tmp, &whole_bytes[..cut]).expect("write torn temp");
+            let mut conn = self.connect();
+            let reply = conn
+                .request(&format!("RELOAD-CHECK-{cut}"))
+                .unwrap_or_default();
+            self.check(
+                reply.starts_with("ERR"),
+                "torn: unknown verb is ERR",
+                &reply,
+            );
+            let reply = conn
+                .request(&format!("LOAD whole {}", whole_path.display()))
+                .unwrap_or_else(|e| format!("ERR {e}"));
+            self.check(
+                reply.starts_with("OK LOADED"),
+                &format!("torn temp at {cut}: whole still loads"),
+                &reply,
+            );
+            std::fs::remove_file(&tmp).ok();
+        }
+        // A torn temp next to the manifest is equally inert.
+        let tmp = store::temp_sibling(&manifest_path);
+        std::fs::write(&tmp, b"torn manifest image").expect("write torn manifest temp");
+        let mut conn = self.connect();
+        let reply = conn
+            .request(&format!("LOAD sharded {}", manifest_path.display()))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("OK LOADED"),
+            "torn manifest temp: manifest still loads",
+            &reply,
+        );
+        std::fs::remove_file(&tmp).ok();
+        let obs = self.observations[0].clone();
+        let reply = conn
+            .request(&format!("DIAG whole {obs}"))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(reply == baseline[0], "torn: diagnosis unchanged", &reply);
+    }
+
+    /// Degrades one shard (via `mutate`), re-loads the manifest so shard
+    /// residency resets, and asserts the exact `PARTIAL` contract; then
+    /// restores the shard and asserts full recovery to the baseline reply.
+    fn degraded_shard_round(
+        &mut self,
+        what: &str,
+        shard_index: usize,
+        expect_reason: &str,
+        baseline: &[String],
+        mutate: impl FnOnce(&Path),
+    ) {
+        let shard_path = self.dir.join(&self.manifest.shards[shard_index].file);
+        let shard_faults = self.manifest.shards[shard_index].fault_count;
+        let original = std::fs::read(&shard_path).expect("read shard");
+        mutate(&shard_path);
+
+        let manifest_path = self.manifest_path.clone();
+        let obs = self.observations[0].clone();
+        let mut conn = self.connect();
+        // Re-LOAD resets residency: without it a warm shard would mask the
+        // on-disk damage, which is exactly what a server restart would see.
+        let reply = conn
+            .request(&format!("LOAD sharded {}", manifest_path.display()))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("OK LOADED"),
+            &format!("{what}: reload"),
+            &reply,
+        );
+        let reply = conn
+            .request(&format!("DIAG sharded {obs}"))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        let expect_coverage = format!(
+            "covered={}/{} ",
+            self.total_faults - shard_faults,
+            self.total_faults
+        );
+        let expect_degraded = format!("degraded={shard_index}:{expect_reason}");
+        self.check(
+            reply.starts_with("PARTIAL DIAG"),
+            &format!("{what}: PARTIAL verdict"),
+            &reply,
+        );
+        self.check(
+            reply.contains(&expect_coverage),
+            &format!("{what}: exact fault coverage"),
+            &format!("want {expect_coverage:?} in {reply}"),
+        );
+        self.check(
+            reply.contains(&expect_degraded),
+            &format!("{what}: degraded reason"),
+            &format!("want {expect_degraded:?} in {reply}"),
+        );
+        self.partial_seen += 1;
+
+        // Restore and recover: the reply must return to the exact baseline.
+        std::fs::write(&shard_path, &original).expect("restore shard");
+        let reply = conn
+            .request(&format!("LOAD sharded {}", manifest_path.display()))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("OK LOADED"),
+            &format!("{what}: reload after restore"),
+            &reply,
+        );
+        let reply = conn
+            .request(&format!("DIAG sharded {obs}"))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply == baseline[0],
+            &format!("{what}: recovered to baseline"),
+            &reply,
+        );
+    }
+
+    /// Failure class 2: a shard payload byte flips on disk.
+    fn phase_shard_corruption(&mut self, baseline: &[String]) {
+        eprintln!("chaos: phase shard-corruption");
+        let shard_index = (self.seed as usize) % self.manifest.shards.len();
+        self.degraded_shard_round("corrupt shard", shard_index, "checksum", baseline, |path| {
+            let mut bytes = std::fs::read(path).expect("read shard for corruption");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x20;
+            std::fs::write(path, &bytes).expect("write corrupted shard");
+        });
+    }
+
+    /// Failure class 3: a shard file disappears outright.
+    fn phase_shard_deletion(&mut self, baseline: &[String]) {
+        eprintln!("chaos: phase shard-deletion");
+        let shard_index = (self.seed as usize + 1) % self.manifest.shards.len();
+        self.degraded_shard_round("deleted shard", shard_index, "io", baseline, |path| {
+            std::fs::remove_file(path).expect("delete shard");
+        });
+    }
+
+    /// Failure class 4: more connections than the pool admits. The excess
+    /// must be shed with `OK BUSY`, and service must resume afterwards.
+    fn phase_connection_flood(&mut self) {
+        eprintln!("chaos: phase connection-flood");
+        let mut held = Vec::new();
+        for _ in 0..MAX_CONNECTIONS {
+            held.push(self.connect());
+        }
+        // The acceptor admits (counts) connections ahead of the workers, so
+        // the cap is reached as soon as the held sockets are accepted.
+        let flood = 10;
+        let mut busy = 0;
+        let mut served = 0;
+        for _ in 0..flood {
+            let mut conn = self.connect();
+            match conn.read_line() {
+                Ok(line) if line.starts_with("OK BUSY") => busy += 1,
+                // A race where a held connection drained first is an
+                // admission, not a fault — it just will not get a reply
+                // until a worker frees up, so don't wait on it.
+                _ => served += 1,
+            }
+        }
+        self.busy_seen += busy;
+        self.check(
+            busy >= u64::try_from(flood - 2).unwrap(),
+            "flood: excess connections shed with OK BUSY",
+            &format!("{busy}/{flood} BUSY ({served} raced in)"),
+        );
+        drop(held);
+        self.probe("flood: service resumes after drain");
+    }
+
+    /// Failure class 5: a client dribbles a partial request and stalls.
+    /// The idle limit must cut it off while a concurrent client is served.
+    fn phase_slow_loris(&mut self) {
+        eprintln!("chaos: phase slow-loris");
+        let mut loris = self.connect();
+        loris
+            .send_raw(b"DIAG whole 01")
+            .expect("send partial request");
+        // While the loris stalls a worker, the other worker keeps serving.
+        self.probe("loris: concurrent client still served");
+        std::thread::sleep(IDLE_TIMEOUT + Duration::from_millis(400));
+        let fate = loris.read_line();
+        let cut_off = match &fate {
+            Ok(line) => line.starts_with("ERR") && line.contains("idle"),
+            Err(_) => true, // connection closed without the courtesy line
+        };
+        self.check(
+            cut_off,
+            "loris: cut off at the idle limit",
+            &format!("{fate:?}"),
+        );
+        self.probe("loris: worker freed afterwards");
+    }
+
+    /// Failure class 6: clients that send a request and vanish before the
+    /// reply. The dead write must kill the connection, not the worker.
+    fn phase_mid_request_disconnect(&mut self) {
+        eprintln!("chaos: phase mid-request-disconnect");
+        let obs = self.observations[1].clone();
+        for _ in 0..3 {
+            let mut conn = self.connect();
+            conn.send_raw(format!("DIAG whole {obs}\n").as_bytes())
+                .expect("send then vanish");
+            drop(conn); // gone before the reply is written
+        }
+        self.probe("disconnect: workers survive dead writes");
+    }
+
+    /// Failure class 7: a request that panics its handler. The panic must
+    /// be contained to an `ERR` reply on a connection that keeps working.
+    fn phase_handler_panic(&mut self) {
+        eprintln!("chaos: phase handler-panic");
+        let mut conn = self.connect();
+        let reply = conn.request("PANIC").unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("ERR") && reply.contains("panicked"),
+            "panic: contained to an ERR reply",
+            &reply,
+        );
+        let reply = conn.request("STATS").unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("OK STATS"),
+            "panic: same connection keeps working",
+            &reply,
+        );
+    }
+
+    /// Final accounting, graceful shutdown, and the JSON summary.
+    fn finish(&mut self, elapsed: Duration) -> usize {
+        let mut conn = self.connect();
+        let stats = conn.request("STATS").unwrap_or_else(|e| format!("ERR {e}"));
+        let field = |name: &str| -> u64 {
+            stats
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix(&format!("{name}=")))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        self.check(
+            field("busy") >= self.busy_seen.min(1),
+            "stats: busy counter advanced",
+            &stats,
+        );
+        self.check(
+            field("partial") >= self.partial_seen.min(1),
+            "stats: partial counter advanced",
+            &stats,
+        );
+        let reply = conn
+            .request("SHUTDOWN")
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(reply == "OK BYE", "shutdown acknowledged", &reply);
+        // `wait` must return before the watchdog fires — that IS the
+        // no-deadlock assertion for the drain path.
+        if let Some(handle) = self.handle.take() {
+            handle.wait();
+        }
+
+        let failed = self.failures.len();
+        println!(
+            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":7,\"checks\":{},\"failed\":{},\
+             \"busy\":{},\"partial\":{},\"elapsed_ms\":{}}}",
+            self.circuit,
+            self.seed,
+            self.checks,
+            failed,
+            field("busy"),
+            field("partial"),
+            elapsed.as_millis(),
+        );
+        for failure in &self.failures {
+            eprintln!("chaos: FAILED {failure}");
+        }
+        if failed == 0 {
+            eprintln!(
+                "chaos: all {} checks passed across 7 failure classes in {elapsed:?}",
+                self.checks
+            );
+        }
+        failed
+    }
+}

@@ -1,0 +1,224 @@
+//! Atomic, crash-safe file replacement for dictionary artifacts.
+//!
+//! A dictionary build can take hours; a `kill -9`, power cut, or full disk
+//! in the middle of the final write must never leave a *torn* `.sddb` or
+//! `.sddm` behind — a file that half-parses, or that shadows a previously
+//! good artifact. The contract here is the classic one:
+//!
+//! 1. the new image is written to a temporary sibling
+//!    (`<name>.tmp`, same directory so the rename below cannot cross a
+//!    filesystem boundary),
+//! 2. the temporary file is flushed *and* fsynced (`File::sync_all`), so
+//!    its bytes are durable before they can become visible,
+//! 3. the temporary is renamed over the target — an atomic replacement on
+//!    POSIX filesystems — and the parent directory is fsynced so the
+//!    rename itself survives a crash.
+//!
+//! A crash before step 3 leaves the old file byte-for-byte intact (plus an
+//! inert `*.tmp` sibling that the next write simply overwrites and that
+//! [`crate::verify_file`] reports as stale); a crash after step 3 leaves
+//! the complete new file. There is no interleaving that exposes a partial
+//! image under the target name — which is exactly what the chaos harness
+//! (`sdd-bench --bin chaos`) and `tests/crash_safe_store.rs` assert at
+//! every 64-byte truncation point.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use sdd_logic::SddError;
+
+/// The temporary sibling a crash-safe write of `path` stages its bytes in.
+///
+/// Public so torn-write tests and the chaos harness can reproduce the
+/// exact on-disk state a killed writer leaves behind (a partial `*.tmp`
+/// next to an intact target) without racing a real subprocess kill.
+pub fn temp_sibling(path: impl AsRef<Path>) -> PathBuf {
+    let path = path.as_ref();
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// True when `path` looks like a stale staging file left by an interrupted
+/// crash-safe write.
+pub fn is_temp(path: impl AsRef<Path>) -> bool {
+    path.as_ref()
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(".tmp"))
+}
+
+/// An in-progress crash-safe replacement of one file.
+///
+/// Bytes written through the handle land in the temporary sibling;
+/// [`commit`](Self::commit) makes them durable and atomically renames them
+/// over the target. Dropping without committing removes the staging file
+/// (an *aborted* write cleans up after itself — a killed process skips
+/// `Drop` and leaves the inert `*.tmp` behind, never a torn target).
+#[derive(Debug)]
+pub struct AtomicFile {
+    file: Option<File>,
+    tmp: PathBuf,
+    target: PathBuf,
+}
+
+impl AtomicFile {
+    /// Opens the staging file for a crash-safe replacement of `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Io`] when the staging file cannot be created.
+    pub fn create(target: impl AsRef<Path>) -> Result<Self, SddError> {
+        let target = target.as_ref().to_path_buf();
+        let tmp = temp_sibling(&target);
+        let file = File::create(&tmp)
+            .map_err(|e| SddError::io(format!("create {}", tmp.display()), &e))?;
+        Ok(Self {
+            file: Some(file),
+            tmp,
+            target,
+        })
+    }
+
+    /// Flushes and fsyncs the staged bytes, then atomically renames them
+    /// over the target and fsyncs the parent directory.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Io`] on any sync or rename failure; the staging file is
+    /// removed and the target is left untouched.
+    pub fn commit(mut self) -> Result<(), SddError> {
+        let file = self.file.take().expect("commit consumes the handle");
+        let durable = file.sync_all();
+        drop(file);
+        if let Err(e) = durable {
+            let _ = fs::remove_file(&self.tmp);
+            return Err(SddError::io(format!("sync {}", self.tmp.display()), &e));
+        }
+        if let Err(e) = fs::rename(&self.tmp, &self.target) {
+            let _ = fs::remove_file(&self.tmp);
+            return Err(SddError::io(
+                format!("rename {} -> {}", self.tmp.display(), self.target.display()),
+                &e,
+            ));
+        }
+        // Make the rename itself durable. Directory fsync is best-effort:
+        // some filesystems reject opening a directory for sync, and the
+        // data is already safe under either name.
+        if let Some(dir) = self.target.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(handle) = File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.as_mut().expect("write before commit").write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.as_mut().expect("flush before commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Aborted (not committed): remove the staging file. Best
+            // effort — a leftover .tmp is inert either way.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Crash-safely replaces `path` with `bytes`: temp sibling + `sync_all` +
+/// atomic rename (+ parent-directory fsync). At every interruption point
+/// the target holds either its previous content or the complete new image.
+///
+/// # Errors
+///
+/// [`SddError::Io`] on create/write/sync/rename failure; the target is
+/// left untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), SddError> {
+    let path = path.as_ref();
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(bytes)
+        .map_err(|e| SddError::io(format!("write {}", temp_sibling(path).display()), &e))?;
+    file.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdd-atomic-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn temp_sibling_stays_in_the_same_directory() {
+        let t = temp_sibling("/some/dir/dict.sddb");
+        assert_eq!(t, PathBuf::from("/some/dir/dict.sddb.tmp"));
+        assert!(is_temp(&t));
+        assert!(!is_temp("/some/dir/dict.sddb"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("a.bin");
+        atomic_write(&path, b"old").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        atomic_write(&path, b"new content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new content");
+        assert!(!temp_sibling(&path).exists(), "staging file removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_write_leaves_the_target_untouched() {
+        let dir = scratch_dir("abort");
+        let path = dir.join("a.bin");
+        atomic_write(&path, b"old").unwrap();
+        {
+            let mut staged = AtomicFile::create(&path).unwrap();
+            staged.write_all(b"half of the new im").unwrap();
+            // Dropped without commit: an aborted write.
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        assert!(
+            !temp_sibling(&path).exists(),
+            "abort cleans the staging file"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_stale_temp_never_shadows_the_target() {
+        let dir = scratch_dir("stale");
+        let path = dir.join("a.bin");
+        atomic_write(&path, b"good").unwrap();
+        // The state a kill -9 mid-write leaves behind.
+        fs::write(temp_sibling(&path), b"to").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"good");
+        // The next write overwrites the stale temp and still commits.
+        atomic_write(&path, b"newer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"newer");
+        assert!(!temp_sibling(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_is_a_typed_io_error() {
+        let dir = scratch_dir("noparent");
+        let err = atomic_write(dir.join("no/such/dir/a.bin"), b"x").unwrap_err();
+        assert!(matches!(err, SddError::Io { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

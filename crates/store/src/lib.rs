@@ -27,9 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 pub mod format;
 mod manifest;
 mod reader;
+mod verify;
 mod writer;
 
 use std::fs;
@@ -38,12 +40,16 @@ use std::path::Path;
 use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
 use sdd_logic::SddError;
 
+pub use atomic::{atomic_write, is_temp, temp_sibling, AtomicFile};
 pub use format::{Header, HEADER_LEN, MAGIC, VERSION};
 pub use manifest::{
     is_manifest, slice_dictionary, write_sharded, ShardManifest, ShardRecord, ShardedReader,
     MANIFEST_HEADER_LEN, MANIFEST_MAGIC, MANIFEST_VERSION,
 };
 pub use reader::SddbReader;
+pub use verify::{
+    quarantine_bad_shards, verify_file, ShardHealth, VerifyReport, QUARANTINE_SUFFIX,
+};
 pub use writer::encode;
 
 /// Which dictionary type a `.sddb` payload encodes, as recorded in the
@@ -156,14 +162,81 @@ pub fn decode(bytes: &[u8]) -> Result<StoredDictionary, SddError> {
     SddbReader::open(bytes)?.dictionary()
 }
 
-/// Writes a dictionary to `path` in the binary format.
+/// Writes a dictionary to `path` in the binary format, crash-safely: the
+/// image is staged in a temp sibling, fsynced, and atomically renamed into
+/// place (see [`atomic_write`]), so an interrupted save never leaves a
+/// torn file under the target name.
 ///
 /// # Errors
 ///
 /// [`SddError::Io`] when the file cannot be written.
 pub fn save(path: impl AsRef<Path>, dictionary: &StoredDictionary) -> Result<(), SddError> {
+    atomic_write(path, &encode(dictionary))
+}
+
+/// Reads a dictionary file into memory with a pre-buffering sanity check:
+/// for binary `.sddb` images the 64-byte header is read and validated
+/// first, and a header-declared payload length that disagrees with the
+/// actual file length is rejected *before* the body is buffered — a torn
+/// or hostile file costs one header read, not a full-file allocation.
+/// Non-binary files (manifests, v1 text) are read whole; their own decode
+/// validates them.
+///
+/// # Errors
+///
+/// [`SddError::Io`] when the file cannot be opened or read,
+/// [`SddError::Truncated`] when the file is shorter than its header
+/// declares, [`SddError::Invalid`] for trailing bytes, plus every
+/// [`Header::decode`] error.
+pub fn read_dictionary_file(path: impl AsRef<Path>) -> Result<Vec<u8>, SddError> {
+    use std::io::Read;
     let path = path.as_ref();
-    fs::write(path, encode(dictionary)).map_err(|e| SddError::io(path.display().to_string(), &e))
+    let context = || path.display().to_string();
+    let mut file = fs::File::open(path).map_err(|e| SddError::io(context(), &e))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| SddError::io(context(), &e))?
+        .len();
+    let file_len = usize::try_from(file_len)
+        .map_err(|_| SddError::invalid(format!("{}: file length exceeds usize", path.display())))?;
+    let mut head = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match file.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(SddError::io(context(), &e)),
+        }
+    }
+    if head[..filled].starts_with(&MAGIC) {
+        // Header::decode validates magic, checksum, and version, and a
+        // partial header surfaces as Truncated — all before any body read.
+        let header = Header::decode(&head[..filled])?;
+        let declared = HEADER_LEN
+            .checked_add(header.payload_len)
+            .ok_or_else(|| SddError::invalid("header-declared file length overflows usize"))?;
+        if declared > file_len {
+            return Err(SddError::Truncated {
+                context: "store file",
+                expected: declared,
+                actual: file_len,
+            });
+        }
+        if declared < file_len {
+            return Err(SddError::invalid(format!(
+                "{} trailing bytes after the declared payload",
+                file_len - declared
+            )));
+        }
+    }
+    // The capacity is now trusted: for binary files it equals the
+    // validated header + payload; otherwise it is the real on-disk size.
+    let mut bytes = Vec::with_capacity(file_len);
+    bytes.extend_from_slice(&head[..filled]);
+    file.read_to_end(&mut bytes)
+        .map_err(|e| SddError::io(context(), &e))?;
+    Ok(bytes)
 }
 
 /// Reads a dictionary from a `.sddb` file.
@@ -173,8 +246,7 @@ pub fn save(path: impl AsRef<Path>, dictionary: &StoredDictionary) -> Result<(),
 /// [`SddError::Io`] when the file cannot be read, otherwise the typed
 /// decode errors of [`SddbReader::open`].
 pub fn load(path: impl AsRef<Path>) -> Result<StoredDictionary, SddError> {
-    let path = path.as_ref();
-    let bytes = fs::read(path).map_err(|e| SddError::io(path.display().to_string(), &e))?;
+    let bytes = read_dictionary_file(path)?;
     decode(&bytes)
 }
 
@@ -217,8 +289,7 @@ pub fn read_same_different_auto(bytes: &[u8]) -> Result<SameDifferentDictionary,
 /// [`SddError::Io`] when the file cannot be read, otherwise as
 /// [`read_same_different_auto`].
 pub fn load_same_different(path: impl AsRef<Path>) -> Result<SameDifferentDictionary, SddError> {
-    let path = path.as_ref();
-    let bytes = fs::read(path).map_err(|e| SddError::io(path.display().to_string(), &e))?;
+    let bytes = read_dictionary_file(path)?;
     read_same_different_auto(&bytes)
 }
 

@@ -404,8 +404,7 @@ pub fn write_sharded(
         let bytes = crate::encode(&shard);
         let file = format!("{stem}.{index:03}.sddb");
         let path = dir.join(&file);
-        std::fs::write(&path, &bytes)
-            .map_err(|e| SddError::io(format!("write shard {}", path.display()), &e))?;
+        crate::atomic_write(&path, &bytes)?;
         let header = *SddbReader::open(&bytes)?.header();
         let cone = match cones {
             Some(cones) => cones[index].clone(),
@@ -444,8 +443,11 @@ pub fn write_sharded(
     // so a just-written manifest is guaranteed readable.
     let encoded = manifest.encode();
     ShardManifest::decode(&encoded)?;
-    std::fs::write(manifest_path, &encoded)
-        .map_err(|e| SddError::io(format!("write manifest {}", manifest_path.display()), &e))?;
+    // Every shard above was atomically committed (and fsynced) before this
+    // point, so the manifest — written last, also atomically — can never
+    // name a shard that is not fully durable: a crash anywhere in the
+    // sequence leaves either the old set or a complete new one.
+    crate::atomic_write(manifest_path, &encoded)?;
     Ok(manifest)
 }
 

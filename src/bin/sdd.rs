@@ -9,7 +9,9 @@
 //! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
-//! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES] [name=dict ...]
+//! sdd verify <dict.sddb|dict.sddm> [--quarantine]       checksum-scan an artifact
+//! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES]
+//!           [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [name=dict ...]
 //! ```
 //!
 //! Test files hold one input pattern per line (`0`/`1` characters, one per
@@ -46,9 +48,12 @@ fn main() -> ExitCode {
         Some("dictionary") | Some("build") => cmd_dictionary(&args[1..]),
         Some("inject") => cmd_inject(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|serve> ...");
+            eprintln!(
+                "usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|verify|serve> ..."
+            );
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
         }
@@ -342,13 +347,21 @@ fn cmd_dictionary(args: &[String]) -> Result<(), String> {
         )
         .map_err(|e| e.to_string()),
         Some(path) => {
-            // Stream record-by-record: for large designs the text blob is
-            // bigger than the dictionary itself.
-            let file = fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-            let mut writer = std::io::BufWriter::new(file);
+            // Stream record-by-record (for large designs the text blob is
+            // bigger than the dictionary itself) through a crash-safe
+            // staged write: a build killed mid-write leaves the previous
+            // dictionary intact, never a torn one.
+            let staged =
+                same_different::store::AtomicFile::create(&path).map_err(|e| e.to_string())?;
+            let mut writer = std::io::BufWriter::new(staged);
             dict_io::write_same_different_to(&dictionary, &mut writer)
                 .and_then(|()| std::io::Write::flush(&mut writer))
-                .map_err(|e| format!("{path}: {e}"))
+                .map_err(|e| format!("{path}: {e}"))?;
+            writer
+                .into_inner()
+                .map_err(|e| format!("{path}: {e}"))?
+                .commit()
+                .map_err(|e| e.to_string())
         }
         None => match output {
             Some(_) => emit(output, &dict_io::write_same_different(&dictionary)),
@@ -486,6 +499,65 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let mut quarantine = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--quarantine" => quarantine = true,
+            a if a.starts_with('-') => return Err(format!("unknown option {a:?}")),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return Err("usage: sdd verify <dict.sddb|dict.sddm> [--quarantine]".into());
+    };
+    let report = same_different::store::verify_file(path).map_err(|e| e.to_string())?;
+    println!(
+        "{}: kind={} faults={} shards={}",
+        report.path.display(),
+        report.kind.name(),
+        report.faults,
+        report.shards.len(),
+    );
+    for shard in &report.shards {
+        match &shard.error {
+            None => println!(
+                "  shard {} {}: ok ({} faults)",
+                shard.index, shard.file, shard.faults
+            ),
+            Some(e) => println!(
+                "  shard {} {}: BAD ({} faults lost): {e}",
+                shard.index, shard.file, shard.faults
+            ),
+        }
+    }
+    for temp in &report.stale_temps {
+        println!("  stale temp {} (interrupted write; inert)", temp.display());
+    }
+    println!(
+        "coverage: {}/{} faults",
+        report.covered_faults(),
+        report.faults
+    );
+    if report.healthy() {
+        println!("healthy");
+        return Ok(());
+    }
+    if quarantine {
+        let moved =
+            same_different::store::quarantine_bad_shards(&report).map_err(|e| e.to_string())?;
+        for moved_path in &moved {
+            println!("quarantined: {}", moved_path.display());
+        }
+    }
+    Err(format!(
+        "{} of {} shards unhealthy",
+        report.bad_shards().count(),
+        report.shards.len(),
+    ))
+}
+
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of 1024).
 fn parse_bytes(s: &str) -> Result<usize, String> {
     let (digits, shift) = match s.trim_end_matches(['k', 'K', 'm', 'M', 'g', 'G']) {
@@ -511,12 +583,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr = None;
     let mut workers = None;
     let mut mem_cap = None;
+    let mut max_conns = None;
+    let mut deadline_ms = None;
+    let mut idle_ms = None;
     let positional = parse_flags(
         args,
         &mut [
             ("--addr", &mut addr),
             ("--workers", &mut workers),
             ("--mem-cap", &mut mem_cap),
+            ("--max-conns", &mut max_conns),
+            ("--deadline-ms", &mut deadline_ms),
+            ("--idle-ms", &mut idle_ms),
         ],
     )?;
     let mut config = same_different::serve::ServeConfig::default();
@@ -528,6 +606,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(cap) = mem_cap {
         config.memory_cap = parse_bytes(&cap)?;
+    }
+    if let Some(n) = max_conns {
+        config.max_connections = match n.parse() {
+            Ok(0) | Err(_) => return Err("bad --max-conns (want a positive count)".into()),
+            Ok(n) => n,
+        };
+    }
+    if let Some(ms) = deadline_ms {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms")?;
+        config.request_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = idle_ms {
+        let ms: u64 = ms.parse().map_err(|_| "bad --idle-ms")?;
+        config.idle_timeout = std::time::Duration::from_millis(ms);
     }
     let handle = same_different::serve::serve(&config).map_err(|e| e.to_string())?;
     // Preload `name=path` dictionaries through the protocol itself, so the

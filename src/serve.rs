@@ -37,17 +37,43 @@
 //! fault outside the failing cone can still be the best candidate, and
 //! skipping it would break the bit-identical merge. The LRU registry evicts
 //! at shard granularity, and `STATS` reports per-shard residency.
+//!
+//! # Failure domains and the reply contract
+//!
+//! Every reply line starts with one of four verdicts, and infrastructure
+//! failures degrade the verdict instead of killing the connection or the
+//! worker:
+//!
+//! * `OK` — the request was served against complete evidence. `OK BUSY`
+//!   is the overload shed: a connection accepted past
+//!   [`ServeConfig::max_connections`] gets the one-line refusal and is
+//!   closed, so excess clients queue at their end, not inside the pool.
+//! * `PARTIAL` — a sharded `DIAG`/`BATCH` item answered from the shards
+//!   that could be loaded, because some shard was missing, corrupt, or cut
+//!   off by the per-request deadline. The reply carries
+//!   `covered=<faults>/<total>` and a `degraded=<shard>:<reason>,...` list;
+//!   the ranking is bit-identical to diagnosing the explicit
+//!   sub-dictionary of the shards that *were* resident (a missing shard is
+//!   just another form of masked evidence).
+//! * `ERR` — a typed per-request failure (bad syntax, unknown dictionary,
+//!   shape mismatch, every shard unavailable). The connection stays open.
+//! * A stalled client is bounded, not trusted: reads poll under
+//!   [`POLL_INTERVAL`], a connection with no complete request within
+//!   [`ServeConfig::idle_timeout`] is closed (slow-loris cutoff), and
+//!   writes carry [`ServeConfig::write_timeout`] — a write that times out
+//!   is connection death, never a wedged worker.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
+use sdd_core::Budget;
 use sdd_logic::{BitVec, MaskedBitVec, SddError};
 use sdd_store::{ShardedReader, StoredDictionary};
 
@@ -63,6 +89,21 @@ pub struct ServeConfig {
     /// Registry memory cap in bytes; least-recently-used dictionaries are
     /// evicted when loading would exceed it.
     pub memory_cap: usize,
+    /// Connections served concurrently before the acceptor starts shedding
+    /// newcomers with a one-line `OK BUSY` refusal.
+    pub max_connections: usize,
+    /// Per-write socket timeout; a reply write that stalls this long is
+    /// connection death, never a wedged worker.
+    pub write_timeout: Duration,
+    /// A connection with no *complete* request line for this long is closed
+    /// (`ERR idle timeout ...`) — the slow-loris cutoff that keeps stalled
+    /// clients from pinning pool workers.
+    pub idle_timeout: Duration,
+    /// Optional wall-clock budget per request. A sharded `DIAG` that runs
+    /// out mid-load answers `PARTIAL` from the shards already resident;
+    /// remaining `BATCH` items answer `ERR deadline`. `None` means
+    /// unbounded.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +112,10 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             memory_cap: 64 << 20,
+            max_connections: 256,
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(600),
+            request_deadline: None,
         }
     }
 }
@@ -412,9 +457,47 @@ struct Shared {
     shutting_down: AtomicBool,
     requests: AtomicU64,
     diagnoses: AtomicU64,
+    /// Connections refused with `OK BUSY` under overload.
+    busy: AtomicU64,
+    /// Sharded diagnoses answered with a degraded `PARTIAL` verdict.
+    partial: AtomicU64,
+    /// Connections currently admitted (queued or in a worker).
+    active: AtomicUsize,
     addr: SocketAddr,
     /// Size of the worker pool, reported by `STATS`.
     workers: usize,
+    /// Connection and request limits, copied out of [`ServeConfig`].
+    limits: Limits,
+}
+
+/// The failure-domain knobs every connection handler consults.
+struct Limits {
+    max_connections: usize,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+    request_deadline: Option<Duration>,
+}
+
+/// Wall-clock budget of one in-flight request — the serving analog of the
+/// construction-time [`Budget`]. Sharded shard-loads and batch items check
+/// it between units of work and degrade (`PARTIAL` / `ERR deadline`)
+/// instead of overrunning.
+struct RequestClock {
+    start: Instant,
+    budget: Budget,
+}
+
+impl RequestClock {
+    fn new(limit: Option<Duration>) -> Self {
+        Self {
+            start: Instant::now(),
+            budget: limit.map_or_else(Budget::unlimited, Budget::deadline),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        !self.budget.allows(0, self.start.elapsed())
+    }
 }
 
 /// A running server: its bound address and the handles needed to stop it.
@@ -478,8 +561,17 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
         shutting_down: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         diagnoses: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        partial: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
         addr,
         workers: config.workers.max(1),
+        limits: Limits {
+            max_connections: config.max_connections.max(1),
+            write_timeout: config.write_timeout,
+            idle_timeout: config.idle_timeout,
+            request_deadline: config.request_deadline,
+        },
     });
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -501,7 +593,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
                         if shared.shutting_down.load(Ordering::SeqCst) {
                             break; // the poke, or a client that raced it
                         }
+                        // Shed before queueing: a connection past the cap
+                        // gets an explicit one-line refusal instead of
+                        // waiting unbounded behind stalled peers.
+                        if shared.active.load(Ordering::SeqCst) >= shared.limits.max_connections {
+                            shed_connection(stream, &shared);
+                            continue;
+                        }
+                        shared.active.fetch_add(1, Ordering::SeqCst);
                         if sender.send(stream).is_err() {
+                            shared.active.fetch_sub(1, Ordering::SeqCst);
                             break;
                         }
                     }
@@ -541,20 +642,59 @@ fn worker_loop(receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Arc<Sh
             guard.recv()
         };
         match stream {
-            Ok(stream) => handle_connection(stream, shared, &mut scratch),
+            Ok(stream) => {
+                handle_connection(stream, shared, &mut scratch);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
             Err(_) => break, // acceptor gone and queue drained
         }
     }
 }
 
+/// Logs (one stderr line) a failed socket option instead of silently
+/// discarding it — a box where `SO_RCVTIMEO` cannot be set is a box where
+/// stalled clients pin workers, and that must be visible in triage.
+fn warn_socket(what: &str, result: io::Result<()>) {
+    if let Err(e) = result {
+        eprintln!("sdd-serve: {what} failed: {e}");
+    }
+}
+
+/// Refuses one connection under overload: a one-line `OK BUSY` reply, then
+/// the stream drops closed. The client saw an explicit verdict and can
+/// retry with backoff; the worker pool never saw the connection.
+fn shed_connection(mut stream: TcpStream, shared: &Shared) {
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    warn_socket(
+        "set_write_timeout (shed)",
+        stream.set_write_timeout(Some(shared.limits.write_timeout)),
+    );
+    let _ = writeln!(
+        stream,
+        "OK BUSY active={} max={}",
+        shared.active.load(Ordering::SeqCst),
+        shared.limits.max_connections,
+    );
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scratch) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // Socket-option failures are survivable (the connection just loses its
+    // stall protection) but must not be silent — see `warn_socket`.
+    warn_socket(
+        "set_read_timeout",
+        stream.set_read_timeout(Some(POLL_INTERVAL)),
+    );
+    warn_socket(
+        "set_write_timeout",
+        stream.set_write_timeout(Some(shared.limits.write_timeout)),
+    );
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut last_complete = Instant::now();
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return; // in-flight request finished; drop the connection
@@ -568,18 +708,22 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scra
                     continue;
                 }
                 shared.requests.fetch_add(1, Ordering::Relaxed);
+                let clock = RequestClock::new(shared.limits.request_deadline);
                 // One panicking request must not take the worker (and its
                 // queued connections) down with it: catch the unwind, tell
                 // the client, and keep serving. The scratch buffers are
                 // cleared at the start of every parse, so reusing them
                 // after a panic is safe.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    respond(&request, shared, scratch, &mut writer)
+                    respond(&request, shared, scratch, &mut writer, &clock)
                 }));
                 match outcome {
                     Ok(Ok(ConnectionFate::Keep)) => {}
                     Ok(Ok(ConnectionFate::Close)) => return,
-                    Ok(Err(_)) => return, // client went away mid-reply
+                    // Client went away mid-reply, or the write timed out
+                    // (`WouldBlock`/`TimedOut` from `SO_SNDTIMEO`): either
+                    // way the connection is dead; the worker is not.
+                    Ok(Err(_)) => return,
                     Err(_) => {
                         let reply = err_reply("internal error: request panicked");
                         if writeln!(writer, "{reply}")
@@ -590,6 +734,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scra
                         }
                     }
                 }
+                last_complete = Instant::now();
             }
             Err(e)
                 if matches!(
@@ -597,7 +742,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scra
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                continue; // idle poll tick; partial line stays buffered
+                // Idle poll tick; a partial line stays buffered. A client
+                // that dribbles bytes without ever finishing a request —
+                // the slow-loris shape — is cut off at the idle limit so
+                // it cannot pin a pool worker forever.
+                if last_complete.elapsed() >= shared.limits.idle_timeout {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        err_reply("idle timeout: no complete request within the limit")
+                    );
+                    return;
+                }
             }
             Err(_) => return,
         }
@@ -616,6 +772,7 @@ fn respond(
     shared: &Arc<Shared>,
     scratch: &mut Scratch,
     writer: &mut TcpStream,
+    clock: &RequestClock,
 ) -> io::Result<ConnectionFate> {
     let mut tokens = request.split_whitespace();
     let verb = tokens.next().unwrap_or_default().to_ascii_uppercase();
@@ -629,7 +786,7 @@ fn respond(
         }
         "DIAG" => {
             let reply = match (tokens.next(), tokens.next(), tokens.next()) {
-                (Some(name), Some(obs), None) => diag_reply(name, obs, shared, scratch),
+                (Some(name), Some(obs), None) => diag_reply(name, obs, shared, scratch, clock),
                 _ => err_reply("usage: DIAG <dict> <observation>"),
             };
             writeln!(writer, "{reply}")?;
@@ -648,7 +805,15 @@ fn respond(
                 } else {
                     writeln!(writer, "OK BATCH {}", observations.len())?;
                     for (index, obs) in observations.iter().enumerate() {
-                        let reply = diag_reply(name, obs, shared, scratch);
+                        // The counted-lines contract holds even when the
+                        // request deadline expires mid-batch: remaining
+                        // items get explicit `ERR deadline` result lines,
+                        // never a truncated reply.
+                        let reply = if clock.expired() {
+                            err_reply("deadline: request budget exhausted before this item")
+                        } else {
+                            diag_reply(name, obs, shared, scratch, clock)
+                        };
                         writeln!(writer, "{index} {reply}")?;
                     }
                 }
@@ -658,7 +823,7 @@ fn respond(
         "STATS" => {
             let stats = shared.registry.stats();
             let mut reply = format!(
-                "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={}",
+                "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={} busy={} partial={} active={}",
                 shared.workers,
                 stats.dicts,
                 stats.bytes,
@@ -666,6 +831,9 @@ fn respond(
                 shared.requests.load(Ordering::Relaxed),
                 shared.diagnoses.load(Ordering::Relaxed),
                 stats.evictions,
+                shared.busy.load(Ordering::Relaxed),
+                shared.partial.load(Ordering::Relaxed),
+                shared.active.load(Ordering::SeqCst),
             );
             if stats.total_shards > 0 {
                 reply.push_str(&format!(
@@ -723,9 +891,12 @@ fn err_reply(message: &str) -> String {
 
 fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
     let start = Instant::now();
-    let bytes = match std::fs::read(path) {
+    // `read_dictionary_file` validates the header-declared payload length
+    // against the actual file length *before* buffering, so a corrupt
+    // header claiming a huge payload cannot make the server allocate it.
+    let bytes = match sdd_store::read_dictionary_file(path) {
         Ok(bytes) => bytes,
-        Err(e) => return err_reply(&SddError::io(path, &e).to_string()),
+        Err(e) => return err_reply(&e.to_string()),
     };
     if sdd_store::is_manifest(&bytes) {
         // A shard manifest registers the set without touching any shard
@@ -763,7 +934,13 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
     }
 }
 
-fn diag_reply(name: &str, obs: &str, shared: &Arc<Shared>, scratch: &mut Scratch) -> String {
+fn diag_reply(
+    name: &str,
+    obs: &str,
+    shared: &Arc<Shared>,
+    scratch: &mut Scratch,
+    clock: &RequestClock,
+) -> String {
     match shared.registry.get(name) {
         Fetched::Whole(dictionary) => {
             shared.diagnoses.fetch_add(1, Ordering::Relaxed);
@@ -774,7 +951,7 @@ fn diag_reply(name: &str, obs: &str, shared: &Arc<Shared>, scratch: &mut Scratch
         }
         Fetched::Sharded(reader) => {
             shared.diagnoses.fetch_add(1, Ordering::Relaxed);
-            match diagnose_sharded_reply(name, &reader, obs, shared, scratch) {
+            match diagnose_sharded_reply(name, &reader, obs, shared, scratch, clock) {
                 Ok(reply) => reply,
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -805,16 +982,53 @@ fn cone_intersects(a: &BitVec, b: &BitVec) -> bool {
     a.as_words().zip(b.as_words()).any(|(x, y)| x & y != 0)
 }
 
+/// One-word reason token for a `degraded=` list entry.
+fn error_token(error: &SddError) -> &'static str {
+    match error {
+        SddError::Io { .. } => "io",
+        SddError::ChecksumMismatch { .. } => "checksum",
+        SddError::Truncated { .. } => "truncated",
+        SddError::UnsupportedVersion { .. } => "version",
+        SddError::Invalid { .. } => "invalid",
+        SddError::Empty { .. } => "empty",
+        SddError::Parse { .. } => "parse",
+        SddError::WidthMismatch { .. } => "width",
+        SddError::CountMismatch { .. } => "count",
+        // `SddError` is non-exhaustive; any future variant is still an error.
+        _ => "error",
+    }
+}
+
+/// The typed failure when *no* shard of a sharded dictionary could serve a
+/// request — degradation has nothing left to degrade to.
+fn all_shards_failed(count: usize, last: Option<SddError>) -> SddError {
+    match last {
+        Some(e) => SddError::invalid(format!("all {count} shards unavailable; last error: {e}")),
+        None => SddError::invalid(format!(
+            "request deadline exceeded before any of {count} shards loaded"
+        )),
+    }
+}
+
 /// Diagnoses against a sharded dictionary: loads shards lazily in
-/// cone-priority order, scores *every* shard (cones only order loading —
-/// see the module docs), and merges the rankings into the same reply the
-/// unsharded dictionary would produce.
+/// cone-priority order, scores *every available* shard (cones only order
+/// loading — see the module docs), and merges the rankings into the same
+/// reply the unsharded dictionary would produce.
+///
+/// Availability is where degradation enters: a shard that is missing,
+/// corrupt, or cut off by the request deadline is dropped from the merge
+/// and recorded, and the reply verdict becomes `PARTIAL` with
+/// `covered=<faults>/<total>` and a `degraded=<shard>:<reason>,...` list.
+/// Because [`shard::diagnose_sharded`] merges any consistent shard subset,
+/// the degraded ranking is bit-identical to diagnosing the explicit
+/// sub-dictionary of the shards that did load.
 fn diagnose_sharded_reply(
     name: &str,
     reader: &Arc<ShardedReader>,
     obs: &str,
     shared: &Arc<Shared>,
     scratch: &mut Scratch,
+    clock: &RequestClock,
 ) -> Result<String, SddError> {
     let manifest = reader.manifest();
     let count = reader.shard_count();
@@ -826,16 +1040,35 @@ fn diagnose_sharded_reply(
             None
         }
     };
+    // Per-shard fate this request: a shard that fails is probed once and
+    // remembered, not retried by every later step.
+    let mut failures: Vec<Option<&'static str>> = vec![None; count];
+    let mut last_error: Option<SddError> = None;
     // Cone-priority order: load shards whose recorded cone intersects the
     // observation's failing outputs first. Pass/fail observations carry no
     // per-output information, so they keep index order.
     let mut order: Vec<usize> = (0..count).collect();
     if signature.is_none() {
-        // Failing outputs need one reference dictionary; prefer a warm
-        // shard, else load the highest-priority cold one (index 0).
-        let reference = match (0..count).find_map(|i| shared.registry.resident_shard(name, i)) {
-            Some(d) => d,
-            None => fetch_shard(name, reader, 0, shared)?,
+        // Failing outputs need one reference dictionary (shards share
+        // per-test output dimensions); prefer a warm shard, else the first
+        // cold one that still loads.
+        let mut reference = (0..count).find_map(|i| shared.registry.resident_shard(name, i));
+        if reference.is_none() {
+            for (index, failure) in failures.iter_mut().enumerate() {
+                match fetch_shard(name, reader, index, shared) {
+                    Ok(d) => {
+                        reference = Some(d);
+                        break;
+                    }
+                    Err(e) => {
+                        *failure = Some(error_token(&e));
+                        last_error = Some(e);
+                    }
+                }
+            }
+        }
+        let Some(reference) = reference else {
+            return Err(all_shards_failed(count, last_error));
         };
         let failing = shard::failing_outputs(&reference, &scratch.responses)?;
         if failing.any() {
@@ -844,8 +1077,30 @@ fn diagnose_sharded_reply(
     }
     let mut fetched: Vec<(usize, Arc<StoredDictionary>)> = Vec::with_capacity(count);
     for index in order {
+        if failures[index].is_some() {
+            continue;
+        }
         let fault_start = manifest.shards[index].fault_start;
-        fetched.push((fault_start, fetch_shard(name, reader, index, shared)?));
+        if clock.expired() {
+            // Out of time: shards already resident still join the merge (a
+            // registry hit is a lock and a clone, not I/O); cold shards
+            // become degraded coverage instead of a blown deadline.
+            match shared.registry.resident_shard(name, index) {
+                Some(d) => fetched.push((fault_start, d)),
+                None => failures[index] = Some("deadline"),
+            }
+            continue;
+        }
+        match fetch_shard(name, reader, index, shared) {
+            Ok(d) => fetched.push((fault_start, d)),
+            Err(e) => {
+                failures[index] = Some(error_token(&e));
+                last_error = Some(e);
+            }
+        }
+    }
+    if fetched.is_empty() {
+        return Err(all_shards_failed(count, last_error));
     }
     fetched.sort_unstable_by_key(|&(fault_start, _)| fault_start);
     let shards: Vec<(usize, &StoredDictionary)> = fetched
@@ -857,7 +1112,22 @@ fn diagnose_sharded_reply(
         None => ShardObservation::Responses(&scratch.responses),
     };
     let report = shard::diagnose_sharded(&shards, observation)?;
-    Ok(format_report(report.quality, report.known, &report.ranking))
+    let fields = report_fields(report.quality, report.known, &report.ranking);
+    let degraded: Vec<String> = failures
+        .iter()
+        .enumerate()
+        .filter_map(|(index, failure)| failure.map(|reason| format!("{index}:{reason}")))
+        .collect();
+    if degraded.is_empty() {
+        return Ok(format!("OK DIAG {fields}"));
+    }
+    shared.partial.fetch_add(1, Ordering::Relaxed);
+    let covered: usize = fetched.iter().map(|(_, d)| d.fault_count()).sum();
+    Ok(format!(
+        "PARTIAL DIAG {fields} covered={covered}/{total} degraded={}",
+        degraded.join(","),
+        total = manifest.faults,
+    ))
 }
 
 /// Routes one observation through the masked-diagnosis ladder of the named
@@ -906,9 +1176,10 @@ fn quality_name(quality: MatchQuality) -> &'static str {
     }
 }
 
-/// Formats a ranked diagnosis as a single reply line:
-/// `OK DIAG quality=<q> known=<b> distance=<d> best=<i,j> top=<f:miss:conf,...>`.
-fn format_report(quality: MatchQuality, known: usize, ranking: &[ScoredCandidate]) -> String {
+/// Formats the shared field tail of a diagnosis reply:
+/// `quality=<q> known=<b> distance=<d> best=<i,j> top=<f:miss:conf,...>`.
+/// The caller prepends the verdict (`OK DIAG` or `PARTIAL DIAG`).
+fn report_fields(quality: MatchQuality, known: usize, ranking: &[ScoredCandidate]) -> String {
     let distance = ranking.first().map_or(0, |c| c.mismatches);
     let best: Vec<String> = ranking
         .iter()
@@ -921,11 +1192,16 @@ fn format_report(quality: MatchQuality, known: usize, ranking: &[ScoredCandidate
         .map(|c| format!("{}:{}:{:.4}", c.fault, c.mismatches, c.confidence))
         .collect();
     format!(
-        "OK DIAG quality={} known={known} distance={distance} best={} top={}",
+        "quality={} known={known} distance={distance} best={} top={}",
         quality_name(quality),
         best.join(","),
         top.join(","),
     )
+}
+
+/// Formats a complete-evidence ranked diagnosis as a single `OK DIAG` line.
+fn format_report(quality: MatchQuality, known: usize, ranking: &[ScoredCandidate]) -> String {
+    format!("OK DIAG {}", report_fields(quality, known, ranking))
 }
 
 /// A minimal blocking client for the line protocol — what the smoke tests,

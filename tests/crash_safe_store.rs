@@ -1,0 +1,127 @@
+//! Crash-safety of the dictionary store: a writer killed at *any* point
+//! must leave the previous artifact byte-for-byte intact and loadable —
+//! never a torn file under the target name.
+//!
+//! A killed `sdd build` leaves exactly one on-disk state: the committed
+//! target plus a partial `<name>.tmp` staging sibling (the atomic writer
+//! stages everything there and renames only after fsync). These tests
+//! reproduce that state at every 64-byte truncation boundary of the staged
+//! image and assert the target never degrades.
+
+use same_different::store::{self, StoredDictionary};
+use sdd_core::PassFailDictionary;
+use std::path::PathBuf;
+
+fn fixture() -> StoredDictionary {
+    StoredDictionary::PassFail(PassFailDictionary::build(
+        &sdd_core::example::paper_example(),
+    ))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdd-crash-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn torn_sddb_write_at_every_boundary_leaves_the_target_loadable() {
+    let dir = scratch_dir("sddb");
+    let path = dir.join("dict.sddb");
+    let dictionary = fixture();
+    store::save(&path, &dictionary).unwrap();
+    let committed = std::fs::read(&path).unwrap();
+    let image = store::encode(&dictionary);
+
+    // Every 64-byte boundary of the staged image, plus the empty file and
+    // the all-but-one-byte cut: the states a kill mid-write can leave.
+    let mut cuts: Vec<usize> = (0..image.len()).step_by(64).collect();
+    cuts.push(image.len().saturating_sub(1));
+    for cut in cuts {
+        let tmp = store::temp_sibling(&path);
+        std::fs::write(&tmp, &image[..cut]).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            committed,
+            "target bytes changed with a torn temp cut at {cut}"
+        );
+        let reloaded = store::load(&path)
+            .unwrap_or_else(|e| panic!("target unloadable with torn temp at {cut}: {e}"));
+        assert_eq!(reloaded, dictionary);
+    }
+
+    // The next committed write replaces both the stale temp and the target.
+    store::save(&path, &dictionary).unwrap();
+    assert!(!store::temp_sibling(&path).exists());
+    assert_eq!(store::load(&path).unwrap(), dictionary);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_manifest_and_shard_writes_leave_the_set_loadable() {
+    let dir = scratch_dir("sddm");
+    let manifest_path = dir.join("dict.sddm");
+    let written = store::write_sharded(&manifest_path, &fixture(), &[0..2, 2..4], None).unwrap();
+    let manifest_bytes = std::fs::read(&manifest_path).unwrap();
+    let shard_path = dir.join(&written.shards[0].file);
+    let shard_bytes = std::fs::read(&shard_path).unwrap();
+
+    for (target, image) in [
+        (&manifest_path, &manifest_bytes),
+        (&shard_path, &shard_bytes),
+    ] {
+        let mut cuts: Vec<usize> = (0..image.len()).step_by(64).collect();
+        cuts.push(image.len().saturating_sub(1));
+        for cut in cuts {
+            let tmp = store::temp_sibling(target);
+            std::fs::write(&tmp, &image[..cut]).unwrap();
+            let reader = store::ShardedReader::open(&manifest_path).unwrap_or_else(|e| {
+                panic!(
+                    "manifest unreadable with torn {} at {cut}: {e}",
+                    tmp.display()
+                )
+            });
+            for index in 0..reader.shard_count() {
+                reader.load_shard(index).unwrap_or_else(|e| {
+                    panic!("shard {index} unloadable with torn temp at {cut}: {e}")
+                });
+            }
+            std::fs::remove_file(&tmp).unwrap();
+        }
+    }
+    // verify_file flags a lingering staging file as stale, nothing more.
+    std::fs::write(store::temp_sibling(&manifest_path), b"torn").unwrap();
+    let report = store::verify_file(&manifest_path).unwrap();
+    assert!(report.healthy());
+    assert_eq!(report.stale_temps.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_header_payload_is_rejected_before_buffering() {
+    let dir = scratch_dir("guard");
+    let path = dir.join("dict.sddb");
+    let image = store::encode(&fixture());
+
+    // A valid header whose declared payload outruns the file: the length
+    // check must fire on the header alone, before the body is buffered.
+    std::fs::write(&path, &image[..image.len() - 8]).unwrap();
+    match store::read_dictionary_file(&path) {
+        Err(sdd_logic::SddError::Truncated { .. }) => {}
+        other => panic!("want Truncated before buffering, got {other:?}"),
+    }
+
+    // Trailing garbage past the declared payload is equally typed.
+    let mut padded = image.clone();
+    padded.extend_from_slice(b"junk past the payload");
+    std::fs::write(&path, &padded).unwrap();
+    match store::read_dictionary_file(&path) {
+        Err(sdd_logic::SddError::Invalid { .. }) => {}
+        other => panic!("want Invalid on trailing bytes, got {other:?}"),
+    }
+
+    // And the intact image still round-trips through the same guard.
+    std::fs::write(&path, &image).unwrap();
+    assert_eq!(store::read_dictionary_file(&path).unwrap(), image);
+    let _ = std::fs::remove_dir_all(&dir);
+}
