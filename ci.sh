@@ -29,7 +29,13 @@ cargo test --offline --release -q --test store_roundtrip --test serve_smoke \
 step "dictionary load bench (text parse vs binary read, JSON)"
 cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10
 
-step "chaos smoke (7 injected failure classes against a live server, JSON)"
+step "volume smoke (CLI vs served VOLUME, corrupted-corpus resilience)"
+# tests/volume_smoke.rs drives the real binary and a live server and
+# asserts byte-identical reports; tests/volume_corpus.rs walks the
+# corruption matrix end to end.
+cargo test --offline --release -q --test volume_smoke --test volume_corpus
+
+step "chaos smoke (8 injected failure classes against a live server, JSON)"
 # Fixed seed + small circuit keeps this a seconds-long gate; the driver
 # exits nonzero if any well-formed request fails to come back
 # OK/PARTIAL/BUSY/ERR, a verdict is wrong, or the server wedges (watchdog).
@@ -43,6 +49,14 @@ step "dictionary build bench (serial vs parallel, JSON)"
 cargo run --offline --release -p sdd-bench --bin build_bench -- \
     --circuit s953 --calls1 3 --jobs 4 --out BENCH_build.json
 cargo run --offline --release -p sdd-bench --bin build_bench -- --check BENCH_build.json
+
+step "volume bench (devices/s serial vs parallel + corruption sweep, JSON)"
+# BENCH_volume.json carries the determinism claim (jobs=1 == jobs=N bytes)
+# and the diagnostic claim (injected systematic faults rank first on the
+# clean level); the gate fails on a missing/malformed/claim-failing report.
+cargo run --offline --release -p sdd-bench --bin volume_bench -- \
+    --circuit s298 --devices 300 --jobs 4 --out BENCH_volume.json
+cargo run --offline --release -p sdd-bench --bin volume_bench -- --check BENCH_volume.json
 
 step "cargo fmt --check"
 if ! cargo fmt --version >/dev/null 2>&1; then

@@ -20,7 +20,7 @@
 //!
 //! ```json
 //! {"circuit":"s1423","ttype":"diag","seed":1,"faults":1501,"tests":241,
-//!  "jobs":4,"available_parallelism":4,
+//!  "jobs":4,"available_parallelism":4,"jobs_effective":4,
 //!  "simulate_s_jobs1":1.91,"simulate_s_jobsn":0.52,
 //!  "procedure1_s_jobs1":10.80,"procedure1_s_jobsn":2.95,
 //!  "procedure2_s":0.41,
@@ -55,6 +55,7 @@ const NUMERIC_KEYS: &[&str] = &[
     "tests",
     "jobs",
     "available_parallelism",
+    "jobs_effective",
     "simulate_s_jobs1",
     "simulate_s_jobsn",
     "procedure1_s_jobs1",
@@ -196,9 +197,14 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
     let (shards, unsharded_cold_s, sharded_cold_s, shard_identical) =
         shard_bench(&exp, &matrix, StoredDictionary::SameDifferent(dictionary));
 
+    // `jobs_effective` is the honesty field: `--jobs 4` on a single-core
+    // runner still exercises the threaded path, but only
+    // min(jobs, available_parallelism) threads can actually run — readers
+    // (and the `--check` gate) must not read a 1.0x "speedup" there as a
+    // regression.
     format!(
         "{{\"circuit\":\"{}\",\"ttype\":\"{}\",\"seed\":{},\"faults\":{},\"tests\":{},\
-         \"jobs\":{},\"available_parallelism\":{},\
+         \"jobs\":{},\"available_parallelism\":{},\"jobs_effective\":{},\
          \"simulate_s_jobs1\":{:.3},\"simulate_s_jobsn\":{:.3},\
          \"procedure1_s_jobs1\":{:.3},\"procedure1_s_jobsn\":{:.3},\
          \"procedure2_s\":{:.3},\
@@ -213,6 +219,7 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
         tests.len(),
         jobs,
         sdd_sim::available_jobs(),
+        jobs.min(sdd_sim::available_jobs()),
         simulate_s_jobs1,
         simulate_s_jobsn,
         procedure1_s_jobs1,
@@ -328,6 +335,24 @@ fn check(path: &str) -> Result<(), String> {
             Some("true") => {}
             Some(value) => return Err(format!("{claim:?} is {value}, expected true")),
             None => return Err(format!("missing key {claim:?}")),
+        }
+    }
+    // Speedup sanity only where speedup was possible: on a host where the
+    // threaded run had real cores (`jobs_effective > 1`), the parallel path
+    // must not be catastrophically slower than serial. A single-core runner
+    // (jobs_effective == 1) skips this — there, ~1.0x is the honest answer.
+    let effective: f64 = field(body, "jobs_effective")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    if effective > 1.0 {
+        for key in ["simulate_speedup", "procedure1_speedup"] {
+            let speedup: f64 = field(body, key).and_then(|v| v.parse().ok()).unwrap_or(0.0);
+            if speedup < 0.5 {
+                return Err(format!(
+                    "{key:?} is {speedup} with jobs_effective={effective}; \
+                     the parallel path regressed"
+                ));
+            }
         }
     }
     Ok(())

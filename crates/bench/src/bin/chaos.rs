@@ -22,6 +22,8 @@
 //!    their reply must not wedge workers.
 //! 7. **Handler panic** — the env-gated `PANIC` request is contained to an
 //!    `ERR` reply on a connection that keeps working.
+//! 8. **VOLUME mid-stream disconnect** — a client that promises a corpus
+//!    and vanishes mid-stream kills its own connection, not the worker.
 //!
 //! Every well-formed request must come back `OK`, `PARTIAL`, `BUSY`, or
 //! `ERR`; the server must never hang (a watchdog thread aborts the run at
@@ -282,6 +284,7 @@ impl Harness {
         self.phase_slow_loris();
         self.phase_mid_request_disconnect();
         self.phase_handler_panic();
+        self.phase_volume_disconnect();
     }
 
     /// Loads both artifacts and records the healthy replies — whole and
@@ -564,6 +567,59 @@ impl Harness {
         );
     }
 
+    /// Failure class 8: a client opens a `VOLUME` stream, promises a corpus
+    /// it never finishes sending, and vanishes. The server is owed lines it
+    /// will never get; the abort must be contained to that connection while
+    /// a complete `VOLUME` round keeps working before and after.
+    fn phase_volume_disconnect(&mut self) {
+        eprintln!("chaos: phase volume-disconnect");
+        let obs = self.observations[2].clone();
+        // A complete round first, so the verb itself is known healthy.
+        let mut conn = self.connect();
+        conn.send_raw(format!("VOLUME whole 2\nchaos-dev-0 {obs}\nchaos-dev-1 {obs}\n").as_bytes())
+            .expect("send volume corpus");
+        let header = conn.read_line().unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            header.starts_with("OK VOLUME 2"),
+            "volume: stream header",
+            &header,
+        );
+        let mut summary = None;
+        for _ in 0..3 {
+            match conn.read_line() {
+                Ok(line) if line.starts_with("OK SUMMARY ") => {
+                    summary = Some(line);
+                    break;
+                }
+                Ok(_) => {}
+                Err(err) => {
+                    summary = Some(format!("ERR {err}"));
+                    break;
+                }
+            }
+        }
+        let summary = summary.unwrap_or_else(|| "missing".to_owned());
+        self.check(
+            summary.contains("\"devices\":2"),
+            "volume: summary accounts both devices",
+            &summary,
+        );
+        // Now the vanishing clients: each promises 10 lines, sends 3, and
+        // drops. The worker must shrug each one off.
+        for _ in 0..3 {
+            let mut conn = self.connect();
+            conn.send_raw(
+                format!(
+                    "VOLUME whole 10\nchaos-dev-0 {obs}\nchaos-dev-1 {obs}\nchaos-dev-2 {obs}\n"
+                )
+                .as_bytes(),
+            )
+            .expect("send partial volume corpus");
+            drop(conn); // gone with 7 lines still owed
+        }
+        self.probe("volume: workers survive mid-stream disconnects");
+    }
+
     /// Final accounting, graceful shutdown, and the JSON summary.
     fn finish(&mut self, elapsed: Duration) -> usize {
         let mut conn = self.connect();
@@ -597,7 +653,7 @@ impl Harness {
 
         let failed = self.failures.len();
         println!(
-            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":7,\"checks\":{},\"failed\":{},\
+            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":8,\"checks\":{},\"failed\":{},\
              \"busy\":{},\"partial\":{},\"elapsed_ms\":{}}}",
             self.circuit,
             self.seed,
@@ -612,7 +668,7 @@ impl Harness {
         }
         if failed == 0 {
             eprintln!(
-                "chaos: all {} checks passed across 7 failure classes in {elapsed:?}",
+                "chaos: all {} checks passed across 8 failure classes in {elapsed:?}",
                 self.checks
             );
         }

@@ -1,0 +1,345 @@
+//! Volume-diagnosis benchmark: synthesizes a seeded device corpus (two
+//! injected systematic faults over random-fault noise), streams it through
+//! `sdd_volume::run` at `jobs=1` versus `jobs=N`, and sweeps the corruption
+//! model to show the clusters surviving progressively worse datalogs.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin volume_bench -- [options]
+//!
+//!   --circuit <name>   ISCAS'89-shaped benchmark (default: s298)
+//!   --devices <n>      corpus size (default: 300)
+//!   --seed <u64>       synthesis seed (default: 1)
+//!   --jobs <n>         parallel worker count (default: all hardware threads)
+//!   --out <path>       where to write the JSON report (default: BENCH_volume.json)
+//!   --check <path>     validate an existing report instead of benchmarking;
+//!                      exits non-zero if the file is missing or malformed
+//! ```
+//!
+//! The report is one JSON object, e.g.:
+//!
+//! ```json
+//! {"circuit":"s298","seed":1,"devices":300,"faults":342,"tests":81,
+//!  "jobs":4,"available_parallelism":4,"jobs_effective":4,
+//!  "corpus_bytes":128403,"serial_s":0.84,"parallel_s":0.23,
+//!  "devices_per_s_jobs1":357.1,"devices_per_s_jobsn":1304.3,"speedup":3.65,
+//!  "ok":291,"partial":0,"error":0,"skipped":0,
+//!  "identical":true,"systematic_top":true,
+//!  "sweep":[{"mask_rate":0.0000,"flip_rate":0.0000,"ok":300,"top":true},...]}
+//! ```
+//!
+//! `identical` is the determinism claim (the `jobs=1` and `jobs=N` reports
+//! are byte-identical); `systematic_top` is the diagnostic claim (both
+//! injected faults classify systematic and the top-ranked cluster is one
+//! of them), evaluated on the *clean* sweep level — on small circuits a
+//! single flipped bit can move a device's best match, so the corrupted
+//! levels only record survival in their per-level `top` flags rather than
+//! gate CI. Throughput depends on the host — `jobs_effective` records how
+//! many threads could actually run, so a single-core runner's ~1.0x is not
+//! misread as a regression.
+
+use std::time::Instant;
+
+use same_different::Experiment;
+use sdd_store::StoredDictionary;
+use sdd_volume::{JsonlSink, SynthSpec, VolumeOptions, VolumeSummary, WholeSource};
+
+/// Keys [`check`] requires to hold a finite, non-negative number.
+const NUMERIC_KEYS: &[&str] = &[
+    "seed",
+    "devices",
+    "faults",
+    "tests",
+    "jobs",
+    "available_parallelism",
+    "jobs_effective",
+    "corpus_bytes",
+    "serial_s",
+    "parallel_s",
+    "devices_per_s_jobs1",
+    "devices_per_s_jobsn",
+    "speedup",
+    "ok",
+    "partial",
+    "error",
+    "skipped",
+];
+
+/// Corruption sweep levels: clean, the default tester-noise point, and a
+/// heavily degraded datalog.
+const SWEEP: &[(f64, f64)] = &[(0.0, 0.0), (0.02, 0.01), (0.20, 0.05)];
+
+fn main() {
+    let mut circuit = "s298".to_owned();
+    let mut devices: usize = 300;
+    let mut seed: u64 = 1;
+    let mut jobs = sdd_sim::available_jobs();
+    let mut out = "BENCH_volume.json".to_owned();
+    let mut check_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--circuit" => circuit = args.next().expect("--circuit takes a name"),
+            "--devices" => {
+                devices = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--devices n")
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed u64")
+            }
+            "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).expect("--jobs n"),
+            "--out" => out = args.next().expect("--out takes a path"),
+            "--check" => check_path = Some(args.next().expect("--check takes a path")),
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check(&path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(why) => {
+                eprintln!("{path}: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run(&circuit, devices, seed, jobs);
+    std::fs::write(&out, &report).expect("write report");
+    println!("{report}");
+    eprintln!("wrote {out}");
+}
+
+/// One volume pass over `corpus`; returns the report bytes, the summary,
+/// and the elapsed seconds.
+fn pass(
+    source: &WholeSource,
+    corpus: &[u8],
+    options: &VolumeOptions,
+) -> (Vec<u8>, VolumeSummary, f64) {
+    let text = std::str::from_utf8(corpus).expect("synthesized corpus is UTF-8");
+    let mut lines = text.lines().map(|l| Ok(l.to_owned()));
+    let mut report = Vec::new();
+    let start = Instant::now();
+    let summary = sdd_volume::run(source, &mut lines, &mut JsonlSink(&mut report), options)
+        .expect("volume run");
+    (report, summary, start.elapsed().as_secs_f64())
+}
+
+/// Diagnoses fault `fault`'s own clean responses and returns its ranked
+/// representative and the best-set tie count. A fault whose representative
+/// is itself with no ties is *uniquely diagnosable* — the right kind of
+/// fault to inject as ground truth, because every clean recurrence lands
+/// on the same cluster key.
+fn representative(
+    stored: &StoredDictionary,
+    matrix: &sdd_sim::ResponseMatrix,
+    fault: usize,
+) -> (usize, usize) {
+    use sdd_volume::shard::{diagnose_sharded, ShardObservation};
+    let responses: Vec<sdd_logic::MaskedBitVec> = (0..matrix.test_count())
+        .map(|t| sdd_logic::MaskedBitVec::from_known(matrix.response(t, matrix.class(t, fault))))
+        .collect();
+    let report = diagnose_sharded(&[(0, stored)], ShardObservation::Responses(&responses))
+        .expect("self-diagnosis");
+    (report.best.first().copied().unwrap_or(0), report.best.len())
+}
+
+/// Both injected faults classify systematic, and the top-ranked cluster is
+/// one of them.
+fn systematic_top(summary: &VolumeSummary, injected: &[usize]) -> bool {
+    let systematic = |fault: usize| {
+        summary
+            .clusters
+            .faults
+            .iter()
+            .any(|c| c.fault == fault && c.systematic)
+    };
+    injected.iter().all(|&f| systematic(f))
+        && summary
+            .clusters
+            .faults
+            .first()
+            .is_some_and(|top| injected.contains(&top.fault))
+}
+
+/// Runs the benchmark and renders the JSON report.
+fn run(circuit: &str, devices: usize, seed: u64, jobs: usize) -> String {
+    let jobs = jobs.max(1);
+    let exp = Experiment::iscas89(circuit, seed).unwrap_or_else(|| {
+        eprintln!("unknown circuit {circuit:?}");
+        std::process::exit(2);
+    });
+    let atpg = sdd_atpg::AtpgOptions {
+        seed,
+        ..Default::default()
+    };
+    let tests = exp.diagnostic_tests(&atpg);
+    let matrix = exp.simulate(&tests.tests);
+    let faults = matrix.fault_count();
+    let dictionary = sdd_core::SameDifferentDictionary::with_fault_free_baselines(&matrix);
+    let stored = StoredDictionary::SameDifferent(dictionary.clone());
+    // Per-fault cones make the cone clusters real (the `.sddm` path gets
+    // them from the manifest; a whole dictionary needs them supplied).
+    let cones = sdd_sim::OutputCones::compute(exp.circuit(), exp.view());
+    let fault_cones = cones.fault_cones(exp.universe(), exp.faults());
+    let source = WholeSource::new(StoredDictionary::SameDifferent(dictionary))
+        .with_cones(fault_cones)
+        .expect("cones cover every fault");
+
+    // Two uniquely-diagnosable systematic faults spread across the fault
+    // list, 20% of devices each; everything else is uniform random noise.
+    // Uniquely diagnosable matters: a fault whose clean diagnosis ties
+    // with an equivalent lower-indexed fault would cluster under *that*
+    // index, and the ground-truth claim would test the tiebreak, not the
+    // clustering.
+    let pick = |from: usize, taken: Option<usize>| -> usize {
+        (from..faults)
+            .chain(0..from)
+            .find(|&f| Some(f) != taken && representative(&stored, &matrix, f) == (f, 1))
+            .unwrap_or(from)
+    };
+    let first = pick(faults / 3, None);
+    let injected = [first, pick((2 * faults) / 3, Some(first))];
+    let spec = |mask_rate: f64, flip_rate: f64| SynthSpec {
+        devices,
+        systematic: injected.iter().map(|&f| (f, 0.2)).collect(),
+        mask_rate,
+        flip_rate,
+        jsonl_every: 5,
+        seed,
+    };
+
+    // Timing corpus at the default tester-noise point.
+    let (timing_mask, timing_flip) = SWEEP[1];
+    let mut corpus = Vec::new();
+    sdd_volume::synthesize(&matrix, &spec(timing_mask, timing_flip), &mut corpus)
+        .expect("synthesize corpus");
+
+    let options = |jobs| VolumeOptions {
+        jobs,
+        seed,
+        ..VolumeOptions::default()
+    };
+    let (serial_report, summary, serial_s) = pass(&source, &corpus, &options(1));
+    let (parallel_report, _, parallel_s) = pass(&source, &corpus, &options(jobs));
+    let identical = serial_report == parallel_report;
+
+    // Corruption sweep: same plan, progressively worse datalogs. The clean
+    // level carries the headline diagnostic claim; the corrupted levels
+    // record how the ranking survives (a single flipped bit can move a
+    // small circuit's best match, so they inform rather than gate).
+    let mut top = false;
+    let sweep: Vec<String> = SWEEP
+        .iter()
+        .map(|&(mask_rate, flip_rate)| {
+            let mut corpus = Vec::new();
+            sdd_volume::synthesize(&matrix, &spec(mask_rate, flip_rate), &mut corpus)
+                .expect("synthesize sweep corpus");
+            let (_, summary, _) = pass(&source, &corpus, &options(1));
+            let level_top = systematic_top(&summary, &injected);
+            if mask_rate == 0.0 && flip_rate == 0.0 {
+                top = level_top;
+            }
+            format!(
+                "{{\"mask_rate\":{mask_rate:.4},\"flip_rate\":{flip_rate:.4},\
+                 \"ok\":{},\"top\":{level_top}}}",
+                summary.ok,
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\"circuit\":\"{}\",\"seed\":{},\"devices\":{},\"faults\":{},\"tests\":{},\
+         \"jobs\":{},\"available_parallelism\":{},\"jobs_effective\":{},\
+         \"corpus_bytes\":{},\"serial_s\":{:.3},\"parallel_s\":{:.3},\
+         \"devices_per_s_jobs1\":{:.1},\"devices_per_s_jobsn\":{:.1},\"speedup\":{:.2},\
+         \"ok\":{},\"partial\":{},\"error\":{},\"skipped\":{},\
+         \"identical\":{},\"systematic_top\":{},\"sweep\":[{}]}}",
+        circuit,
+        seed,
+        devices,
+        faults,
+        matrix.test_count(),
+        jobs,
+        sdd_sim::available_jobs(),
+        jobs.min(sdd_sim::available_jobs()),
+        corpus.len(),
+        serial_s,
+        parallel_s,
+        devices as f64 / serial_s.max(1e-9),
+        devices as f64 / parallel_s.max(1e-9),
+        serial_s / parallel_s.max(1e-9),
+        summary.ok,
+        summary.partial,
+        summary.error,
+        summary.skipped,
+        identical,
+        top,
+        sweep.join(","),
+    )
+}
+
+/// Validates a previously written report: the file must exist, look like a
+/// single JSON object, carry every numeric key with a finite non-negative
+/// value, name a circuit, and claim `identical` and `systematic_top`.
+///
+/// The workspace has no JSON parser (and takes no dependencies), so this is
+/// a schema check by string scanning — exactly strong enough for CI to
+/// refuse an empty, truncated, or claim-failing report.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("unreadable: {err}"))?;
+    let body = text.trim();
+    if !(body.starts_with('{') && body.ends_with('}')) {
+        return Err("not a JSON object".to_owned());
+    }
+    for key in NUMERIC_KEYS {
+        let value = field(body, key).ok_or_else(|| format!("missing key {key:?}"))?;
+        let number: f64 = value
+            .parse()
+            .map_err(|_| format!("key {key:?} holds non-numeric {value:?}"))?;
+        if !number.is_finite() || number < 0.0 {
+            return Err(format!("key {key:?} holds invalid value {number}"));
+        }
+    }
+    match field(body, "circuit") {
+        Some(value) if value.starts_with('"') && value.len() > 2 => {}
+        _ => return Err("missing or empty key \"circuit\"".to_owned()),
+    }
+    for claim in ["identical", "systematic_top"] {
+        match field(body, claim) {
+            Some("true") => {}
+            Some(value) => return Err(format!("{claim:?} is {value}, expected true")),
+            None => return Err(format!("missing key {claim:?}")),
+        }
+    }
+    if !body.contains("\"sweep\":[{") {
+        return Err("missing or empty corruption sweep".to_owned());
+    }
+    Ok(())
+}
+
+/// Extracts the raw value text after `"key":` up to the next top-level
+/// delimiter. Sufficient for the flat head of the report this binary
+/// writes (every checked key appears before the nested `sweep` array).
+fn field<'t>(body: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let end = if let Some(tail) = rest.strip_prefix('"') {
+        // String value: spans up to and including the closing quote.
+        tail.find('"')? + 2
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
+}

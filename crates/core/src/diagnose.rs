@@ -533,7 +533,12 @@ pub fn two_phase_diagnose_masked(
 /// `diagnose_masked`); local fault positions are rebased by the offset and
 /// the rankings are k-way merged on `(mismatches, global fault)` — exactly
 /// the unsharded sort key, so for shards that tile the fault list the merged
-/// order equals the global stable sort. `fully_known` is whether the
+/// order equals the global stable sort. In particular, candidates from
+/// *different* shards with equal mismatches tie-break on global fault
+/// index, whatever order the shards appear in `shards`. A shard with an
+/// empty ranking (it matched nothing — e.g. it was filtered out upstream)
+/// contributes nothing and is otherwise ignored; only *all* shards being
+/// empty is an error. `fully_known` is whether the
 /// observation had no masked bits (a property of the observation, identical
 /// for every shard), and it re-derives the quality ladder the same way a
 /// single-dictionary diagnosis would: minimum mismatches of zero means
@@ -905,6 +910,43 @@ mod tests {
                 .unwrap();
                 assert_eq!(merged, whole, "cut at {cut}, observed {observed:?}");
             }
+        }
+    }
+
+    #[test]
+    fn merge_tolerates_an_empty_shard_among_nonempty_ones() {
+        let d = PassFailDictionary::build(&paper_example());
+        let observed = mv("0X");
+        let whole = d.diagnose_masked(&observed).unwrap();
+        let lo = match_signatures_masked(&d.signatures()[..2], &observed).unwrap();
+        let hi = match_signatures_masked(&d.signatures()[2..], &observed).unwrap();
+        // An empty middle shard (matched nothing) must not perturb the merge
+        // or trip the known-bits consistency check.
+        let merged = merge_shard_rankings(
+            &[(0, &lo.ranking[..]), (2, &[][..]), (2, &hi.ranking[..])],
+            observed.is_fully_known(),
+        )
+        .unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn cross_shard_ties_order_by_global_fault_index() {
+        // Two shards whose candidates all tie on mismatches; the merged
+        // ranking must interleave them in global fault order even when the
+        // shards are passed high-offset first.
+        let c = |fault, mismatches| ScoredCandidate::new(fault, mismatches, 4);
+        let lo = [c(0, 1), c(1, 1)];
+        let hi = [c(0, 1), c(1, 1)];
+        for shards in [
+            [(0usize, &lo[..]), (2, &hi[..])],
+            [(2, &hi[..]), (0, &lo[..])],
+        ] {
+            let merged = merge_shard_rankings(&shards, true).unwrap();
+            let order: Vec<usize> = merged.ranking.iter().map(|s| s.fault).collect();
+            assert_eq!(order, vec![0, 1, 2, 3]);
+            assert_eq!(merged.best, vec![0, 1, 2, 3]);
+            assert_eq!(merged.quality, MatchQuality::Ranked);
         }
     }
 

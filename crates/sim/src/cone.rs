@@ -99,6 +99,16 @@ impl OutputCones {
         self.net_cone(universe.site_net(id))
     }
 
+    /// [`fault_cone`](Self::fault_cone) for a whole fault list, index
+    /// aligned — the per-fault cone table volume diagnosis clusters
+    /// device verdicts with.
+    pub fn fault_cones(&self, universe: &FaultUniverse, faults: &[FaultId]) -> Vec<BitVec> {
+        faults
+            .iter()
+            .map(|&id| self.fault_cone(universe, id))
+            .collect()
+    }
+
     /// The lowest output position a fault can reach, or `m` for a fault
     /// that reaches none — the sort key cone partitioning groups by.
     fn lowest_output(&self, universe: &FaultUniverse, id: FaultId) -> usize {

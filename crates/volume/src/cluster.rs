@@ -1,0 +1,214 @@
+//! Defect clustering: turning many per-device verdicts into one corpus
+//! verdict.
+//!
+//! Systematic defects show up as the *same fault* — or at least the same
+//! output cone — recurring across die; random defects scatter. The
+//! [`Aggregator`] folds every diagnosed device's top candidate into two
+//! cluster families:
+//!
+//! - **fault clusters** — keyed by the device's top candidate fault (the
+//!   lowest-index fault among those tied at the minimum mismatch count,
+//!   the same deterministic tiebreak
+//!   [`sdd_core::diagnose::merge_shard_rankings`] documents);
+//! - **cone clusters** — keyed by the top candidate's output cone
+//!   (computed via `OutputCones` at build time and recorded per shard, or
+//!   supplied per fault), which groups distinct-but-co-located faults.
+//!
+//! Each cluster carries a recurrence count and a confidence-weighted score
+//! (the sum of the member devices' top-candidate confidences, accumulated
+//! in corpus order so the float total is deterministic). The
+//! classification rule: a cluster is **systematic** when its count reaches
+//! `max(2, ceil(threshold × diagnosed devices))`, else **random** — two
+//! sightings are never enough on a large corpus, and a single sighting is
+//! never systematic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdd_logic::BitVec;
+
+/// Fixed minimum recurrence for a systematic classification.
+pub const MIN_SYSTEMATIC_COUNT: usize = 2;
+
+/// Devices clustered on one candidate fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCluster {
+    /// Global fault index (position in the dictionary's fault list).
+    pub fault: usize,
+    /// Devices whose top candidate this fault is.
+    pub count: usize,
+    /// Sum of those devices' top-candidate confidences.
+    pub score: f64,
+    /// `count >= systematic_at`?
+    pub systematic: bool,
+}
+
+/// Devices clustered on one output cone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeCluster {
+    /// The cone as a `0`/`1` output bitmap string (output 0 first).
+    pub cone: String,
+    /// Devices whose top candidate lies in this cone.
+    pub count: usize,
+    /// Sum of those devices' top-candidate confidences.
+    pub score: f64,
+    /// The distinct member faults, ascending.
+    pub faults: Vec<usize>,
+    /// `count >= systematic_at`?
+    pub systematic: bool,
+}
+
+/// The classification threshold derived from a corpus.
+///
+/// `systematic_at = max(2, ceil(threshold * diagnosed))`.
+pub fn systematic_at(threshold: f64, diagnosed: usize) -> usize {
+    let frac = (threshold * diagnosed as f64).ceil();
+    // A non-finite or negative threshold cannot raise the floor.
+    let frac = if frac.is_finite() && frac > 0.0 {
+        frac as usize
+    } else {
+        0
+    };
+    frac.max(MIN_SYSTEMATIC_COUNT)
+}
+
+/// Streaming cluster accumulator: one [`add`](Aggregator::add) per
+/// diagnosed device, in corpus order, then [`finish`](Aggregator::finish).
+#[derive(Debug, Default)]
+pub struct Aggregator {
+    faults: BTreeMap<usize, (usize, f64)>,
+    cones: BTreeMap<String, (usize, f64, BTreeSet<usize>)>,
+}
+
+impl Aggregator {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one diagnosed device in: its top candidate `fault`, that
+    /// candidate's `confidence`, and the fault's output `cone` when known.
+    pub fn add(&mut self, fault: usize, confidence: f64, cone: Option<&BitVec>) {
+        let entry = self.faults.entry(fault).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += confidence;
+        if let Some(cone) = cone {
+            let entry = self
+                .cones
+                .entry(cone.to_string())
+                .or_insert_with(|| (0, 0.0, BTreeSet::new()));
+            entry.0 += 1;
+            entry.1 += confidence;
+            entry.2.insert(fault);
+        }
+    }
+
+    /// Ranks and classifies the clusters.
+    ///
+    /// Order is total and deterministic: count descending, then score
+    /// descending, then fault index (or cone string) ascending.
+    pub fn finish(self, threshold: f64, diagnosed: usize) -> Clusters {
+        let systematic_at = systematic_at(threshold, diagnosed);
+        let mut faults: Vec<FaultCluster> = self
+            .faults
+            .into_iter()
+            .map(|(fault, (count, score))| FaultCluster {
+                fault,
+                count,
+                score,
+                systematic: count >= systematic_at,
+            })
+            .collect();
+        faults.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(b.score.total_cmp(&a.score))
+                .then(a.fault.cmp(&b.fault))
+        });
+        let mut cones: Vec<ConeCluster> = self
+            .cones
+            .into_iter()
+            .map(|(cone, (count, score, members))| ConeCluster {
+                cone,
+                count,
+                score,
+                faults: members.into_iter().collect(),
+                systematic: count >= systematic_at,
+            })
+            .collect();
+        cones.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(b.score.total_cmp(&a.score))
+                .then(a.cone.cmp(&b.cone))
+        });
+        Clusters {
+            systematic_at,
+            faults,
+            cones,
+        }
+    }
+}
+
+/// The ranked, classified output of an [`Aggregator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clusters {
+    /// The recurrence count at or above which a cluster is systematic.
+    pub systematic_at: usize,
+    /// Fault clusters, most-recurrent first.
+    pub faults: Vec<FaultCluster>,
+    /// Cone clusters, most-recurrent first (empty without cone info).
+    pub cones: Vec<ConeCluster>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_rule_has_a_floor_of_two() {
+        assert_eq!(systematic_at(0.05, 0), 2);
+        assert_eq!(systematic_at(0.05, 10), 2);
+        assert_eq!(systematic_at(0.05, 100), 5);
+        assert_eq!(systematic_at(0.0, 1_000_000), 2);
+        assert_eq!(systematic_at(f64::NAN, 100), 2);
+    }
+
+    #[test]
+    fn clusters_rank_and_classify_deterministically() {
+        let cone_a: BitVec = "1100".parse().unwrap();
+        let cone_b: BitVec = "0011".parse().unwrap();
+        let mut agg = Aggregator::new();
+        // Fault 7 recurs 3×, faults 1 and 2 once each; 1 and 2 share cone B.
+        for confidence in [0.9, 0.8, 0.7] {
+            agg.add(7, confidence, Some(&cone_a));
+        }
+        agg.add(2, 0.6, Some(&cone_b));
+        agg.add(1, 0.6, Some(&cone_b));
+        let clusters = agg.finish(0.05, 5);
+        assert_eq!(clusters.systematic_at, 2);
+        let faults: Vec<(usize, usize, bool)> = clusters
+            .faults
+            .iter()
+            .map(|c| (c.fault, c.count, c.systematic))
+            .collect();
+        // Count 1 ties between faults 1 and 2 with equal scores: the fault
+        // index breaks the tie.
+        assert_eq!(faults, vec![(7, 3, true), (1, 1, false), (2, 1, false)]);
+        // Cone B clusters the two random-looking faults into one
+        // systematic signal: same cone recurring across die.
+        assert_eq!(clusters.cones[0].count, 3);
+        assert_eq!(clusters.cones[1].cone, "0011");
+        assert_eq!(clusters.cones[1].faults, vec![1, 2]);
+        assert!(clusters.cones[1].systematic);
+        assert!((clusters.faults[0].score - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_cones_the_cone_family_is_empty() {
+        let mut agg = Aggregator::new();
+        agg.add(3, 0.5, None);
+        let clusters = agg.finish(0.1, 1);
+        assert!(clusters.cones.is_empty());
+        assert_eq!(clusters.faults.len(), 1);
+    }
+}

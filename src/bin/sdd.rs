@@ -10,9 +10,18 @@
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
 //! sdd verify <dict.sddb|dict.sddm> [--quarantine]       checksum-scan an artifact
+//! sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N]
+//!            [--budget-ms MS] [--threshold F] [--report out.jsonl]
 //! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES]
 //!           [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [name=dict ...]
 //! ```
+//!
+//! `volume` streams a datalog corpus (one device observation per line, text
+//! or JSONL — see `sdd_volume::corpus`) through per-device diagnosis and
+//! defect clustering, writing a JSONL report (one record per device plus a
+//! final summary). The report bytes are identical for every `--jobs` value
+//! and identical to what the serve `VOLUME` verb streams for the same
+//! corpus.
 //!
 //! Test files hold one input pattern per line (`0`/`1` characters, one per
 //! view input: primary inputs then flip-flop pseudo-inputs). Observation
@@ -49,10 +58,11 @@ fn main() -> ExitCode {
         Some("inject") => cmd_inject(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("volume") => cmd_volume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
-                "usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|verify|serve> ..."
+                "usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|verify|volume|serve> ..."
             );
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
@@ -556,6 +566,133 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         report.bad_shards().count(),
         report.shards.len(),
     ))
+}
+
+fn cmd_volume(args: &[String]) -> Result<(), String> {
+    use same_different::volume;
+    use std::io::BufRead;
+
+    let mut corpus = None;
+    let mut jobs = None;
+    let mut seed = None;
+    let mut budget_ms = None;
+    let mut threshold = None;
+    let mut report = None;
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--corpus", &mut corpus),
+            ("--jobs", &mut jobs),
+            ("--seed", &mut seed),
+            ("--budget-ms", &mut budget_ms),
+            ("--threshold", &mut threshold),
+            ("--report", &mut report),
+        ],
+    )?;
+    let [dict_path] = positional.as_slice() else {
+        return Err(
+            "usage: sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N] \
+             [--budget-ms MS] [--threshold F] [--report out.jsonl]"
+                .into(),
+        );
+    };
+    let mut options = volume::VolumeOptions {
+        jobs: jobs.map_or(Ok(same_different::sim::available_jobs()), |s| {
+            s.parse().map_err(|_| "bad --jobs")
+        })?,
+        ..volume::VolumeOptions::default()
+    };
+    if let Some(seed) = seed {
+        options.seed = seed.parse().map_err(|_| "bad --seed")?;
+    }
+    if let Some(ms) = budget_ms {
+        let ms: u64 = ms.parse().map_err(|_| "bad --budget-ms")?;
+        options.budget =
+            same_different::dict::Budget::deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(t) = threshold {
+        options.threshold = t.parse().map_err(|_| "bad --threshold")?;
+    }
+
+    // Sniffed by magic number, like every other dictionary consumer: a
+    // shard manifest preloads its whole shard set (per-shard failures
+    // degrade device records, only a bad manifest is fatal); anything else
+    // loads as one whole dictionary.
+    let bytes =
+        same_different::store::read_dictionary_file(dict_path).map_err(|e| e.to_string())?;
+    let source: Box<dyn volume::ShardSource> = if same_different::store::is_manifest(&bytes) {
+        Box::new(volume::PreloadedShards::open(dict_path).map_err(|e| e.to_string())?)
+    } else {
+        let dictionary = if same_different::store::is_binary(&bytes) {
+            same_different::store::decode(&bytes)
+        } else {
+            same_different::store::read_same_different_auto(&bytes)
+                .map(same_different::store::StoredDictionary::SameDifferent)
+        }
+        .map_err(|e| e.to_string())?;
+        Box::new(volume::WholeSource::new(dictionary))
+    };
+
+    let corpus = corpus.unwrap_or_else(|| "-".to_owned());
+    let reader: Box<dyn BufRead> = if corpus == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(std::io::BufReader::new(
+            fs::File::open(&corpus).map_err(|e| format!("{corpus}: {e}"))?,
+        ))
+    };
+    let mut lines = reader.lines();
+
+    let summary = match report {
+        Some(path) => {
+            // The report commits atomically: a run killed mid-corpus leaves
+            // any previous report intact, never a torn one.
+            let staged =
+                same_different::store::AtomicFile::create(&path).map_err(|e| e.to_string())?;
+            let mut writer = std::io::BufWriter::new(staged);
+            let summary = volume::run(
+                source.as_ref(),
+                &mut lines,
+                &mut volume::JsonlSink(&mut writer),
+                &options,
+            )
+            .map_err(|e| format!("{path}: {e}"))?;
+            std::io::Write::flush(&mut writer).map_err(|e| format!("{path}: {e}"))?;
+            writer
+                .into_inner()
+                .map_err(|e| format!("{path}: {e}"))?
+                .commit()
+                .map_err(|e| e.to_string())?;
+            summary
+        }
+        None => {
+            let stdout = std::io::stdout();
+            volume::run(
+                source.as_ref(),
+                &mut lines,
+                &mut volume::JsonlSink(&mut stdout.lock()),
+                &options,
+            )
+            .map_err(|e| format!("stdout: {e}"))?
+        }
+    };
+    let systematic = summary
+        .clusters
+        .faults
+        .iter()
+        .filter(|c| c.systematic)
+        .count();
+    eprintln!(
+        "volume: {} devices ({} ok, {} partial, {} error), {} skipped; \
+         {systematic} systematic fault cluster(s) at floor {}",
+        summary.devices,
+        summary.ok,
+        summary.partial,
+        summary.error,
+        summary.skipped,
+        summary.clusters.systematic_at,
+    );
+    Ok(())
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of 1024).

@@ -21,6 +21,7 @@
 //! | test generation | `sdd-atpg` | [`atpg`] |
 //! | dictionaries | `sdd-core` | [`dict`] |
 //! | binary persistence | `sdd-store` | [`store`] |
+//! | volume diagnosis | `sdd-volume` | [`volume`] |
 //! | diagnosis service | this crate | [`serve`] |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use sdd_logic as logic;
 pub use sdd_netlist as netlist;
 pub use sdd_sim as sim;
 pub use sdd_store as store;
+pub use sdd_volume as volume;
 
 pub mod serve;
 pub mod shard;

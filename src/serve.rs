@@ -11,6 +11,13 @@
 //! DIAG <name> <obs>         diagnose one observation against <name>
 //! BATCH <name> <obs>...     diagnose many; replies `OK BATCH <count>`
 //!                           then one result line per observation
+//! VOLUME <name> <lines> [seed=N] [threshold=F] [budget_ms=N]
+//!                           volume diagnosis: the client streams <lines>
+//!                           corpus lines (text or JSONL, see
+//!                           `sdd_volume::corpus`) right after the request;
+//!                           the server replies `OK VOLUME <lines>`, one
+//!                           verdict-prefixed JSON record per corpus
+//!                           record, then `OK SUMMARY <json>`
 //! STATS                     registry and traffic counters
 //! QUIT                      close this connection
 //! SHUTDOWN                  drain in-flight requests and stop the server
@@ -75,7 +82,10 @@ use std::time::{Duration, Instant};
 use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
 use sdd_core::Budget;
 use sdd_logic::{BitVec, MaskedBitVec, SddError};
-use sdd_store::{ShardedReader, StoredDictionary};
+use sdd_store::{DictionaryKind, ShardedReader, StoredDictionary};
+use sdd_volume::{
+    error_token, quality_name, FetchError, ShardSource, VolumeOptions, WholeSource, WireSink,
+};
 
 use crate::shard::{self, ShardObservation};
 
@@ -715,7 +725,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scra
                 // cleared at the start of every parse, so reusing them
                 // after a panic is safe.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    respond(&request, shared, scratch, &mut writer, &clock)
+                    respond(&request, shared, scratch, &mut reader, &mut writer, &clock)
                 }));
                 match outcome {
                     Ok(Ok(ConnectionFate::Keep)) => {}
@@ -766,11 +776,13 @@ enum ConnectionFate {
 }
 
 /// Parses one request line, writes the reply line(s), and says whether the
-/// connection stays open.
+/// connection stays open. `VOLUME` is the one verb that also *reads*: its
+/// corpus lines stream in on `reader` right behind the request line.
 fn respond(
     request: &str,
     shared: &Arc<Shared>,
     scratch: &mut Scratch,
+    reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     clock: &RequestClock,
 ) -> io::Result<ConnectionFate> {
@@ -820,6 +832,7 @@ fn respond(
             }
             None => writeln!(writer, "{}", err_reply("usage: BATCH <dict> <obs>..."))?,
         },
+        "VOLUME" => volume_reply(&mut tokens, shared, reader, writer)?,
         "STATS" => {
             let stats = shared.registry.stats();
             let mut reply = format!(
@@ -982,23 +995,6 @@ fn cone_intersects(a: &BitVec, b: &BitVec) -> bool {
     a.as_words().zip(b.as_words()).any(|(x, y)| x & y != 0)
 }
 
-/// One-word reason token for a `degraded=` list entry.
-fn error_token(error: &SddError) -> &'static str {
-    match error {
-        SddError::Io { .. } => "io",
-        SddError::ChecksumMismatch { .. } => "checksum",
-        SddError::Truncated { .. } => "truncated",
-        SddError::UnsupportedVersion { .. } => "version",
-        SddError::Invalid { .. } => "invalid",
-        SddError::Empty { .. } => "empty",
-        SddError::Parse { .. } => "parse",
-        SddError::WidthMismatch { .. } => "width",
-        SddError::CountMismatch { .. } => "count",
-        // `SddError` is non-exhaustive; any future variant is still an error.
-        _ => "error",
-    }
-}
-
 /// The typed failure when *no* shard of a sharded dictionary could serve a
 /// request — degradation has nothing left to degrade to.
 fn all_shards_failed(count: usize, last: Option<SddError>) -> SddError {
@@ -1130,6 +1126,211 @@ fn diagnose_sharded_reply(
     ))
 }
 
+/// Corpus lines of an in-flight `VOLUME` request, pulled from the
+/// connection under the same poll/idle discipline as request lines: a
+/// partial line stays buffered across poll ticks, a shutdown or stall
+/// mid-corpus surfaces as a transport error — which aborts the request and
+/// the connection, never wedges the worker.
+struct WireLines<'a> {
+    reader: &'a mut BufReader<TcpStream>,
+    shared: &'a Shared,
+    remaining: usize,
+    line: String,
+    last_line: Instant,
+}
+
+impl<'a> WireLines<'a> {
+    fn new(reader: &'a mut BufReader<TcpStream>, shared: &'a Shared, count: usize) -> Self {
+        Self {
+            reader,
+            shared,
+            remaining: count,
+            line: String::new(),
+            last_line: Instant::now(),
+        }
+    }
+}
+
+impl Iterator for WireLines<'_> {
+    type Item = io::Result<String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                return Some(Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "server shutting down mid-corpus",
+                )));
+            }
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    return Some(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "client closed mid-corpus",
+                    )))
+                }
+                Ok(_) => {
+                    self.remaining -= 1;
+                    self.last_line = Instant::now();
+                    let text = self.line.trim_end_matches(['\r', '\n']).to_owned();
+                    self.line.clear();
+                    return Some(Ok(text));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Poll tick; any partial line stays buffered in `line`.
+                    if self.last_line.elapsed() >= self.shared.limits.idle_timeout {
+                        return Some(Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "idle timeout mid-corpus",
+                        )));
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// The serve-side [`ShardSource`]: shards fetch lazily through the LRU
+/// registry, so a warm shard costs a registry hit and a cold one loads
+/// (and may evict elsewhere) — exactly the `DIAG` economics, applied per
+/// device. Cones come from the manifest's per-shard records.
+struct RegistrySource<'a> {
+    name: &'a str,
+    reader: Arc<ShardedReader>,
+    shared: &'a Arc<Shared>,
+}
+
+impl ShardSource for RegistrySource<'_> {
+    fn kind(&self) -> DictionaryKind {
+        self.reader.manifest().kind
+    }
+    fn tests(&self) -> usize {
+        self.reader.manifest().tests
+    }
+    fn outputs(&self) -> usize {
+        self.reader.manifest().outputs
+    }
+    fn fault_count(&self) -> usize {
+        self.reader.manifest().faults
+    }
+    fn shard_count(&self) -> usize {
+        self.reader.shard_count()
+    }
+    fn fault_start(&self, shard: usize) -> usize {
+        self.reader.manifest().shards[shard].fault_start
+    }
+    fn fetch(&self, shard: usize) -> Result<Arc<StoredDictionary>, FetchError> {
+        fetch_shard(self.name, &self.reader, shard, self.shared).map_err(|e| FetchError::from(&e))
+    }
+    fn resident(&self, shard: usize) -> Option<Arc<StoredDictionary>> {
+        self.shared.registry.resident_shard(self.name, shard)
+    }
+    fn fault_cone(&self, fault: usize) -> Option<&BitVec> {
+        let shards = &self.reader.manifest().shards;
+        // Shards tile the fault list in ascending order: the owning shard
+        // is the last one starting at or before `fault`.
+        let index = shards
+            .partition_point(|s| s.fault_start <= fault)
+            .checked_sub(1)?;
+        Some(&shards[index].cone)
+    }
+}
+
+/// Serves one `VOLUME` request: reads the counted corpus lines off the
+/// connection and streams them through [`sdd_volume::run`] against the
+/// named dictionary. The reply is `OK VOLUME <lines>`, one
+/// verdict-prefixed JSON record per corpus record, then
+/// `OK SUMMARY <json>` — stripping the verdict tokens recovers the exact
+/// JSONL report the `sdd volume` CLI writes for the same corpus.
+///
+/// A request that fails *after* the count is known (unknown dictionary,
+/// bad option) still drains its corpus lines before the `ERR` reply, so
+/// the line protocol stays in sync for the next request.
+fn volume_reply(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    shared: &Arc<Shared>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) -> io::Result<()> {
+    const USAGE: &str = "usage: VOLUME <dict> <lines> [seed=N] [threshold=F] [budget_ms=N]";
+    let (name, count) = match (tokens.next(), tokens.next().map(str::parse::<usize>)) {
+        (Some(name), Some(Ok(count))) => (name, count),
+        _ => return writeln!(writer, "{}", err_reply(USAGE)),
+    };
+    // Drains the already-promised corpus lines, then reports the failure.
+    let drain = |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, reply: String| {
+        for line in WireLines::new(reader, shared, count) {
+            line?;
+        }
+        writeln!(writer, "{reply}")
+    };
+    // The per-device budget (not per-request: a corpus is long-running by
+    // design) defaults to the configured request deadline.
+    let mut options = VolumeOptions {
+        budget: shared
+            .limits
+            .request_deadline
+            .map_or_else(Budget::unlimited, Budget::deadline),
+        ..VolumeOptions::default()
+    };
+    for token in tokens {
+        let value = match token.split_once('=') {
+            Some(("seed", v)) => v.parse().map(|seed| options.seed = seed).ok(),
+            Some(("threshold", v)) => v.parse().map(|t| options.threshold = t).ok(),
+            Some(("budget_ms", v)) => v
+                .parse()
+                .map(|ms| options.budget = Budget::deadline(Duration::from_millis(ms)))
+                .ok(),
+            _ => None,
+        };
+        if value.is_none() {
+            return drain(reader, writer, err_reply(&format!("bad option {token:?}")));
+        }
+    }
+    let source: Box<dyn ShardSource + '_> = match shared.registry.get(name) {
+        Fetched::Whole(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+        Fetched::Sharded(shard_reader) => Box::new(RegistrySource {
+            name,
+            reader: shard_reader,
+            shared,
+        }),
+        Fetched::Missing => {
+            return drain(
+                reader,
+                writer,
+                err_reply(&format!("no dictionary loaded as {name:?}")),
+            )
+        }
+    };
+    writeln!(writer, "OK VOLUME {count}")?;
+    let mut lines = WireLines::new(reader, shared, count);
+    let mut buffered = io::BufWriter::new(&mut *writer);
+    let summary = sdd_volume::run(
+        source.as_ref(),
+        &mut lines,
+        &mut WireSink(&mut buffered),
+        &options,
+    )?;
+    buffered.flush()?;
+    drop(buffered);
+    shared
+        .diagnoses
+        .fetch_add(summary.devices as u64, Ordering::Relaxed);
+    shared
+        .partial
+        .fetch_add(summary.partial as u64, Ordering::Relaxed);
+    Ok(())
+}
+
 /// Routes one observation through the masked-diagnosis ladder of the named
 /// dictionary kind, reusing the worker's scratch buffers.
 fn diagnose(
@@ -1166,14 +1367,6 @@ fn parse_responses(obs: &str, responses: &mut Vec<MaskedBitVec>) -> Result<(), S
         responses.push(token.parse()?);
     }
     Ok(())
-}
-
-fn quality_name(quality: MatchQuality) -> &'static str {
-    match quality {
-        MatchQuality::Exact => "exact",
-        MatchQuality::ConsistentUnderMask => "consistent",
-        MatchQuality::Ranked => "ranked",
-    }
 }
 
 /// Formats the shared field tail of a diagnosis reply:
@@ -1265,6 +1458,50 @@ impl Client {
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, head.clone()))?;
         (0..count).map(|_| self.receive()).collect()
+    }
+
+    /// Streams `corpus` through the serve `VOLUME` verb and returns the
+    /// reply lines: one verdict-prefixed JSON record per corpus record,
+    /// closed by the `OK SUMMARY <json>` line (always the last element).
+    /// `options` is the raw option tail (e.g. `"seed=7 threshold=0.05"`),
+    /// or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a non-`OK VOLUME` header comes back as
+    /// [`io::ErrorKind::InvalidData`] carrying the server's reply.
+    pub fn volume(
+        &mut self,
+        dictionary: &str,
+        corpus: &[&str],
+        options: &str,
+    ) -> io::Result<Vec<String>> {
+        let mut payload = format!("VOLUME {dictionary} {}", corpus.len());
+        if !options.is_empty() {
+            payload.push(' ');
+            payload.push_str(options);
+        }
+        payload.push('\n');
+        for line in corpus {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        let stream = self.reader.get_mut();
+        stream.write_all(payload.as_bytes())?;
+        stream.flush()?;
+        let head = self.receive()?;
+        if head.strip_prefix("OK VOLUME ").is_none() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, head));
+        }
+        let mut lines = Vec::new();
+        loop {
+            let line = self.receive()?;
+            let done = line.starts_with("OK SUMMARY ");
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
     }
 }
 

@@ -1,0 +1,140 @@
+//! End-to-end corrupted-corpus resilience: a datalog corpus with every
+//! corruption class interleaved between healthy records must skip exactly
+//! the bad lines — each counted under its reason token — while the
+//! surviving devices' records and the final clusters come out identical to
+//! a clean run of the same corpus.
+
+use same_different::dict::SameDifferentDictionary;
+use same_different::store::StoredDictionary;
+use same_different::volume::{
+    self, JsonlSink, SynthSpec, VolumeOptions, VolumeSummary, WholeSource,
+};
+use same_different::Experiment;
+
+/// The c17 fixture: a whole same/different source, the simulated response
+/// matrix's shape, and a clean 12-device corpus mixing both line shapes.
+fn fixture() -> (WholeSource, usize, usize, String) {
+    let exp = Experiment::new(same_different::netlist::library::c17());
+    let tests = exp.diagnostic_tests(&Default::default()).tests;
+    let matrix = exp.simulate(&tests);
+    let sd = SameDifferentDictionary::with_fault_free_baselines(&matrix);
+    let source = WholeSource::new(StoredDictionary::SameDifferent(sd));
+    let spec = SynthSpec {
+        devices: 12,
+        systematic: Vec::new(),
+        mask_rate: 0.0,
+        flip_rate: 0.0,
+        jsonl_every: 3,
+        seed: 9,
+    };
+    let mut corpus = Vec::new();
+    volume::synthesize(&matrix, &spec, &mut corpus).unwrap();
+    (
+        source,
+        matrix.test_count(),
+        matrix.output_count(),
+        String::from_utf8(corpus).unwrap(),
+    )
+}
+
+fn run_report(source: &WholeSource, corpus: &str) -> (String, VolumeSummary) {
+    let mut lines = corpus.lines().map(|l| Ok(l.to_owned()));
+    let mut out = Vec::new();
+    let summary = volume::run(
+        source,
+        &mut lines,
+        &mut JsonlSink(&mut out),
+        &VolumeOptions::default(),
+    )
+    .unwrap();
+    (String::from_utf8(out).unwrap(), summary)
+}
+
+/// A device record's line-number-independent body (`"line":N` shifts when
+/// garbage lines are interleaved; everything after it must not).
+fn body(record: &str) -> &str {
+    let at = record
+        .find(",\"device\"")
+        .expect("record has a device field");
+    &record[at..]
+}
+
+#[test]
+fn corruption_matrix_skips_bad_lines_and_leaves_neighbors_untouched() {
+    let (source, tests, outputs, clean) = fixture();
+    let (clean_report, clean_summary) = run_report(&source, &clean);
+    assert_eq!(clean_summary.ok, 12);
+    assert_eq!(clean_summary.skipped, 0);
+
+    // One line per corruption class, interleaved between healthy records:
+    // a truncated record, a mangled device id, a wrong response width, a
+    // wrong response count, mid-file garbage, and a JSONL line missing its
+    // fields.
+    let narrow = vec!["0"; tests].join("/");
+    let extra = vec!["0".repeat(outputs); tests + 1].join("/");
+    let bad = [
+        ("dev-truncated".to_owned(), "truncated"),
+        ("dev!? 00/00".to_owned(), "bad-device-id"),
+        (format!("dev-width {narrow}"), "width"),
+        (format!("dev-count {extra}"), "count"),
+        ("%%% ??? ###".to_owned(), "bad-observation"),
+        ("{\"device\":\"dev-json\"}".to_owned(), "bad-json"),
+    ];
+    let mut corrupted = String::new();
+    for (index, line) in clean.lines().enumerate() {
+        if let Some((bad_line, _)) = bad.get(index) {
+            corrupted.push_str(bad_line);
+            corrupted.push('\n');
+        }
+        corrupted.push_str(line);
+        corrupted.push('\n');
+    }
+    let (report, summary) = run_report(&source, &corrupted);
+
+    // Every bad line is counted under exactly its reason token.
+    assert_eq!(summary.skipped, bad.len());
+    for (_, token) in &bad {
+        assert_eq!(
+            summary.skip_reasons.get(token),
+            Some(&1),
+            "skip reason {token:?}"
+        );
+    }
+    assert_eq!(report.matches("\"status\":\"skipped\"").count(), bad.len());
+
+    // The healthy devices are untouched: same counts, and every clean
+    // record's body reappears verbatim (only the line number may shift).
+    assert_eq!(summary.ok, clean_summary.ok);
+    assert_eq!(summary.error, 0);
+    for record in clean_report
+        .lines()
+        .filter(|l| l.contains("\"status\":\"ok\""))
+    {
+        let expected = body(record);
+        assert!(
+            report.lines().any(|l| l.ends_with(expected)),
+            "clean record lost after corruption: {expected}"
+        );
+    }
+    // And the clusters — the output that volume diagnosis exists for —
+    // are byte-for-byte the clean ones.
+    assert_eq!(summary.clusters, clean_summary.clusters);
+}
+
+#[test]
+fn an_all_garbage_corpus_degrades_to_counters_not_a_crash() {
+    let (source, _, _, _) = fixture();
+    let corpus = "!!\n{\"nope\":1}\ndev-1\ndev-2 QQ/QQ\n# comment\n\n";
+    let (report, summary) = run_report(&source, corpus);
+    assert_eq!(summary.devices, 0);
+    assert_eq!(summary.skipped, 4);
+    assert_eq!(summary.ignored, 2);
+    assert!(summary.clusters.faults.is_empty());
+    // The summary line still closes the report.
+    assert!(report
+        .trim_end()
+        .lines()
+        .last()
+        .unwrap()
+        .starts_with("{\"summary\":"));
+}
