@@ -35,7 +35,7 @@ step "volume smoke (CLI vs served VOLUME, corrupted-corpus resilience)"
 # corruption matrix end to end.
 cargo test --offline --release -q --test volume_smoke --test volume_corpus
 
-step "chaos smoke (8 injected failure classes against a live server, JSON)"
+step "chaos smoke (9 injected failure classes against a live server, JSON)"
 # Fixed seed + small circuit keeps this a seconds-long gate; the driver
 # exits nonzero if any well-formed request fails to come back
 # OK/PARTIAL/BUSY/ERR, a verdict is wrong, or the server wedges (watchdog).
@@ -57,6 +57,14 @@ step "volume bench (devices/s serial vs parallel + corruption sweep, JSON)"
 cargo run --offline --release -p sdd-bench --bin volume_bench -- \
     --circuit s298 --devices 300 --jobs 4 --out BENCH_volume.json
 cargo run --offline --release -p sdd-bench --bin volume_bench -- --check BENCH_volume.json
+
+step "serve bench (pipelined DIAG throughput, threaded vs reactor, JSON)"
+# BENCH_serve.json tracks the transport trajectory: req/s and p50/p99 per
+# backend at three concurrency levels. The gate checks shape and sanity
+# (both backends where supported, positive throughput, p99 >= p50) — which
+# backend wins is host-dependent and recorded, not gated.
+cargo run --offline --release -p sdd-bench --bin serve_bench -- --out BENCH_serve.json
+cargo run --offline --release -p sdd-bench --bin serve_bench -- --check BENCH_serve.json
 
 step "cargo fmt --check"
 if ! cargo fmt --version >/dev/null 2>&1; then

@@ -24,6 +24,9 @@
 //!    `ERR` reply on a connection that keeps working.
 //! 8. **VOLUME mid-stream disconnect** — a client that promises a corpus
 //!    and vanishes mid-stream kills its own connection, not the worker.
+//! 9. **Pipeline burst disconnect** — a client writes a burst of pipelined
+//!    requests in one send, reads only the first replies, and vanishes;
+//!    the queued remainder must be reclaimed without wedging a worker.
 //!
 //! Every well-formed request must come back `OK`, `PARTIAL`, `BUSY`, or
 //! `ERR`; the server must never hang (a watchdog thread aborts the run at
@@ -285,6 +288,7 @@ impl Harness {
         self.phase_mid_request_disconnect();
         self.phase_handler_panic();
         self.phase_volume_disconnect();
+        self.phase_pipeline_disconnect(&baseline);
     }
 
     /// Loads both artifacts and records the healthy replies — whole and
@@ -620,6 +624,44 @@ impl Harness {
         self.probe("volume: workers survive mid-stream disconnects");
     }
 
+    /// Failure class 9: pipelined bursts cut off mid-reply. A healthy
+    /// client first proves a one-send burst answers in order; then clients
+    /// burst a backlog, read only the first replies, and vanish — the
+    /// server is left holding queued requests and undeliverable replies
+    /// for a dead socket, and must reclaim it all without wedging.
+    fn phase_pipeline_disconnect(&mut self, baseline: &[String]) {
+        eprintln!("chaos: phase pipeline-disconnect");
+        let obs = self.observations[3].clone();
+        // Healthy pipelining first: 8 requests in one send, 8 in-order
+        // replies, each byte-identical to the sequential baseline.
+        let burst = format!("DIAG whole {obs}\n").repeat(8);
+        let mut conn = self.connect();
+        conn.send_raw(burst.as_bytes())
+            .expect("send pipeline burst");
+        for index in 0..8 {
+            let reply = conn.read_line().unwrap_or_else(|e| format!("ERR {e}"));
+            self.check(
+                reply == baseline[3],
+                &format!("pipeline: in-order reply {index}"),
+                &reply,
+            );
+        }
+        drop(conn);
+        // Now the vanishing clients: 16 requests bursted, 2 replies read,
+        // connection dropped with the rest queued or in flight.
+        for _ in 0..3 {
+            let burst = format!("DIAG whole {obs}\n").repeat(16);
+            let mut conn = self.connect();
+            conn.send_raw(burst.as_bytes())
+                .expect("send pipeline burst");
+            for _ in 0..2 {
+                let _ = conn.read_line();
+            }
+            drop(conn); // gone with 14 replies still owed
+        }
+        self.probe("pipeline: server reclaims abandoned bursts");
+    }
+
     /// Final accounting, graceful shutdown, and the JSON summary.
     fn finish(&mut self, elapsed: Duration) -> usize {
         let mut conn = self.connect();
@@ -653,7 +695,7 @@ impl Harness {
 
         let failed = self.failures.len();
         println!(
-            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":8,\"checks\":{},\"failed\":{},\
+            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":9,\"checks\":{},\"failed\":{},\
              \"busy\":{},\"partial\":{},\"elapsed_ms\":{}}}",
             self.circuit,
             self.seed,
@@ -668,7 +710,7 @@ impl Harness {
         }
         if failed == 0 {
             eprintln!(
-                "chaos: all {} checks passed across 8 failure classes in {elapsed:?}",
+                "chaos: all {} checks passed across 9 failure classes in {elapsed:?}",
                 self.checks
             );
         }

@@ -13,7 +13,8 @@
 //! sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N]
 //!            [--budget-ms MS] [--threshold F] [--report out.jsonl]
 //! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES]
-//!           [--max-conns N] [--deadline-ms MS] [--idle-ms MS] [name=dict ...]
+//!           [--max-conns N] [--deadline-ms MS] [--idle-ms MS]
+//!           [--backend auto|threaded|reactor] [name=dict ...]
 //! ```
 //!
 //! `volume` streams a datalog corpus (one device observation per line, text
@@ -723,6 +724,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut max_conns = None;
     let mut deadline_ms = None;
     let mut idle_ms = None;
+    let mut backend = None;
     let positional = parse_flags(
         args,
         &mut [
@@ -732,6 +734,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ("--max-conns", &mut max_conns),
             ("--deadline-ms", &mut deadline_ms),
             ("--idle-ms", &mut idle_ms),
+            ("--backend", &mut backend),
         ],
     )?;
     let mut config = same_different::serve::ServeConfig::default();
@@ -757,6 +760,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = idle_ms {
         let ms: u64 = ms.parse().map_err(|_| "bad --idle-ms")?;
         config.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(token) = backend {
+        config.backend =
+            same_different::serve::ServeBackend::parse(&token).map_err(|e| e.to_string())?;
     }
     let handle = same_different::serve::serve(&config).map_err(|e| e.to_string())?;
     // Preload `name=path` dictionaries through the protocol itself, so the

@@ -64,11 +64,38 @@
 //!   just another form of masked evidence).
 //! * `ERR` — a typed per-request failure (bad syntax, unknown dictionary,
 //!   shape mismatch, every shard unavailable). The connection stays open.
-//! * A stalled client is bounded, not trusted: reads poll under
-//!   [`POLL_INTERVAL`], a connection with no complete request within
-//!   [`ServeConfig::idle_timeout`] is closed (slow-loris cutoff), and
-//!   writes carry [`ServeConfig::write_timeout`] — a write that times out
-//!   is connection death, never a wedged worker.
+//! * A stalled client is bounded, not trusted: a connection with no
+//!   complete request within [`ServeConfig::idle_timeout`] is closed
+//!   (slow-loris cutoff), and a write stalled past
+//!   [`ServeConfig::write_timeout`] is connection death, never a wedged
+//!   worker.
+//!
+//! # Transport backends
+//!
+//! Two interchangeable transports serve the identical protocol, selected by
+//! [`ServeConfig::backend`]:
+//!
+//! * [`ServeBackend::Reactor`] (the default on Linux via
+//!   [`ServeBackend::Auto`]) — one event-driven readiness loop
+//!   ([`crate::reactor`]) owns every socket: accept, read, write, and the
+//!   idle/write-stall timers. Complete request lines are handed to the
+//!   worker pool over an SPMC queue; workers execute the CPU-bound
+//!   diagnosis and push reply bytes to per-connection outbound buffers the
+//!   reactor drains on writability. Clients may **pipeline**: many requests
+//!   written in one burst are answered in order, byte-identical to issuing
+//!   them sequentially. A connection whose outbound buffer passes the
+//!   high-water mark stops being read until it drains (write
+//!   backpressure), so a slow reader can never balloon server memory.
+//! * [`ServeBackend::Threaded`] — the portable fallback: each worker owns
+//!   one connection at a time and blocks on it, polling under
+//!   [`POLL_INTERVAL`] to honor shutdown and idle limits. It serves the
+//!   same byte-for-byte protocol (pipelined bursts included — the kernel
+//!   socket buffer holds them) and runs everywhere.
+//!
+//! `STATS` reports which backend is live (`backend=`) plus the reactor
+//! traffic counters (`accepted=`, `wakeups=`, `backpressure_stalls=`,
+//! `pipelined=`); the threaded backend reports zeros for those so parsers
+//! stay uniform.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -88,6 +115,38 @@ use sdd_volume::{
 };
 
 use crate::shard::{self, ShardObservation};
+
+/// Which transport drives the sockets (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeBackend {
+    /// The epoll reactor where supported ([`crate::reactor::supported`]),
+    /// else the threaded transport. The right choice almost always.
+    #[default]
+    Auto,
+    /// Force the portable blocking worker-pool transport.
+    Threaded,
+    /// Force the epoll reactor; [`serve`] fails with a typed error on
+    /// platforms without it.
+    Reactor,
+}
+
+impl ServeBackend {
+    /// Parses the `--backend` CLI token.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Invalid`] for anything but `auto`/`threaded`/`reactor`.
+    pub fn parse(token: &str) -> Result<Self, SddError> {
+        match token.to_ascii_lowercase().as_str() {
+            "auto" => Ok(Self::Auto),
+            "threaded" => Ok(Self::Threaded),
+            "reactor" => Ok(Self::Reactor),
+            other => Err(SddError::invalid(format!(
+                "unknown serve backend {other:?} (expected auto, threaded, or reactor)"
+            ))),
+        }
+    }
+}
 
 /// How the server is bound and provisioned.
 #[derive(Debug, Clone)]
@@ -114,6 +173,8 @@ pub struct ServeConfig {
     /// remaining `BATCH` items answer `ERR deadline`. `None` means
     /// unbounded.
     pub request_deadline: Option<Duration>,
+    /// Which transport drives the sockets (see the module docs).
+    pub backend: ServeBackend,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +187,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(600),
             request_deadline: None,
+            backend: ServeBackend::Auto,
         }
     }
 }
@@ -133,7 +195,10 @@ impl Default for ServeConfig {
 /// How many ranked candidates a `DIAG` reply includes in its `top=` field.
 const TOP_CANDIDATES: usize = 5;
 
-/// Read timeout used to re-check the shutdown flag on idle connections.
+/// Read timeout the **threaded** backend uses to re-check the shutdown flag
+/// on idle connections. The reactor backend has no poll tick at all —
+/// shutdown, idle cutoffs, and write stalls are epoll wakeups with computed
+/// deadlines.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// One loaded dictionary — whole, or a lazily-populated shard set.
@@ -461,44 +526,58 @@ struct ShardStat {
     bytes: usize,
 }
 
-/// State shared by the acceptor and every worker.
-struct Shared {
+/// State shared by the transport (acceptor or reactor) and every worker.
+pub(crate) struct Shared {
     registry: Registry,
-    shutting_down: AtomicBool,
-    requests: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) requests: AtomicU64,
     diagnoses: AtomicU64,
     /// Connections refused with `OK BUSY` under overload.
     busy: AtomicU64,
     /// Sharded diagnoses answered with a degraded `PARTIAL` verdict.
     partial: AtomicU64,
     /// Connections currently admitted (queued or in a worker).
-    active: AtomicUsize,
+    pub(crate) active: AtomicUsize,
+    /// Connections accepted by the reactor (threaded reports zero).
+    pub(crate) accepted: AtomicU64,
+    /// Reactor `epoll_wait` returns (threaded reports zero).
+    pub(crate) wakeups: AtomicU64,
+    /// Transitions into write backpressure — a connection whose outbound
+    /// buffer crossed the high-water mark and stopped being read
+    /// (threaded reports zero).
+    pub(crate) backpressure_stalls: AtomicU64,
+    /// Requests answered from bytes that were already buffered behind an
+    /// earlier request on the same connection — the pipelining win
+    /// (threaded reports zero).
+    pub(crate) pipelined: AtomicU64,
     addr: SocketAddr,
     /// Size of the worker pool, reported by `STATS`.
-    workers: usize,
+    pub(crate) workers: usize,
+    /// Which transport is live, reported by `STATS` as `backend=`.
+    backend: &'static str,
     /// Connection and request limits, copied out of [`ServeConfig`].
-    limits: Limits,
+    pub(crate) limits: Limits,
 }
 
 /// The failure-domain knobs every connection handler consults.
-struct Limits {
-    max_connections: usize,
-    write_timeout: Duration,
-    idle_timeout: Duration,
-    request_deadline: Option<Duration>,
+pub(crate) struct Limits {
+    pub(crate) max_connections: usize,
+    pub(crate) write_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) request_deadline: Option<Duration>,
 }
 
 /// Wall-clock budget of one in-flight request — the serving analog of the
 /// construction-time [`Budget`]. Sharded shard-loads and batch items check
 /// it between units of work and degrade (`PARTIAL` / `ERR deadline`)
 /// instead of overrunning.
-struct RequestClock {
+pub(crate) struct RequestClock {
     start: Instant,
     budget: Budget,
 }
 
 impl RequestClock {
-    fn new(limit: Option<Duration>) -> Self {
+    pub(crate) fn new(limit: Option<Duration>) -> Self {
         Self {
             start: Instant::now(),
             budget: limit.map_or_else(Budget::unlimited, Budget::deadline),
@@ -544,23 +623,42 @@ impl ServerHandle {
     }
 }
 
-/// Flags the shutdown and pokes the acceptor loose from `accept()` with a
-/// throwaway connection.
-fn begin_shutdown(shared: &Shared) {
+/// Flags the shutdown and pokes the transport loose from its wait with a
+/// throwaway connection (the threaded acceptor's `accept()` returns; the
+/// reactor's listener turns readable).
+pub(crate) fn begin_shutdown(shared: &Shared) {
     if !shared.shutting_down.swap(true, Ordering::SeqCst) {
         let _ = TcpStream::connect(shared.addr);
     }
 }
 
-/// Binds the listener and spawns the acceptor and worker threads.
+/// Binds the listener and spawns the transport (reactor or
+/// acceptor-plus-workers, per [`ServeConfig::backend`]).
 ///
 /// Returns once the port is bound; serving continues in the background
 /// until a `SHUTDOWN` request (or [`ServerHandle::shutdown`]) drains it.
 ///
 /// # Errors
 ///
-/// [`SddError::Io`] when the address cannot be bound.
+/// [`SddError::Io`] when the address cannot be bound;
+/// [`SddError::Invalid`] when [`ServeBackend::Reactor`] is forced on a
+/// platform without epoll.
 pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
+    let backend = match config.backend {
+        ServeBackend::Auto => {
+            if crate::reactor::supported() {
+                ServeBackend::Reactor
+            } else {
+                ServeBackend::Threaded
+            }
+        }
+        ServeBackend::Reactor if !crate::reactor::supported() => {
+            return Err(SddError::invalid(
+                "the reactor backend needs epoll; this platform has none (use --backend threaded)",
+            ));
+        }
+        explicit => explicit,
+    };
     let listener =
         TcpListener::bind(&config.addr).map_err(|e| SddError::io(config.addr.clone(), &e))?;
     let addr = listener
@@ -574,8 +672,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
         busy: AtomicU64::new(0),
         partial: AtomicU64::new(0),
         active: AtomicUsize::new(0),
+        accepted: AtomicU64::new(0),
+        wakeups: AtomicU64::new(0),
+        backpressure_stalls: AtomicU64::new(0),
+        pipelined: AtomicU64::new(0),
         addr,
         workers: config.workers.max(1),
+        backend: match backend {
+            ServeBackend::Reactor => "reactor",
+            _ => "threaded",
+        },
         limits: Limits {
             max_connections: config.max_connections.max(1),
             write_timeout: config.write_timeout,
@@ -583,6 +689,16 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
             request_deadline: config.request_deadline,
         },
     });
+
+    if backend == ServeBackend::Reactor {
+        let (reactor, workers) = crate::serve_reactor::spawn(listener, Arc::clone(&shared))
+            .map_err(|e| SddError::io("epoll reactor", &e))?;
+        return Ok(ServerHandle {
+            shared,
+            acceptor: Some(reactor),
+            workers,
+        });
+    }
 
     let (sender, receiver) = mpsc::channel::<TcpStream>();
     let receiver = Arc::new(Mutex::new(receiver));
@@ -607,7 +723,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
                         // gets an explicit one-line refusal instead of
                         // waiting unbounded behind stalled peers.
                         if shared.active.load(Ordering::SeqCst) >= shared.limits.max_connections {
-                            shed_connection(stream, &shared);
+                            shed_connection(&stream, &shared);
                             continue;
                         }
                         shared.active.fetch_add(1, Ordering::SeqCst);
@@ -637,7 +753,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
 /// Per-worker reusable buffers: the ranked-candidate scratch the masked
 /// matcher fills and the parsed per-test responses of the current request.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     ranking: Vec<ScoredCandidate>,
     responses: Vec<MaskedBitVec>,
 }
@@ -673,18 +789,20 @@ fn warn_socket(what: &str, result: io::Result<()>) {
 /// Refuses one connection under overload: a one-line `OK BUSY` reply, then
 /// the stream drops closed. The client saw an explicit verdict and can
 /// retry with backoff; the worker pool never saw the connection.
-fn shed_connection(mut stream: TcpStream, shared: &Shared) {
+///
+/// The write is a **single non-blocking attempt**: the refusal line always
+/// fits a fresh socket's empty send buffer, and a client too slow (or too
+/// hostile) to have one ready forfeits the courtesy line instead of
+/// stalling admission — shedding must never cost more than one syscall.
+pub(crate) fn shed_connection(stream: &TcpStream, shared: &Shared) {
     shared.busy.fetch_add(1, Ordering::Relaxed);
-    warn_socket(
-        "set_write_timeout (shed)",
-        stream.set_write_timeout(Some(shared.limits.write_timeout)),
-    );
-    let _ = writeln!(
-        stream,
-        "OK BUSY active={} max={}",
+    warn_socket("set_nonblocking (shed)", stream.set_nonblocking(true));
+    let line = format!(
+        "OK BUSY active={} max={}\n",
         shared.active.load(Ordering::SeqCst),
         shared.limits.max_connections,
     );
+    let _ = (&*stream).write(line.as_bytes());
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, scratch: &mut Scratch) {
@@ -778,6 +896,10 @@ enum ConnectionFate {
 /// Parses one request line, writes the reply line(s), and says whether the
 /// connection stays open. `VOLUME` is the one verb that also *reads*: its
 /// corpus lines stream in on `reader` right behind the request line.
+///
+/// The inline verbs (`STATS`, `QUIT`, `SHUTDOWN`) and streaming `VOLUME`
+/// are handled here; every worker verb goes through [`execute_line`], the
+/// execution core both transports share.
 fn respond(
     request: &str,
     shared: &Arc<Shared>,
@@ -789,91 +911,8 @@ fn respond(
     let mut tokens = request.split_whitespace();
     let verb = tokens.next().unwrap_or_default().to_ascii_uppercase();
     match verb.as_str() {
-        "LOAD" => {
-            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
-                (Some(name), Some(path), None) => load_reply(name, path, shared),
-                _ => err_reply("usage: LOAD <name> <path>"),
-            };
-            writeln!(writer, "{reply}")?;
-        }
-        "DIAG" => {
-            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
-                (Some(name), Some(obs), None) => diag_reply(name, obs, shared, scratch, clock),
-                _ => err_reply("usage: DIAG <dict> <observation>"),
-            };
-            writeln!(writer, "{reply}")?;
-        }
-        "BATCH" => match tokens.next() {
-            Some(name) => {
-                let observations: Vec<&str> = tokens.collect();
-                if observations.is_empty() {
-                    // An empty batch is a malformed request, not zero work:
-                    // replying `OK BATCH 0` would hide a truncated datalog.
-                    writeln!(
-                        writer,
-                        "{}",
-                        err_reply("empty batch: BATCH needs at least one observation")
-                    )?;
-                } else {
-                    writeln!(writer, "OK BATCH {}", observations.len())?;
-                    for (index, obs) in observations.iter().enumerate() {
-                        // The counted-lines contract holds even when the
-                        // request deadline expires mid-batch: remaining
-                        // items get explicit `ERR deadline` result lines,
-                        // never a truncated reply.
-                        let reply = if clock.expired() {
-                            err_reply("deadline: request budget exhausted before this item")
-                        } else {
-                            diag_reply(name, obs, shared, scratch, clock)
-                        };
-                        writeln!(writer, "{index} {reply}")?;
-                    }
-                }
-            }
-            None => writeln!(writer, "{}", err_reply("usage: BATCH <dict> <obs>..."))?,
-        },
         "VOLUME" => volume_reply(&mut tokens, shared, reader, writer)?,
-        "STATS" => {
-            let stats = shared.registry.stats();
-            let mut reply = format!(
-                "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={} busy={} partial={} active={}",
-                shared.workers,
-                stats.dicts,
-                stats.bytes,
-                shared.registry.cap,
-                shared.requests.load(Ordering::Relaxed),
-                shared.diagnoses.load(Ordering::Relaxed),
-                stats.evictions,
-                shared.busy.load(Ordering::Relaxed),
-                shared.partial.load(Ordering::Relaxed),
-                shared.active.load(Ordering::SeqCst),
-            );
-            if stats.total_shards > 0 {
-                reply.push_str(&format!(
-                    " shards={}/{}",
-                    stats.resident_shards, stats.total_shards
-                ));
-            }
-            for entry in &stats.entries {
-                reply.push_str(&format!(
-                    " dict={}:{}:{}us",
-                    entry.name, entry.bytes, entry.load_us
-                ));
-                for (index, shard) in entry.shards.iter().enumerate() {
-                    reply.push_str(&format!(
-                        " shard={}.{index}:{}:{}",
-                        entry.name, shard.status, shard.bytes
-                    ));
-                }
-            }
-            writeln!(writer, "{reply}")?;
-        }
-        // Test hook: deliberately panics a worker mid-request so the
-        // panic-containment path is exercisable end-to-end. Inert unless
-        // the operator opts in via the environment.
-        "PANIC" if std::env::var_os("SDD_SERVE_TEST_PANIC").is_some() => {
-            panic!("PANIC requested with SDD_SERVE_TEST_PANIC set");
-        }
+        "STATS" => writeln!(writer, "{}", stats_reply(shared))?,
         "QUIT" => {
             writeln!(writer, "OK BYE")?;
             writer.flush()?;
@@ -885,19 +924,141 @@ fn respond(
             begin_shutdown(shared);
             return Ok(ConnectionFate::Close);
         }
-        other => {
-            writeln!(
-                writer,
-                "{}",
-                err_reply(&format!("unknown command {other:?}"))
-            )?;
+        _ => {
+            let mut out = Vec::new();
+            execute_line(request, shared, scratch, clock, &mut out);
+            writer.write_all(&out)?;
         }
     }
     writer.flush()?;
     Ok(ConnectionFate::Keep)
 }
 
-fn err_reply(message: &str) -> String {
+/// Appends one complete protocol line (newline-terminated) to a reply
+/// buffer.
+pub(crate) fn push_line(out: &mut Vec<u8>, line: &str) {
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+}
+
+/// Executes one **worker verb** request line — `LOAD`, `DIAG`, `BATCH`,
+/// the env-gated `PANIC` test hook, or an unknown verb — appending the
+/// complete reply line(s) to `out`.
+///
+/// This is the execution core both transports share: the threaded backend
+/// buffers through it before writing, and the reactor's workers call it
+/// once per pipelined request. The caller routes the inline verbs
+/// (`STATS`, `QUIT`, `SHUTDOWN`) and the corpus-reading `VOLUME` verb, so
+/// they never reach here. `PANIC` really panics — containment is the
+/// caller's `catch_unwind`.
+pub(crate) fn execute_line(
+    request: &str,
+    shared: &Arc<Shared>,
+    scratch: &mut Scratch,
+    clock: &RequestClock,
+    out: &mut Vec<u8>,
+) {
+    let mut tokens = request.split_whitespace();
+    let verb = tokens.next().unwrap_or_default().to_ascii_uppercase();
+    match verb.as_str() {
+        "LOAD" => {
+            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
+                (Some(name), Some(path), None) => load_reply(name, path, shared),
+                _ => err_reply("usage: LOAD <name> <path>"),
+            };
+            push_line(out, &reply);
+        }
+        "DIAG" => {
+            let reply = match (tokens.next(), tokens.next(), tokens.next()) {
+                (Some(name), Some(obs), None) => diag_reply(name, obs, shared, scratch, clock),
+                _ => err_reply("usage: DIAG <dict> <observation>"),
+            };
+            push_line(out, &reply);
+        }
+        "BATCH" => match tokens.next() {
+            Some(name) => {
+                let observations: Vec<&str> = tokens.collect();
+                if observations.is_empty() {
+                    // An empty batch is a malformed request, not zero work:
+                    // replying `OK BATCH 0` would hide a truncated datalog.
+                    push_line(
+                        out,
+                        &err_reply("empty batch: BATCH needs at least one observation"),
+                    );
+                } else {
+                    push_line(out, &format!("OK BATCH {}", observations.len()));
+                    for (index, obs) in observations.iter().enumerate() {
+                        // The counted-lines contract holds even when the
+                        // request deadline expires mid-batch: remaining
+                        // items get explicit `ERR deadline` result lines,
+                        // never a truncated reply.
+                        let reply = if clock.expired() {
+                            err_reply("deadline: request budget exhausted before this item")
+                        } else {
+                            diag_reply(name, obs, shared, scratch, clock)
+                        };
+                        push_line(out, &format!("{index} {reply}"));
+                    }
+                }
+            }
+            None => push_line(out, &err_reply("usage: BATCH <dict> <obs>...")),
+        },
+        // Test hook: deliberately panics a worker mid-request so the
+        // panic-containment path is exercisable end-to-end. Inert unless
+        // the operator opts in via the environment.
+        "PANIC" if std::env::var_os("SDD_SERVE_TEST_PANIC").is_some() => {
+            panic!("PANIC requested with SDD_SERVE_TEST_PANIC set");
+        }
+        other => {
+            push_line(out, &err_reply(&format!("unknown command {other:?}")));
+        }
+    }
+}
+
+/// Formats the complete `OK STATS ...` reply line — registry snapshot,
+/// traffic counters, transport counters, and per-dictionary residency.
+pub(crate) fn stats_reply(shared: &Shared) -> String {
+    let stats = shared.registry.stats();
+    let mut reply = format!(
+        "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={} busy={} partial={} active={} backend={} accepted={} wakeups={} backpressure_stalls={} pipelined={}",
+        shared.workers,
+        stats.dicts,
+        stats.bytes,
+        shared.registry.cap,
+        shared.requests.load(Ordering::Relaxed),
+        shared.diagnoses.load(Ordering::Relaxed),
+        stats.evictions,
+        shared.busy.load(Ordering::Relaxed),
+        shared.partial.load(Ordering::Relaxed),
+        shared.active.load(Ordering::SeqCst),
+        shared.backend,
+        shared.accepted.load(Ordering::Relaxed),
+        shared.wakeups.load(Ordering::Relaxed),
+        shared.backpressure_stalls.load(Ordering::Relaxed),
+        shared.pipelined.load(Ordering::Relaxed),
+    );
+    if stats.total_shards > 0 {
+        reply.push_str(&format!(
+            " shards={}/{}",
+            stats.resident_shards, stats.total_shards
+        ));
+    }
+    for entry in &stats.entries {
+        reply.push_str(&format!(
+            " dict={}:{}:{}us",
+            entry.name, entry.bytes, entry.load_us
+        ));
+        for (index, shard) in entry.shards.iter().enumerate() {
+            reply.push_str(&format!(
+                " shard={}.{index}:{}:{}",
+                entry.name, shard.status, shard.bytes
+            ));
+        }
+    }
+    reply
+}
+
+pub(crate) fn err_reply(message: &str) -> String {
     // Replies are single lines; scrub any newline an error message carries.
     format!("ERR {}", message.replace('\n', " "))
 }
@@ -1255,16 +1416,47 @@ impl ShardSource for RegistrySource<'_> {
 /// A request that fails *after* the count is known (unknown dictionary,
 /// bad option) still drains its corpus lines before the `ERR` reply, so
 /// the line protocol stays in sync for the next request.
+/// The usage line both `VOLUME` executors reply with on a malformed header.
+pub(crate) const VOLUME_USAGE: &str =
+    "usage: VOLUME <dict> <lines> [seed=N] [threshold=F] [budget_ms=N]";
+
+/// The `VOLUME` defaults for this server: the per-device budget (not
+/// per-request — a corpus is long-running by design) starts from the
+/// configured request deadline.
+pub(crate) fn default_volume_options(shared: &Shared) -> VolumeOptions {
+    VolumeOptions {
+        budget: shared
+            .limits
+            .request_deadline
+            .map_or_else(Budget::unlimited, Budget::deadline),
+        ..VolumeOptions::default()
+    }
+}
+
+/// Applies one `key=value` option token of a `VOLUME` request; `false`
+/// means the token is unknown or unparsable (an `ERR bad option` to the
+/// caller).
+pub(crate) fn apply_volume_option(options: &mut VolumeOptions, token: &str) -> bool {
+    match token.split_once('=') {
+        Some(("seed", v)) => v.parse().map(|seed| options.seed = seed).is_ok(),
+        Some(("threshold", v)) => v.parse().map(|t| options.threshold = t).is_ok(),
+        Some(("budget_ms", v)) => v
+            .parse()
+            .map(|ms| options.budget = Budget::deadline(Duration::from_millis(ms)))
+            .is_ok(),
+        _ => false,
+    }
+}
+
 fn volume_reply(
     tokens: &mut std::str::SplitWhitespace<'_>,
     shared: &Arc<Shared>,
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
 ) -> io::Result<()> {
-    const USAGE: &str = "usage: VOLUME <dict> <lines> [seed=N] [threshold=F] [budget_ms=N]";
     let (name, count) = match (tokens.next(), tokens.next().map(str::parse::<usize>)) {
         (Some(name), Some(Ok(count))) => (name, count),
-        _ => return writeln!(writer, "{}", err_reply(USAGE)),
+        _ => return writeln!(writer, "{}", err_reply(VOLUME_USAGE)),
     };
     // Drains the already-promised corpus lines, then reports the failure.
     let drain = |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, reply: String| {
@@ -1273,26 +1465,9 @@ fn volume_reply(
         }
         writeln!(writer, "{reply}")
     };
-    // The per-device budget (not per-request: a corpus is long-running by
-    // design) defaults to the configured request deadline.
-    let mut options = VolumeOptions {
-        budget: shared
-            .limits
-            .request_deadline
-            .map_or_else(Budget::unlimited, Budget::deadline),
-        ..VolumeOptions::default()
-    };
+    let mut options = default_volume_options(shared);
     for token in tokens {
-        let value = match token.split_once('=') {
-            Some(("seed", v)) => v.parse().map(|seed| options.seed = seed).ok(),
-            Some(("threshold", v)) => v.parse().map(|t| options.threshold = t).ok(),
-            Some(("budget_ms", v)) => v
-                .parse()
-                .map(|ms| options.budget = Budget::deadline(Duration::from_millis(ms)))
-                .ok(),
-            _ => None,
-        };
-        if value.is_none() {
+        if !apply_volume_option(&mut options, token) {
             return drain(reader, writer, err_reply(&format!("bad option {token:?}")));
         }
     }
@@ -1329,6 +1504,73 @@ fn volume_reply(
         .partial
         .fetch_add(summary.partial as u64, Ordering::Relaxed);
     Ok(())
+}
+
+/// Executes one `VOLUME` request whose corpus lines were already buffered
+/// off the wire — the reactor path, where the event loop collects the
+/// counted lines and a worker runs the engine — appending the complete
+/// framed reply to `out`.
+///
+/// Wire bytes match the threaded streaming path exactly: a failure after
+/// the count was known (bad option, unknown dictionary) has consumed the
+/// corpus and yields a single `ERR` line, success yields
+/// `OK VOLUME <n>`, the verdict-prefixed records, and `OK SUMMARY`.
+pub(crate) fn execute_volume(
+    request: &str,
+    corpus: Vec<String>,
+    shared: &Arc<Shared>,
+    out: &mut Vec<u8>,
+) {
+    let mut tokens = request.split_whitespace();
+    let _verb = tokens.next();
+    let (name, count) = match (tokens.next(), tokens.next().map(str::parse::<usize>)) {
+        (Some(name), Some(Ok(count))) => (name, count),
+        // The reactor answers malformed headers inline and never buffers a
+        // corpus for them; this arm is a defensive byte-identical fallback.
+        _ => return push_line(out, &err_reply(VOLUME_USAGE)),
+    };
+    let mut options = default_volume_options(shared);
+    for token in tokens {
+        if !apply_volume_option(&mut options, token) {
+            return push_line(out, &err_reply(&format!("bad option {token:?}")));
+        }
+    }
+    let source: Box<dyn ShardSource + '_> = match shared.registry.get(name) {
+        Fetched::Whole(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+        Fetched::Sharded(shard_reader) => Box::new(RegistrySource {
+            name,
+            reader: shard_reader,
+            shared,
+        }),
+        Fetched::Missing => {
+            return push_line(
+                out,
+                &err_reply(&format!("no dictionary loaded as {name:?}")),
+            );
+        }
+    };
+    push_line(out, &format!("OK VOLUME {count}"));
+    let mut lines = corpus
+        .into_iter()
+        .map(|line| -> io::Result<String> { Ok(line) });
+    // The engine's only I/O is the in-memory corpus and sink, so `run`
+    // cannot fail here; the `ERR` arm keeps the contract visible anyway.
+    match sdd_volume::run(
+        source.as_ref(),
+        &mut lines,
+        &mut WireSink(&mut *out),
+        &options,
+    ) {
+        Ok(summary) => {
+            shared
+                .diagnoses
+                .fetch_add(summary.devices as u64, Ordering::Relaxed);
+            shared
+                .partial
+                .fetch_add(summary.partial as u64, Ordering::Relaxed);
+        }
+        Err(e) => push_line(out, &err_reply(&e.to_string())),
+    }
 }
 
 /// Routes one observation through the masked-diagnosis ladder of the named
