@@ -26,8 +26,14 @@ step "store round-trip + serve smoke + sharding (c17, s298)"
 cargo test --offline --release -q --test store_roundtrip --test serve_smoke \
     --test shard_manifest --test shard_equivalence
 
-step "dictionary load bench (text parse vs binary read, JSON)"
-cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10
+step "dictionary load bench (text parse vs binary read + mmap cold start, JSON)"
+# BENCH_load.json carries the cold-start comparison between the owned read
+# (--mmap off: whole Vec + full decode) and the mapped path (--mmap on:
+# map + first row through the lazy reader); the gate fails on a
+# missing/malformed report or if the mapped first row differs from the
+# decoded one.
+cargo run --offline --release -p sdd-bench --bin load_bench -- c17 1 10 --out BENCH_load.json
+cargo run --offline --release -p sdd-bench --bin load_bench -- --check BENCH_load.json
 
 step "volume smoke (CLI vs served VOLUME, corrupted-corpus resilience)"
 # tests/volume_smoke.rs drives the real binary and a live server and
@@ -35,7 +41,7 @@ step "volume smoke (CLI vs served VOLUME, corrupted-corpus resilience)"
 # corruption matrix end to end.
 cargo test --offline --release -q --test volume_smoke --test volume_corpus
 
-step "chaos smoke (9 injected failure classes against a live server, JSON)"
+step "chaos smoke (10 injected failure classes against a live server, JSON)"
 # Fixed seed + small circuit keeps this a seconds-long gate; the driver
 # exits nonzero if any well-formed request fails to come back
 # OK/PARTIAL/BUSY/ERR, a verdict is wrong, or the server wedges (watchdog).

@@ -27,6 +27,13 @@
 //! 9. **Pipeline burst disconnect** — a client writes a burst of pipelined
 //!    requests in one send, reads only the first replies, and vanishes;
 //!    the queued remainder must be reclaimed without wedging a worker.
+//! 10. **Mapped-shard truncation/replacement** — a shard file truncated in
+//!     place (and then swapped for a sibling shard's bytes) under a live
+//!     server whose dictionaries are memory-mapped (the default on Linux).
+//!     Resident decoded shards must keep serving the exact baseline; once
+//!     residency resets, the verdict must degrade to the `PARTIAL`
+//!     contract with a typed reason — never a SIGBUS, never a crashed
+//!     worker.
 //!
 //! Every well-formed request must come back `OK`, `PARTIAL`, `BUSY`, or
 //! `ERR`; the server must never hang (a watchdog thread aborts the run at
@@ -283,6 +290,7 @@ impl Harness {
         self.phase_torn_writes(&baseline);
         self.phase_shard_corruption(&baseline);
         self.phase_shard_deletion(&baseline);
+        self.phase_mapped_truncation(&baseline);
         self.phase_connection_flood();
         self.phase_slow_loris();
         self.phase_mid_request_disconnect();
@@ -479,6 +487,93 @@ impl Harness {
         self.degraded_shard_round("deleted shard", shard_index, "io", baseline, |path| {
             std::fs::remove_file(path).expect("delete shard");
         });
+    }
+
+    /// Failure class 10: a shard file truncated in place, then swapped for
+    /// a sibling shard's bytes, under a live server whose dictionaries are
+    /// memory-mapped (`--mmap auto`, the default). While the decoded shard
+    /// is resident the damage is invisible — the registry answers from the
+    /// decoded copy and never touches the mapping, so there is no page
+    /// fault to take. Once residency resets, the pre-map length check
+    /// refuses the shrunken file with a typed reason and the verdict
+    /// degrades to the exact `PARTIAL` contract.
+    fn phase_mapped_truncation(&mut self, baseline: &[String]) {
+        eprintln!("chaos: phase mapped-truncation");
+        let shard_index = (self.seed as usize + 2) % self.manifest.shards.len();
+        let shard_path = self.dir.join(&self.manifest.shards[shard_index].file);
+        let original = std::fs::read(&shard_path).expect("read shard");
+        let manifest_path = self.manifest_path.clone();
+        let obs = self.observations[0].clone();
+        let truncate_in_place = |path: &Path, len: u64| {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .expect("open shard for truncation")
+                .set_len(len)
+                .expect("truncate shard in place");
+        };
+
+        // Warm the shard so its decoded form is resident (and its image
+        // mapped, where the platform supports it) before the file shrinks.
+        let mut conn = self.connect();
+        let reply = conn
+            .request(&format!("LOAD sharded {}", manifest_path.display()))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply.starts_with("OK LOADED"),
+            "mapped truncation: warm load",
+            &reply,
+        );
+        let reply = conn
+            .request(&format!("DIAG sharded {obs}"))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply == baseline[0],
+            "mapped truncation: warm baseline",
+            &reply,
+        );
+
+        // Truncate in place under the live server. The resident decoded
+        // shards keep answering with the exact baseline bytes — no SIGBUS,
+        // no degradation, no crashed worker.
+        truncate_in_place(&shard_path, (original.len() / 2) as u64);
+        let reply = conn
+            .request(&format!("DIAG sharded {obs}"))
+            .unwrap_or_else(|e| format!("ERR {e}"));
+        self.check(
+            reply == baseline[0],
+            "mapped truncation: resident shards still serve",
+            &reply,
+        );
+        drop(conn);
+        std::fs::write(&shard_path, &original).expect("restore shard");
+
+        // Residency reset: the shrunken file must be refused at the
+        // pre-map length check, then recover after restore.
+        let half = (original.len() / 2) as u64;
+        self.degraded_shard_round(
+            "mapped truncation",
+            shard_index,
+            "truncated",
+            baseline,
+            |path| truncate_in_place(path, half),
+        );
+
+        // Replacement: the shard swapped for a sibling's bytes is a valid
+        // file with the wrong content — caught by the manifest cross-check
+        // before any row is served from it.
+        let sibling = self
+            .dir
+            .join(&self.manifest.shards[(shard_index + 1) % self.manifest.shards.len()].file);
+        self.degraded_shard_round(
+            "mapped replacement",
+            shard_index,
+            "checksum",
+            baseline,
+            |path| {
+                std::fs::copy(&sibling, path).expect("replace shard with sibling");
+            },
+        );
     }
 
     /// Failure class 4: more connections than the pool admits. The excess
@@ -695,7 +790,7 @@ impl Harness {
 
         let failed = self.failures.len();
         println!(
-            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":9,\"checks\":{},\"failed\":{},\
+            "{{\"circuit\":\"{}\",\"seed\":{},\"failure_classes\":10,\"checks\":{},\"failed\":{},\
              \"busy\":{},\"partial\":{},\"elapsed_ms\":{}}}",
             self.circuit,
             self.seed,
@@ -710,7 +805,7 @@ impl Harness {
         }
         if failed == 0 {
             eprintln!(
-                "chaos: all {} checks passed across 9 failure classes in {elapsed:?}",
+                "chaos: all {} checks passed across 10 failure classes in {elapsed:?}",
                 self.checks
             );
         }

@@ -24,12 +24,16 @@
 //! # Ok::<(), sdd_logic::SddError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`mmap`] module scopes an `allow` for its
+// `mmap`/`munmap` FFI — the crate's only unsafe code, mirroring the
+// reactor's discipline in the serve layer.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod atomic;
 pub mod format;
 mod manifest;
+pub mod mmap;
 mod reader;
 mod verify;
 mod writer;
@@ -46,9 +50,11 @@ pub use manifest::{
     is_manifest, slice_dictionary, write_sharded, ShardManifest, ShardRecord, ShardedReader,
     MANIFEST_HEADER_LEN, MANIFEST_MAGIC, MANIFEST_VERSION,
 };
+pub use mmap::{mmap_supported, read_dictionary_bytes, DictBytes, MappedFile, MmapMode};
 pub use reader::SddbReader;
 pub use verify::{
-    quarantine_bad_shards, verify_file, ShardHealth, VerifyReport, QUARANTINE_SUFFIX,
+    quarantine_bad_shards, verify_file, verify_file_with, ShardHealth, VerifyReport,
+    QUARANTINE_SUFFIX,
 };
 pub use writer::encode;
 
@@ -265,7 +271,10 @@ pub fn is_binary(bytes: &[u8]) -> bool {
 /// The store's typed errors for binary input (including
 /// [`SddError::Invalid`] when the file holds a different dictionary kind);
 /// [`SddError::Parse`] for malformed text.
-pub fn read_same_different_auto(bytes: &[u8]) -> Result<SameDifferentDictionary, SddError> {
+pub fn read_same_different_auto(
+    bytes: impl AsRef<[u8]>,
+) -> Result<SameDifferentDictionary, SddError> {
+    let bytes = bytes.as_ref();
     if is_binary(bytes) {
         match decode(bytes)? {
             StoredDictionary::SameDifferent(d) => Ok(d),
@@ -289,7 +298,23 @@ pub fn read_same_different_auto(bytes: &[u8]) -> Result<SameDifferentDictionary,
 /// [`SddError::Io`] when the file cannot be read, otherwise as
 /// [`read_same_different_auto`].
 pub fn load_same_different(path: impl AsRef<Path>) -> Result<SameDifferentDictionary, SddError> {
-    let bytes = read_dictionary_file(path)?;
+    load_same_different_with(path, MmapMode::Off)
+}
+
+/// [`load_same_different`] with an explicit mapping mode: under
+/// [`MmapMode::Auto`]/[`MmapMode::On`] the file's pages are borrowed from
+/// the page cache for the duration of the decode instead of being copied
+/// into an owned buffer first.
+///
+/// # Errors
+///
+/// As [`load_same_different`], plus [`read_dictionary_bytes`]'s mapping
+/// errors.
+pub fn load_same_different_with(
+    path: impl AsRef<Path>,
+    mode: MmapMode,
+) -> Result<SameDifferentDictionary, SddError> {
+    let bytes = read_dictionary_bytes(path, mode)?;
     read_same_different_auto(&bytes)
 }
 

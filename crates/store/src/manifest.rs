@@ -41,6 +41,7 @@ use std::path::{Path, PathBuf};
 use sdd_logic::{BitVec, SddError};
 
 use crate::format::{self, Cursor};
+use crate::mmap::{read_dictionary_bytes, DictBytes, MmapMode};
 use crate::{DictionaryKind, SddbReader, StoredDictionary};
 
 /// The four magic bytes every shard manifest starts with.
@@ -461,23 +462,45 @@ pub fn write_sharded(
 pub struct ShardedReader {
     manifest: ShardManifest,
     dir: PathBuf,
+    mode: MmapMode,
 }
 
 impl ShardedReader {
-    /// Reads and validates the manifest at `path`.
+    /// Reads and validates the manifest at `path`, with shard files read
+    /// into owned buffers (see [`open_with`](Self::open_with) for the
+    /// zero-copy mapped mode).
     ///
     /// # Errors
     ///
     /// [`SddError::Io`] when the file cannot be read, plus every
     /// [`ShardManifest::decode`] error.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, SddError> {
+        Self::open_with(path, MmapMode::Off)
+    }
+
+    /// [`open`](Self::open) with an explicit shard byte-ownership mode:
+    /// under [`MmapMode::Auto`]/[`MmapMode::On`] every shard load maps the
+    /// shard file instead of copying it to the heap. The manifest itself
+    /// is always read whole — it is kilobytes, and its decode borrows
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(path: impl AsRef<Path>, mode: MmapMode) -> Result<Self, SddError> {
         let path = path.as_ref();
         let bytes = std::fs::read(path)
             .map_err(|e| SddError::io(format!("read manifest {}", path.display()), &e))?;
         Ok(Self {
             manifest: ShardManifest::decode(&bytes)?,
             dir: path.parent().map(Path::to_path_buf).unwrap_or_default(),
+            mode,
         })
+    }
+
+    /// How shard files are brought into memory.
+    pub fn mode(&self) -> MmapMode {
+        self.mode
     }
 
     /// The decoded manifest.
@@ -506,6 +529,44 @@ impl ShardedReader {
     /// checksum disagrees with the manifest record, [`SddError::Io`] on
     /// read failures, plus every `.sddb` decode error.
     pub fn load_shard(&self, index: usize) -> Result<StoredDictionary, SddError> {
+        self.shard_reader(index)?.dictionary()
+    }
+
+    /// [`load_shard`](Self::load_shard), but also hands back the verified
+    /// byte image the decode ran over — under a mapped mode, the live
+    /// mapping a serving registry keeps so later re-decodes fault pages
+    /// back in from the page cache instead of re-reading the file. The
+    /// image and the decoded dictionary are views of the same validated
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_shard`](Self::load_shard).
+    pub fn load_shard_with_image(
+        &self,
+        index: usize,
+    ) -> Result<(DictBytes, StoredDictionary), SddError> {
+        let reader = self.shard_reader(index)?;
+        let dictionary = reader.dictionary()?;
+        Ok((reader.into_bytes(), dictionary))
+    }
+
+    /// Verifies shard `index` end to end — read or map, header + payload
+    /// checksum, manifest cross-checks, full structural walk — without
+    /// decoding it into the heap: peak memory is one row. This is the
+    /// `sdd verify` path for dictionaries larger than RAM.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_shard`](Self::load_shard).
+    pub fn check_shard(&self, index: usize) -> Result<(), SddError> {
+        self.shard_reader(index)?.validate_structure()
+    }
+
+    /// Opens shard `index` and cross-checks it against the manifest
+    /// (payload length and checksum, dictionary kind, test/output counts,
+    /// fault count).
+    fn shard_reader(&self, index: usize) -> Result<SddbReader<DictBytes>, SddError> {
         let record = self.manifest.shards.get(index).ok_or_else(|| {
             SddError::invalid(format!(
                 "shard {index} out of range ({} shards)",
@@ -513,9 +574,8 @@ impl ShardedReader {
             ))
         })?;
         let path = self.dir.join(&record.file);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| SddError::io(format!("read shard {}", path.display()), &e))?;
-        let reader = SddbReader::open(&bytes)?;
+        let bytes = read_dictionary_bytes(&path, self.mode)?;
+        let reader = SddbReader::open(bytes)?;
         let header = reader.header();
         if header.payload_checksum != record.payload_checksum {
             return Err(SddError::ChecksumMismatch {
@@ -548,7 +608,7 @@ impl ShardedReader {
                 self.manifest.outputs,
             )));
         }
-        reader.dictionary()
+        Ok(reader)
     }
 }
 

@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 use sdd_logic::SddError;
 
 use crate::atomic::temp_sibling;
-use crate::{DictionaryKind, ShardedReader};
+use crate::mmap::{read_dictionary_bytes, MmapMode};
+use crate::{DictionaryKind, SddbReader, ShardedReader};
 
 /// Suffix appended to a shard file when [`quarantine_bad_shards`] moves it
 /// out of the serving path.
@@ -97,8 +98,23 @@ impl VerifyReport {
 /// [`SddError::Io`] when the artifact cannot be read, plus every decode
 /// error of the artifact itself (shard failures are reported, not raised).
 pub fn verify_file(path: impl AsRef<Path>) -> Result<VerifyReport, SddError> {
+    verify_file_with(path, MmapMode::Auto)
+}
+
+/// [`verify_file`] with an explicit byte-ownership mode. Under a mapped
+/// mode (the [`MmapMode::Auto`] default on Linux) binary artifacts are
+/// never buffered *or* decoded: the payload is checksummed straight out of
+/// the page cache and its structure bounds-walked one row at a time
+/// ([`SddbReader::validate_structure`]), so peak heap is one row and a
+/// dictionary larger than RAM verifies fine. The typed error for each
+/// corruption mode is identical in every mode.
+///
+/// # Errors
+///
+/// As [`verify_file`].
+pub fn verify_file_with(path: impl AsRef<Path>, mode: MmapMode) -> Result<VerifyReport, SddError> {
     let path = path.as_ref();
-    let bytes = crate::read_dictionary_file(path)?;
+    let bytes = read_dictionary_bytes(path, mode)?;
     let mut stale_temps = Vec::new();
     let mut note_temp = |candidate: PathBuf| {
         if candidate.exists() {
@@ -107,7 +123,7 @@ pub fn verify_file(path: impl AsRef<Path>) -> Result<VerifyReport, SddError> {
     };
     note_temp(temp_sibling(path));
     if crate::is_manifest(&bytes) {
-        let reader = ShardedReader::open(path)?;
+        let reader = ShardedReader::open_with(path, mode)?;
         let manifest = reader.manifest();
         let mut shards = Vec::with_capacity(manifest.shards.len());
         for (index, record) in manifest.shards.iter().enumerate() {
@@ -118,7 +134,7 @@ pub fn verify_file(path: impl AsRef<Path>) -> Result<VerifyReport, SddError> {
                 file: record.file.clone(),
                 path: shard_path,
                 faults: record.fault_count,
-                error: reader.load_shard(index).err(),
+                error: reader.check_shard(index).err(),
             });
         }
         return Ok(VerifyReport {
@@ -129,15 +145,20 @@ pub fn verify_file(path: impl AsRef<Path>) -> Result<VerifyReport, SddError> {
             stale_temps,
         });
     }
-    let dictionary = if crate::is_binary(&bytes) {
-        crate::decode(&bytes)?
+    let (kind, faults) = if crate::is_binary(&bytes) {
+        // Checksum + structural walk, never a full decode: verification
+        // heap stays O(one row) however large the file is.
+        let reader = SddbReader::open(&bytes)?;
+        reader.validate_structure()?;
+        (reader.kind(), reader.faults())
     } else {
-        crate::StoredDictionary::SameDifferent(crate::read_same_different_auto(&bytes)?)
+        let dictionary = crate::read_same_different_auto(&bytes)?;
+        (DictionaryKind::SameDifferent, dictionary.fault_count())
     };
     Ok(VerifyReport {
         path: path.to_path_buf(),
-        kind: dictionary.kind(),
-        faults: dictionary.fault_count(),
+        kind,
+        faults,
         shards: Vec::new(),
         stale_temps,
     })

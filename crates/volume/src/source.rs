@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use sdd_logic::{BitVec, SddError};
-use sdd_store::{DictionaryKind, ShardedReader, StoredDictionary};
+use sdd_store::{DictionaryKind, MmapMode, ShardedReader, StoredDictionary};
 
 use crate::corpus::Shape;
 
@@ -196,7 +196,20 @@ impl PreloadedShards {
     /// Only manifest-level failures (unreadable or corrupt `.sddm`) are
     /// fatal; per-shard failures degrade instead.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, SddError> {
-        let reader = ShardedReader::open(path)?;
+        Self::open_with(path, MmapMode::Off)
+    }
+
+    /// [`open`](Self::open) with an explicit byte-ownership mode: under a
+    /// mapped mode each shard's bytes come straight from the page cache
+    /// during decode — a run over a shard set larger than RAM never holds
+    /// more than one shard's encoded bytes mapped at a time. The decoded
+    /// shards (and every device record) are byte-identical in every mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(path: impl AsRef<std::path::Path>, mode: MmapMode) -> Result<Self, SddError> {
+        let reader = ShardedReader::open_with(path, mode)?;
         let manifest = reader.manifest();
         let shards = manifest
             .shards

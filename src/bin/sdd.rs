@@ -9,12 +9,12 @@
 //! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
-//! sdd verify <dict.sddb|dict.sddm> [--quarantine]       checksum-scan an artifact
+//! sdd verify <dict.sddb|dict.sddm> [--quarantine] [--mmap auto|on|off]
 //! sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N]
-//!            [--budget-ms MS] [--threshold F] [--report out.jsonl]
+//!            [--budget-ms MS] [--threshold F] [--report out.jsonl] [--mmap auto|on|off]
 //! sdd serve [--addr HOST:PORT] [--workers N] [--mem-cap BYTES]
 //!           [--max-conns N] [--deadline-ms MS] [--idle-ms MS]
-//!           [--backend auto|threaded|reactor] [name=dict ...]
+//!           [--backend auto|threaded|reactor] [--mmap auto|on|off] [name=dict ...]
 //! ```
 //!
 //! `volume` streams a datalog corpus (one device observation per line, text
@@ -512,18 +512,26 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let mut quarantine = false;
+    let mut mmap = same_different::store::MmapMode::Auto;
     let mut paths = Vec::new();
-    for arg in args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quarantine" => quarantine = true,
+            "--mmap" => {
+                let value = iter.next().ok_or("--mmap needs a value (auto|on|off)")?;
+                mmap = parse_mmap(value)?;
+            }
             a if a.starts_with('-') => return Err(format!("unknown option {a:?}")),
             _ => paths.push(arg.clone()),
         }
     }
     let [path] = paths.as_slice() else {
-        return Err("usage: sdd verify <dict.sddb|dict.sddm> [--quarantine]".into());
+        return Err(
+            "usage: sdd verify <dict.sddb|dict.sddm> [--quarantine] [--mmap auto|on|off]".into(),
+        );
     };
-    let report = same_different::store::verify_file(path).map_err(|e| e.to_string())?;
+    let report = same_different::store::verify_file_with(path, mmap).map_err(|e| e.to_string())?;
     println!(
         "{}: kind={} faults={} shards={}",
         report.path.display(),
@@ -579,6 +587,7 @@ fn cmd_volume(args: &[String]) -> Result<(), String> {
     let mut budget_ms = None;
     let mut threshold = None;
     let mut report = None;
+    let mut mmap = None;
     let positional = parse_flags(
         args,
         &mut [
@@ -588,15 +597,19 @@ fn cmd_volume(args: &[String]) -> Result<(), String> {
             ("--budget-ms", &mut budget_ms),
             ("--threshold", &mut threshold),
             ("--report", &mut report),
+            ("--mmap", &mut mmap),
         ],
     )?;
     let [dict_path] = positional.as_slice() else {
         return Err(
             "usage: sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N] \
-             [--budget-ms MS] [--threshold F] [--report out.jsonl]"
+             [--budget-ms MS] [--threshold F] [--report out.jsonl] [--mmap auto|on|off]"
                 .into(),
         );
     };
+    let mmap = mmap.map_or(Ok(same_different::store::MmapMode::Auto), |v| {
+        parse_mmap(&v)
+    })?;
     let mut options = volume::VolumeOptions {
         jobs: jobs.map_or(Ok(same_different::sim::available_jobs()), |s| {
             s.parse().map_err(|_| "bad --jobs")
@@ -620,9 +633,9 @@ fn cmd_volume(args: &[String]) -> Result<(), String> {
     // degrade device records, only a bad manifest is fatal); anything else
     // loads as one whole dictionary.
     let bytes =
-        same_different::store::read_dictionary_file(dict_path).map_err(|e| e.to_string())?;
+        same_different::store::read_dictionary_bytes(dict_path, mmap).map_err(|e| e.to_string())?;
     let source: Box<dyn volume::ShardSource> = if same_different::store::is_manifest(&bytes) {
-        Box::new(volume::PreloadedShards::open(dict_path).map_err(|e| e.to_string())?)
+        Box::new(volume::PreloadedShards::open_with(dict_path, mmap).map_err(|e| e.to_string())?)
     } else {
         let dictionary = if same_different::store::is_binary(&bytes) {
             same_different::store::decode(&bytes)
@@ -696,6 +709,12 @@ fn cmd_volume(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--mmap` flag value into a byte-ownership mode.
+fn parse_mmap(value: &str) -> Result<same_different::store::MmapMode, String> {
+    same_different::store::MmapMode::parse(value)
+        .ok_or_else(|| format!("bad --mmap {value:?} (want auto|on|off)"))
+}
+
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of 1024).
 fn parse_bytes(s: &str) -> Result<usize, String> {
     let (digits, shift) = match s.trim_end_matches(['k', 'K', 'm', 'M', 'g', 'G']) {
@@ -725,6 +744,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut deadline_ms = None;
     let mut idle_ms = None;
     let mut backend = None;
+    let mut mmap = None;
     let positional = parse_flags(
         args,
         &mut [
@@ -735,6 +755,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ("--deadline-ms", &mut deadline_ms),
             ("--idle-ms", &mut idle_ms),
             ("--backend", &mut backend),
+            ("--mmap", &mut mmap),
         ],
     )?;
     let mut config = same_different::serve::ServeConfig::default();
@@ -764,6 +785,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(token) = backend {
         config.backend =
             same_different::serve::ServeBackend::parse(&token).map_err(|e| e.to_string())?;
+    }
+    if let Some(token) = mmap {
+        config.mmap = parse_mmap(&token)?;
     }
     let handle = same_different::serve::serve(&config).map_err(|e| e.to_string())?;
     // Preload `name=path` dictionaries through the protocol itself, so the

@@ -420,8 +420,10 @@ mod tests {
         assert_eq!(n, 1, "one coalesced wake event");
         assert_eq!(events[0].token, 7);
         assert!(events[0].readable);
-        waker.drain();
+        // Join before draining: the second wake must have landed (and
+        // coalesced) before the drain, or it would re-signal afterwards.
         handle.join().unwrap();
+        waker.drain();
 
         // Drained: the next wait times out quietly.
         events.clear();

@@ -109,7 +109,7 @@ use std::time::{Duration, Instant};
 use sdd_core::diagnose::{match_signatures_masked_into, MatchQuality, ScoredCandidate};
 use sdd_core::Budget;
 use sdd_logic::{BitVec, MaskedBitVec, SddError};
-use sdd_store::{DictionaryKind, ShardedReader, StoredDictionary};
+use sdd_store::{DictBytes, DictionaryKind, MmapMode, SddbReader, ShardedReader, StoredDictionary};
 use sdd_volume::{
     error_token, quality_name, FetchError, ShardSource, VolumeOptions, WholeSource, WireSink,
 };
@@ -175,6 +175,12 @@ pub struct ServeConfig {
     pub request_deadline: Option<Duration>,
     /// Which transport drives the sockets (see the module docs).
     pub backend: ServeBackend,
+    /// How `LOAD` brings dictionary files into memory: mapped zero-copy
+    /// images ([`MmapMode::Auto`] maps on Linux, reads elsewhere) or owned
+    /// buffers. Mapped binary dictionaries register their validated image
+    /// and defer decoding to the first `DIAG`; mapped shard eviction is an
+    /// `munmap`. Verdict bytes are identical in every mode.
+    pub mmap: MmapMode,
 }
 
 impl Default for ServeConfig {
@@ -188,6 +194,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(600),
             request_deadline: None,
             backend: ServeBackend::Auto,
+            mmap: MmapMode::Auto,
         }
     }
 }
@@ -204,7 +211,17 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// One loaded dictionary — whole, or a lazily-populated shard set.
 enum Entry {
     Whole {
-        dictionary: Arc<StoredDictionary>,
+        /// The decoded form. `None` while only the mapped image is held:
+        /// a mapped `LOAD` validates and checksums the file but defers
+        /// decoding to the first `DIAG`, and eviction of an image-backed
+        /// entry drops only this (the image re-decodes from warm pages).
+        dictionary: Option<Arc<StoredDictionary>>,
+        /// The validated byte image the decode runs from — present only
+        /// when it is a mapping, which costs page cache rather than heap
+        /// and is therefore not counted against the memory cap.
+        image: Option<Arc<DictBytes>>,
+        /// Decoded-resident bytes counted against the cap (zero while the
+        /// entry is image-only).
         bytes: usize,
         last_used: u64,
         /// Microseconds the `LOAD` spent reading, decoding, and inserting —
@@ -222,11 +239,15 @@ enum Entry {
 }
 
 /// Residency state of one shard. The manifest itself is a few hundred bytes
-/// and is not counted against the memory cap; only resident shard payloads
-/// are.
+/// and is not counted against the memory cap; only resident decoded shard
+/// payloads are — a shard's mapped image is page cache, tracked separately.
 #[derive(Default)]
 struct ShardSlot {
     resident: Option<Arc<StoredDictionary>>,
+    /// The shard file's mapped image, kept alongside the decoded form so
+    /// `STATS` can report mapped bytes; eviction drops both, and dropping
+    /// the image *is* the `munmap`.
+    image: Option<DictBytes>,
     bytes: usize,
     last_used: u64,
     /// How many times this shard has been (re)loaded from disk — zero means
@@ -234,9 +255,22 @@ struct ShardSlot {
     loads: u64,
 }
 
+impl ShardSlot {
+    fn mapped_bytes(&self) -> usize {
+        match &self.image {
+            Some(image) if image.is_mapped() => image.len(),
+            _ => 0,
+        }
+    }
+}
+
 /// What [`Registry::get`] found under a name.
 enum Fetched {
     Whole(Arc<StoredDictionary>),
+    /// A mapped dictionary whose decode is deferred (or was evicted): the
+    /// caller decodes from the image outside the registry lock and makes
+    /// the result resident via [`Registry::insert_decoded`].
+    WholeCold(Arc<DictBytes>),
     Sharded(Arc<ShardedReader>),
     Missing,
 }
@@ -263,6 +297,13 @@ impl RegistryInner {
     /// unit named by `keep` (a whole dictionary, or one shard of one) is
     /// never evicted: an entry larger than the cap alone is admitted,
     /// because refusing it would make the service useless for that design.
+    ///
+    /// Only decoded-resident bytes count against the cap, so only they are
+    /// evictable: an image-backed whole dictionary keeps its mapping (page
+    /// cache, free to re-decode from) and sheds just the decoded form,
+    /// while an owned whole dictionary is removed outright. A shard drops
+    /// both its decoded form and its mapped image — that drop is the
+    /// `munmap`, and a later fetch maps the file afresh.
     fn evict_over_cap(&mut self, cap: usize, keep: (&str, Option<usize>)) {
         while self.bytes > cap {
             let victim = self
@@ -270,9 +311,15 @@ impl RegistryInner {
                 .iter()
                 .flat_map(|(name, entry)| -> Vec<(u64, String, Option<usize>)> {
                     match entry {
-                        Entry::Whole { last_used, .. } => {
-                            vec![(*last_used, name.clone(), None)]
-                        }
+                        Entry::Whole {
+                            last_used,
+                            dictionary,
+                            ..
+                        } => dictionary
+                            .is_some()
+                            .then(|| (*last_used, name.clone(), None))
+                            .into_iter()
+                            .collect(),
                         Entry::Sharded { slots, .. } => slots
                             .iter()
                             .enumerate()
@@ -288,7 +335,20 @@ impl RegistryInner {
             };
             match slot {
                 None => {
-                    if let Some(Entry::Whole { bytes, .. }) = self.entries.remove(&name) {
+                    let image_backed = matches!(
+                        self.entries.get(&name),
+                        Some(Entry::Whole { image: Some(_), .. })
+                    );
+                    if image_backed {
+                        if let Some(Entry::Whole {
+                            dictionary, bytes, ..
+                        }) = self.entries.get_mut(&name)
+                        {
+                            *dictionary = None;
+                            self.bytes -= *bytes;
+                            *bytes = 0;
+                        }
+                    } else if let Some(Entry::Whole { bytes, .. }) = self.entries.remove(&name) {
                         self.bytes -= bytes;
                     }
                 }
@@ -296,6 +356,7 @@ impl RegistryInner {
                     if let Some(Entry::Sharded { slots, .. }) = self.entries.get_mut(&name) {
                         let slot = &mut slots[index];
                         slot.resident = None;
+                        slot.image = None; // the munmap
                         self.bytes -= slot.bytes;
                         slot.bytes = 0;
                     }
@@ -323,8 +384,8 @@ impl Registry {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Inserts (or replaces) a whole dictionary, then evicts until the
-    /// total fits the cap.
+    /// Inserts (or replaces) a whole, decoded, owned dictionary, then
+    /// evicts until the total fits the cap.
     fn insert(&self, name: &str, dictionary: StoredDictionary, load_us: u64) -> usize {
         let bytes = dictionary.approx_bytes();
         let mut inner = self.lock();
@@ -333,7 +394,8 @@ impl Registry {
         let old = inner.entries.insert(
             name.to_owned(),
             Entry::Whole {
-                dictionary: Arc::new(dictionary),
+                dictionary: Some(Arc::new(dictionary)),
+                image: None,
                 bytes,
                 last_used: clock,
                 load_us,
@@ -343,6 +405,57 @@ impl Registry {
         inner.bytes += bytes;
         inner.evict_over_cap(self.cap, (name, None));
         bytes
+    }
+
+    /// Registers (or replaces) a whole dictionary by its validated mapped
+    /// image alone — no decode, no cap pressure. The first `DIAG` decodes
+    /// through [`Fetched::WholeCold`] + [`insert_decoded`]
+    /// (Self::insert_decoded); until then the dictionary costs page cache
+    /// only. Returns the resident decoded byte count — always zero here.
+    fn insert_image(&self, name: &str, image: DictBytes, load_us: u64) -> usize {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let old = inner.entries.insert(
+            name.to_owned(),
+            Entry::Whole {
+                dictionary: None,
+                image: Some(Arc::new(image)),
+                bytes: 0,
+                last_used: clock,
+                load_us,
+            },
+        );
+        inner.bytes -= old.map_or(0, |e| entry_bytes(&e));
+        0
+    }
+
+    /// Makes the decoded form of an image-backed whole dictionary resident
+    /// (the decode ran in the worker, outside this lock), then evicts
+    /// until the total fits the cap. If the entry was replaced mid-request
+    /// the decode still serves this request; it is just not cached.
+    fn insert_decoded(&self, name: &str, dictionary: StoredDictionary) -> Arc<StoredDictionary> {
+        let bytes = dictionary.approx_bytes();
+        let dictionary = Arc::new(dictionary);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(Entry::Whole {
+            dictionary: resident,
+            bytes: entry_bytes,
+            last_used,
+            image: Some(_),
+            ..
+        }) = inner.entries.get_mut(name)
+        {
+            let replaced = std::mem::replace(entry_bytes, bytes);
+            *resident = Some(Arc::clone(&dictionary));
+            *last_used = clock;
+            inner.bytes -= replaced;
+            inner.bytes += bytes;
+            inner.evict_over_cap(self.cap, (name, None));
+        }
+        dictionary
     }
 
     /// Registers (or replaces) a sharded dictionary by its manifest. No
@@ -365,7 +478,9 @@ impl Registry {
     }
 
     /// Fetches whatever is registered under `name`, marking a whole
-    /// dictionary most-recently-used (shards are touched individually).
+    /// dictionary most-recently-used (shards are touched individually). An
+    /// image-backed entry whose decoded form is absent comes back as
+    /// [`Fetched::WholeCold`] for the caller to decode outside the lock.
     fn get(&self, name: &str) -> Fetched {
         let mut inner = self.lock();
         inner.clock += 1;
@@ -373,11 +488,19 @@ impl Registry {
         match inner.entries.get_mut(name) {
             Some(Entry::Whole {
                 dictionary,
+                image,
                 last_used,
                 ..
             }) => {
                 *last_used = clock;
-                Fetched::Whole(Arc::clone(dictionary))
+                match (dictionary, &image) {
+                    (Some(dictionary), _) => Fetched::Whole(Arc::clone(dictionary)),
+                    (None, Some(image)) => Fetched::WholeCold(Arc::clone(image)),
+                    // Unreachable by construction (an entry always holds a
+                    // decoded form, an image, or both), but a typed miss
+                    // beats a panic inside the registry lock.
+                    (None, None) => Fetched::Missing,
+                }
             }
             Some(Entry::Sharded { reader, .. }) => Fetched::Sharded(Arc::clone(reader)),
             None => Fetched::Missing,
@@ -412,9 +535,14 @@ impl Registry {
         reader: &Arc<ShardedReader>,
         index: usize,
         dictionary: StoredDictionary,
+        image: DictBytes,
     ) -> Arc<StoredDictionary> {
         let bytes = dictionary.approx_bytes();
         let dictionary = Arc::new(dictionary);
+        // Only a mapping is worth retaining (it is page cache, and
+        // dropping it later is the munmap); an owned image would just
+        // double the shard's heap next to its decoded form.
+        let image = image.is_mapped().then_some(image);
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -435,6 +563,7 @@ impl Registry {
             if let Some(slot) = slots.get_mut(index) {
                 let replaced = std::mem::replace(&mut slot.bytes, bytes);
                 slot.resident = Some(Arc::clone(&dictionary));
+                slot.image = image;
                 slot.last_used = clock;
                 slot.loads += 1;
                 inner.bytes -= replaced;
@@ -451,16 +580,33 @@ impl Registry {
             .entries
             .iter()
             .map(|(name, e)| match e {
-                Entry::Whole { bytes, load_us, .. } => StatsEntry {
+                Entry::Whole {
+                    bytes,
+                    load_us,
+                    image,
+                    ..
+                } => StatsEntry {
                     name: name.clone(),
                     bytes: *bytes,
                     load_us: *load_us,
+                    mode: if image.is_some() { "mapped" } else { "owned" },
+                    mapped: image.as_ref().map_or(0, |i| i.len()),
                     shards: Vec::new(),
                 },
-                Entry::Sharded { slots, load_us, .. } => StatsEntry {
+                Entry::Sharded {
+                    slots,
+                    load_us,
+                    reader,
+                } => StatsEntry {
                     name: name.clone(),
                     bytes: slots.iter().map(|s| s.bytes).sum(),
                     load_us: *load_us,
+                    mode: if reader.mode().wants_map() {
+                        "mapped"
+                    } else {
+                        "owned"
+                    },
+                    mapped: slots.iter().map(ShardSlot::mapped_bytes).sum(),
                     shards: slots
                         .iter()
                         .map(|s| ShardStat {
@@ -485,6 +631,7 @@ impl Registry {
         RegistryStats {
             dicts: inner.entries.len(),
             bytes: inner.bytes,
+            mapped: entries.iter().map(|e| e.mapped).sum(),
             evictions: inner.evictions,
             resident_shards,
             total_shards,
@@ -503,7 +650,11 @@ fn entry_bytes(entry: &Entry) -> usize {
 /// A consistent snapshot of the registry for `STATS`.
 struct RegistryStats {
     dicts: usize,
+    /// Decoded-resident bytes — the quantity the memory cap bounds.
     bytes: usize,
+    /// Mapped image bytes across every entry — page cache the kernel can
+    /// reclaim, deliberately outside the cap.
+    mapped: usize,
     evictions: u64,
     /// Resident shards across every sharded entry.
     resident_shards: usize,
@@ -517,6 +668,11 @@ struct StatsEntry {
     name: String,
     bytes: usize,
     load_us: u64,
+    /// `"mapped"` when the entry's bytes come from a mapping (or, for a
+    /// sharded entry, its shards load through one), else `"owned"`.
+    mode: &'static str,
+    /// Mapped image bytes currently held for this entry.
+    mapped: usize,
     /// Empty for whole dictionaries; per-shard residency otherwise.
     shards: Vec<ShardStat>,
 }
@@ -555,6 +711,9 @@ pub(crate) struct Shared {
     pub(crate) workers: usize,
     /// Which transport is live, reported by `STATS` as `backend=`.
     backend: &'static str,
+    /// How `LOAD` brings dictionary files into memory, copied out of
+    /// [`ServeConfig::mmap`].
+    mmap: MmapMode,
     /// Connection and request limits, copied out of [`ServeConfig`].
     pub(crate) limits: Limits,
 }
@@ -682,6 +841,7 @@ pub fn serve(config: &ServeConfig) -> Result<ServerHandle, SddError> {
             ServeBackend::Reactor => "reactor",
             _ => "threaded",
         },
+        mmap: config.mmap,
         limits: Limits {
             max_connections: config.max_connections.max(1),
             write_timeout: config.write_timeout,
@@ -1020,10 +1180,11 @@ pub(crate) fn execute_line(
 pub(crate) fn stats_reply(shared: &Shared) -> String {
     let stats = shared.registry.stats();
     let mut reply = format!(
-        "OK STATS workers={} dicts={} bytes={} cap={} requests={} diags={} evictions={} busy={} partial={} active={} backend={} accepted={} wakeups={} backpressure_stalls={} pipelined={}",
+        "OK STATS workers={} dicts={} bytes={} mapped={} cap={} requests={} diags={} evictions={} busy={} partial={} active={} backend={} accepted={} wakeups={} backpressure_stalls={} pipelined={}",
         shared.workers,
         stats.dicts,
         stats.bytes,
+        stats.mapped,
         shared.registry.cap,
         shared.requests.load(Ordering::Relaxed),
         shared.diagnoses.load(Ordering::Relaxed),
@@ -1045,8 +1206,8 @@ pub(crate) fn stats_reply(shared: &Shared) -> String {
     }
     for entry in &stats.entries {
         reply.push_str(&format!(
-            " dict={}:{}:{}us",
-            entry.name, entry.bytes, entry.load_us
+            " dict={}:{}:{}us:mode={}:mapped={}",
+            entry.name, entry.bytes, entry.load_us, entry.mode, entry.mapped
         ));
         for (index, shard) in entry.shards.iter().enumerate() {
             reply.push_str(&format!(
@@ -1065,17 +1226,19 @@ pub(crate) fn err_reply(message: &str) -> String {
 
 fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
     let start = Instant::now();
-    // `read_dictionary_file` validates the header-declared payload length
-    // against the actual file length *before* buffering, so a corrupt
-    // header claiming a huge payload cannot make the server allocate it.
-    let bytes = match sdd_store::read_dictionary_file(path) {
+    // `read_dictionary_bytes` validates the header-declared payload length
+    // against the actual file length *before* buffering or mapping, so a
+    // corrupt header claiming a huge payload cannot make the server
+    // allocate it, and a truncated file can never SIGBUS a mapped read.
+    let bytes = match sdd_store::read_dictionary_bytes(path, shared.mmap) {
         Ok(bytes) => bytes,
         Err(e) => return err_reply(&e.to_string()),
     };
     if sdd_store::is_manifest(&bytes) {
         // A shard manifest registers the set without touching any shard
-        // file — shards load lazily on the first DIAG that needs them.
-        return match ShardedReader::open(path) {
+        // file — shards load lazily on the first DIAG that needs them,
+        // inheriting the server's byte-ownership mode.
+        return match ShardedReader::open_with(path, shared.mmap) {
             Ok(reader) => {
                 let m = reader.manifest();
                 let (kind, faults, tests, shards) =
@@ -1084,6 +1247,24 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
                 let resident = shared.registry.insert_manifest(name, reader, load_us);
                 format!(
                     "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us} shards={shards}"
+                )
+            }
+            Err(e) => err_reply(&e.to_string()),
+        };
+    }
+    if bytes.is_mapped() && sdd_store::is_binary(&bytes) {
+        // Mapped load: checksum the image now (faulting every page, so
+        // corruption surfaces at LOAD exactly as in owned mode) but defer
+        // the decode to the first DIAG. The registry keeps the mapping;
+        // resident decoded bytes are 0 until a request warms the entry.
+        return match SddbReader::open(&bytes) {
+            Ok(reader) => {
+                let (kind, faults, tests) = (reader.kind().name(), reader.faults(), reader.tests());
+                let mapped = bytes.len();
+                let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let resident = shared.registry.insert_image(name, bytes, load_us);
+                format!(
+                    "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us} mode=mapped mapped={mapped}"
                 )
             }
             Err(e) => err_reply(&e.to_string()),
@@ -1123,6 +1304,15 @@ fn diag_reply(
                 Err(e) => err_reply(&e.to_string()),
             }
         }
+        Fetched::WholeCold(image) => {
+            shared.diagnoses.fetch_add(1, Ordering::Relaxed);
+            match fetch_whole(name, &image, shared)
+                .and_then(|dictionary| diagnose(&dictionary, obs, scratch))
+            {
+                Ok(reply) => reply,
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
         Fetched::Sharded(reader) => {
             shared.diagnoses.fetch_add(1, Ordering::Relaxed);
             match diagnose_sharded_reply(name, &reader, obs, shared, scratch, clock) {
@@ -1135,7 +1325,9 @@ fn diag_reply(
 }
 
 /// Fetches one shard: the resident copy when warm, else loads the shard
-/// file (I/O outside the registry lock) and makes it resident.
+/// file (I/O outside the registry lock) and makes it resident. Under a
+/// mapped mode the shard's image rides along into the registry slot, so
+/// evicting the slot later is the `munmap`.
 fn fetch_shard(
     name: &str,
     reader: &Arc<ShardedReader>,
@@ -1145,10 +1337,25 @@ fn fetch_shard(
     if let Some(dictionary) = shared.registry.resident_shard(name, index) {
         return Ok(dictionary);
     }
-    let dictionary = reader.load_shard(index)?;
+    let (image, dictionary) = reader.load_shard_with_image(index)?;
     Ok(shared
         .registry
-        .insert_shard(name, reader, index, dictionary))
+        .insert_shard(name, reader, index, dictionary, image))
+}
+
+/// Decodes a cold image-backed whole dictionary and makes the decoded form
+/// resident — the warm-up path behind [`Fetched::WholeCold`]. The image
+/// was checksummed at `LOAD`; `revalidate` re-checks the mapped file's
+/// length first so an in-place truncation since then surfaces as a typed
+/// [`SddError::Truncated`], never a fault on a vanished page.
+fn fetch_whole(
+    name: &str,
+    image: &DictBytes,
+    shared: &Arc<Shared>,
+) -> Result<Arc<StoredDictionary>, SddError> {
+    image.revalidate()?;
+    let dictionary = sdd_store::decode(image.as_slice())?;
+    Ok(shared.registry.insert_decoded(name, dictionary))
 }
 
 /// Do two cone bitmaps share an output?
@@ -1473,6 +1680,10 @@ fn volume_reply(
     }
     let source: Box<dyn ShardSource + '_> = match shared.registry.get(name) {
         Fetched::Whole(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+        Fetched::WholeCold(image) => match fetch_whole(name, &image, shared) {
+            Ok(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+            Err(e) => return drain(reader, writer, err_reply(&e.to_string())),
+        },
         Fetched::Sharded(shard_reader) => Box::new(RegistrySource {
             name,
             reader: shard_reader,
@@ -1537,6 +1748,10 @@ pub(crate) fn execute_volume(
     }
     let source: Box<dyn ShardSource + '_> = match shared.registry.get(name) {
         Fetched::Whole(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+        Fetched::WholeCold(image) => match fetch_whole(name, &image, shared) {
+            Ok(dictionary) => Box::new(WholeSource::from_arc(dictionary)),
+            Err(e) => return push_line(out, &err_reply(&e.to_string())),
+        },
         Fetched::Sharded(shard_reader) => Box::new(RegistrySource {
             name,
             reader: shard_reader,
@@ -1863,14 +2078,14 @@ mod tests {
         assert_eq!(stats.entries[0].shards[0].status, "cold");
 
         let d0 = reader.load_shard(0).unwrap();
-        registry.insert_shard("paper", &reader, 0, d0);
+        registry.insert_shard("paper", &reader, 0, d0, DictBytes::Owned(Vec::new()));
         let stats = registry.stats();
         assert_eq!((stats.resident_shards, stats.evictions), (1, 0));
 
         // Loading the second shard evicts the first — shard granularity,
         // not the whole entry.
         let d1 = reader.load_shard(1).unwrap();
-        registry.insert_shard("paper", &reader, 1, d1);
+        registry.insert_shard("paper", &reader, 1, d1, DictBytes::Owned(Vec::new()));
         let stats = registry.stats();
         assert_eq!((stats.resident_shards, stats.total_shards), (1, 2));
         assert_eq!(stats.evictions, 1);

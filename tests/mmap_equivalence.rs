@@ -1,0 +1,223 @@
+//! The mmap correctness bar: every verdict byte a server produces with
+//! `--mmap on` equals the byte it produces with `--mmap off`, for whole and
+//! sharded dictionaries, across `DIAG`, `BATCH`, and `VOLUME` — and
+//! `verify` agrees with itself across modes, both in process and through
+//! the real `sdd` binary. Residency bookkeeping (`STATS`) is the only
+//! thing allowed to differ, and only in the documented `mode=`/`mapped=`
+//! tokens.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use same_different::dict::Procedure1Options;
+use same_different::serve::{serve, Client, ServeConfig};
+use same_different::sim::reference;
+use same_different::store::{self, MmapMode, StoredDictionary};
+use same_different::volume::{self, SynthSpec};
+use same_different::Experiment;
+
+struct Fixture {
+    dir: PathBuf,
+    exp: Experiment,
+    tests: Vec<same_different::logic::BitVec>,
+    whole_path: PathBuf,
+    manifest_path: PathBuf,
+    corpus: String,
+}
+
+/// c17 same/different dictionary, saved whole and as a two-shard manifest,
+/// plus a small synthesized device corpus.
+fn fixture(tag: &str) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("sdd-mmap-eq-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let exp = Experiment::new(same_different::netlist::library::c17());
+    let tests = exp.diagnostic_tests(&Default::default()).tests;
+    let suite = exp.build_dictionaries(
+        &tests,
+        &Procedure1Options {
+            calls1: 3,
+            ..Default::default()
+        },
+    );
+    let whole = StoredDictionary::SameDifferent(suite.same_different);
+    let whole_path = dir.join("c17.sddb");
+    store::save(&whole_path, &whole).unwrap();
+    let manifest_path = dir.join("c17.sddm");
+    let n = whole.fault_count();
+    store::write_sharded(&manifest_path, &whole, &[0..n / 2, n / 2..n], None).unwrap();
+
+    let matrix = exp.simulate(&tests);
+    let spec = SynthSpec {
+        devices: 24,
+        systematic: vec![(1, 0.25)],
+        mask_rate: 0.1,
+        flip_rate: 0.05,
+        jsonl_every: 4,
+        seed: 5,
+    };
+    let mut corpus = Vec::new();
+    volume::synthesize(&matrix, &spec, &mut corpus).unwrap();
+    let corpus = String::from_utf8(corpus).unwrap();
+
+    Fixture {
+        dir,
+        exp,
+        tests,
+        whole_path,
+        manifest_path,
+        corpus,
+    }
+}
+
+/// The observation a tester would log for `fault`, with every third test's
+/// first output bit masked — ternary, slash-separated.
+fn observation(f: &Fixture, fault_position: usize) -> String {
+    let fault = f.exp.universe().fault(f.exp.faults()[fault_position]);
+    let tokens: Vec<String> = f
+        .tests
+        .iter()
+        .enumerate()
+        .map(|(t, test)| {
+            let response = reference::faulty_response(f.exp.circuit(), f.exp.view(), fault, test);
+            let mut token = response.to_string();
+            if t % 3 == 0 {
+                token.replace_range(0..1, "X");
+            }
+            token
+        })
+        .collect();
+    tokens.join("/")
+}
+
+#[test]
+fn served_verdict_bytes_are_identical_across_mmap_modes() {
+    if !store::mmap_supported() {
+        return; // `--mmap on` is an honest hard error here, not a comparison
+    }
+    let f = fixture("serve");
+
+    // One live server per mode; each loads the whole file and the manifest.
+    let start = |mmap| {
+        let handle = serve(&ServeConfig {
+            workers: 2,
+            mmap,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for (name, path) in [("whole", &f.whole_path), ("sharded", &f.manifest_path)] {
+            let reply = client
+                .request(&format!("LOAD {name} {}", path.display()))
+                .unwrap();
+            assert!(reply.starts_with("OK LOADED"), "{reply}");
+        }
+        (handle, client)
+    };
+    let (mapped_handle, mut mapped) = start(MmapMode::On);
+    let (owned_handle, mut owned) = start(MmapMode::Off);
+
+    // DIAG: every fault's masked observation, against both dictionary
+    // shapes, byte for byte.
+    for name in ["whole", "sharded"] {
+        for fault in 0..f.exp.faults().len() {
+            let obs = observation(&f, fault);
+            let mapped_reply = mapped.request(&format!("DIAG {name} {obs}")).unwrap();
+            let owned_reply = owned.request(&format!("DIAG {name} {obs}")).unwrap();
+            assert!(mapped_reply.starts_with("OK DIAG "), "{mapped_reply}");
+            assert_eq!(mapped_reply, owned_reply, "{name} fault {fault}");
+        }
+    }
+
+    // BATCH: counted result lines, byte for byte.
+    let obs: Vec<String> = (0..4).map(|fault| observation(&f, fault)).collect();
+    let obs_refs: Vec<&str> = obs.iter().map(String::as_str).collect();
+    for name in ["whole", "sharded"] {
+        assert_eq!(
+            mapped.batch(name, &obs_refs).unwrap(),
+            owned.batch(name, &obs_refs).unwrap(),
+            "{name}"
+        );
+    }
+
+    // VOLUME: the complete framed reply (records + summary), byte for byte.
+    let corpus_lines: Vec<&str> = f.corpus.lines().collect();
+    for name in ["whole", "sharded"] {
+        assert_eq!(
+            mapped.volume(name, &corpus_lines, "seed=5").unwrap(),
+            owned.volume(name, &corpus_lines, "seed=5").unwrap(),
+            "{name}"
+        );
+    }
+
+    // Residency is the one permitted difference: the mapped server reports
+    // mapped images, the owned server reports none.
+    let mapped_stats = mapped.request("STATS").unwrap();
+    let owned_stats = owned.request("STATS").unwrap();
+    assert!(mapped_stats.contains(" dict=whole:"), "{mapped_stats}");
+    assert!(mapped_stats.contains(":mode=mapped:"), "{mapped_stats}");
+    assert!(!owned_stats.contains(":mode=mapped:"), "{owned_stats}");
+    assert!(owned_stats.contains(" mapped=0 "), "{owned_stats}");
+
+    for (handle, mut client) in [(mapped_handle, mapped), (owned_handle, owned)] {
+        assert_eq!(client.request("SHUTDOWN").unwrap(), "OK BYE");
+        handle.wait();
+    }
+    std::fs::remove_dir_all(&f.dir).ok();
+}
+
+#[test]
+fn verify_and_cli_results_are_identical_across_mmap_modes() {
+    let f = fixture("cli");
+
+    // In-process verify: identical reports for whole and sharded artifacts.
+    for path in [&f.whole_path, &f.manifest_path] {
+        let owned = store::verify_file_with(path, MmapMode::Off).unwrap();
+        let mapped = store::verify_file_with(path, MmapMode::Auto).unwrap();
+        assert_eq!(owned.healthy(), mapped.healthy());
+        assert_eq!(owned.kind, mapped.kind);
+        assert_eq!(owned.faults, mapped.faults);
+        assert_eq!(owned.covered_faults(), mapped.covered_faults());
+        assert!(mapped.healthy(), "{}", path.display());
+    }
+
+    // The real binary, both verbs, both modes: stdout of `verify` and the
+    // written `volume` report must not differ by a byte.
+    let verify_stdout = |mode: &str, path: &PathBuf| -> Vec<u8> {
+        let output = Command::new(env!("CARGO_BIN_EXE_sdd"))
+            .args(["verify", "--mmap", mode])
+            .arg(path)
+            .output()
+            .expect("run sdd verify");
+        assert!(output.status.success(), "sdd verify --mmap {mode} failed");
+        output.stdout
+    };
+    let corpus_path = f.dir.join("corpus.txt");
+    std::fs::write(&corpus_path, &f.corpus).unwrap();
+    let volume_report = |mode: &str, out: &str| -> Vec<u8> {
+        let out_path = f.dir.join(out);
+        let status = Command::new(env!("CARGO_BIN_EXE_sdd"))
+            .arg("volume")
+            .arg(&f.manifest_path)
+            .args(["--mmap", mode, "--seed", "5", "--corpus"])
+            .arg(&corpus_path)
+            .arg("--report")
+            .arg(&out_path)
+            .status()
+            .expect("run sdd volume");
+        assert!(status.success(), "sdd volume --mmap {mode} failed");
+        std::fs::read(&out_path).unwrap()
+    };
+    for path in [&f.whole_path, &f.manifest_path] {
+        let off = verify_stdout("off", path);
+        assert_eq!(off, verify_stdout("auto", path), "{}", path.display());
+        if store::mmap_supported() {
+            assert_eq!(off, verify_stdout("on", path), "{}", path.display());
+        }
+    }
+    let off = volume_report("off", "report-off.jsonl");
+    assert_eq!(off, volume_report("auto", "report-auto.jsonl"));
+    if store::mmap_supported() {
+        assert_eq!(off, volume_report("on", "report-on.jsonl"));
+    }
+    std::fs::remove_dir_all(&f.dir).ok();
+}

@@ -127,12 +127,22 @@ fn served_diagnosis_matches_in_process_diagnosis() {
     assert!(reply.starts_with("ERR "), "{reply}");
 
     // STATS reflects the provisioning and the traffic this test generated,
-    // including the per-dictionary load-time entry.
+    // including the per-dictionary residency entry with its byte-ownership
+    // mode: under the default auto mmap mode a binary dictionary serves
+    // from a mapped image (decoded bytes counted separately), elsewhere it
+    // is an owned in-heap copy.
     let stats = client.request("STATS").unwrap();
     assert!(stats.starts_with("OK STATS workers=2 dicts=1 "), "{stats}");
     assert!(stats.contains("evictions=0"), "{stats}");
+    assert!(stats.contains(" mapped="), "{stats}");
     assert!(stats.contains(" dict=c17:"), "{stats}");
-    assert!(stats.ends_with("us"), "{stats}");
+    if sdd_store::mmap_supported() {
+        assert!(stats.contains(":mode=mapped:"), "{stats}");
+        assert!(!stats.contains(":mapped=0"), "{stats}");
+    } else {
+        assert!(stats.contains(":mode=owned:"), "{stats}");
+        assert!(stats.contains(":mapped=0"), "{stats}");
+    }
 
     // SHUTDOWN acknowledges, then the server drains and releases the port.
     let reply = client.request("SHUTDOWN").unwrap();

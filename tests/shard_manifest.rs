@@ -142,6 +142,87 @@ fn zero_shard_count_is_a_typed_empty_error() {
 }
 
 #[test]
+fn shard_corruption_surfaces_identically_under_mmap() {
+    use store::MmapMode;
+
+    let (dir, manifest_path, whole) = fixture("mmap");
+    let owned = ShardedReader::open_with(&manifest_path, MmapMode::Off).unwrap();
+    let mapped = ShardedReader::open_with(&manifest_path, MmapMode::On).unwrap();
+    assert!(!owned.mode().wants_map());
+    assert_eq!(mapped.mode().wants_map(), store::mmap_supported());
+
+    // Healthy shards load byte-identically through both modes.
+    for index in 0..owned.shard_count() {
+        if store::mmap_supported() {
+            assert_eq!(
+                owned.load_shard(index).unwrap(),
+                mapped.load_shard(index).unwrap()
+            );
+        }
+        owned.check_shard(index).unwrap();
+    }
+    assert_eq!(
+        owned.load_shard(0).unwrap().fault_count() * 2,
+        whole.fault_count()
+    );
+
+    // Damage shard 1 three ways; each typed error must match across modes.
+    let shard_path = dir.join(&owned.manifest().shards[1].file);
+    let pristine = std::fs::read(&shard_path).unwrap();
+    let shard_error = |reader: &ShardedReader| reader.load_shard(1).expect_err("damaged shard");
+
+    // Truncation below the header-declared length: refused before mapping.
+    std::fs::write(&shard_path, &pristine[..pristine.len() - 3]).unwrap();
+    let owned_err = shard_error(&owned);
+    assert!(
+        matches!(owned_err, SddError::Truncated { .. }),
+        "{owned_err}"
+    );
+    if store::mmap_supported() {
+        assert_eq!(owned_err.to_string(), shard_error(&mapped).to_string());
+    }
+
+    // Payload flip: both modes checksum the same bytes.
+    let mut bytes = pristine.clone();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    std::fs::write(&shard_path, &bytes).unwrap();
+    let owned_err = shard_error(&owned);
+    assert!(
+        matches!(owned_err, SddError::ChecksumMismatch { .. }),
+        "{owned_err}"
+    );
+    if store::mmap_supported() {
+        assert_eq!(owned_err.to_string(), shard_error(&mapped).to_string());
+    }
+
+    // Version bump (header resealed): rejected at the pre-map header read.
+    let mut bytes = pristine.clone();
+    bytes[4..6].copy_from_slice(&(store::VERSION + 1).to_le_bytes());
+    reseal_header(&mut bytes);
+    std::fs::write(&shard_path, &bytes).unwrap();
+    let owned_err = shard_error(&owned);
+    assert!(
+        matches!(owned_err, SddError::UnsupportedVersion { .. }),
+        "{owned_err}"
+    );
+    if store::mmap_supported() {
+        assert_eq!(owned_err.to_string(), shard_error(&mapped).to_string());
+        // check_shard (the verify path) sees the same typed error.
+        assert!(matches!(
+            mapped.check_shard(1),
+            Err(SddError::UnsupportedVersion { .. })
+        ));
+    }
+
+    // Restoring the shard restores both modes.
+    std::fs::write(&shard_path, &pristine).unwrap();
+    owned.check_shard(1).unwrap();
+    mapped.check_shard(1).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn flipped_body_byte_is_a_body_checksum_error() {
     let (dir, manifest_path, _) = fixture("body");
     let mut bytes = std::fs::read(&manifest_path).unwrap();

@@ -139,6 +139,135 @@ fn flipped_payload_byte_is_a_checksum_error() {
     ));
 }
 
+/// The typed failure a corrupt on-disk `.sddb` yields under one byte
+/// ownership mode — at the pre-validated read if the header is bad, else
+/// at decode.
+fn load_error(path: &std::path::Path, mode: store::MmapMode) -> SddError {
+    match store::read_dictionary_bytes(path, mode) {
+        Err(e) => e,
+        Ok(bytes) => decode(bytes.as_slice()).expect_err("corrupt bytes decoded cleanly"),
+    }
+}
+
+/// One labeled way to damage an encoded dictionary image.
+type Damage = (&'static str, Box<dyn Fn(&mut Vec<u8>)>);
+
+#[test]
+fn corruption_surfaces_identically_under_mmap() {
+    use store::MmapMode;
+
+    let suite = c17_suite();
+    let pristine = encode(&StoredDictionary::SameDifferent(
+        suite.same_different.clone(),
+    ));
+    let dir = std::env::temp_dir().join(format!("sdd-roundtrip-mmap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dict.sddb");
+
+    // Each damage mode, written to disk, must yield the *same* typed error
+    // whether the file is mapped or read — the SIGBUS-avoidance guarantee:
+    // a truncated file is refused before mapping, never faulted on.
+    let damages: [Damage; 4] = [
+        (
+            "truncated payload",
+            Box::new(|b: &mut Vec<u8>| {
+                b.truncate(b.len() - 5);
+            }),
+        ),
+        (
+            "truncated header",
+            Box::new(|b: &mut Vec<u8>| {
+                b.truncate(HEADER_LEN / 2);
+            }),
+        ),
+        (
+            "flipped header byte",
+            Box::new(|b: &mut Vec<u8>| b[9] ^= 0x40),
+        ),
+        (
+            "version bump",
+            Box::new(|b: &mut Vec<u8>| {
+                b[4..6].copy_from_slice(&(store::VERSION + 1).to_le_bytes());
+                let checksum = store::format::fnv1a64(&b[..56]);
+                b[56..64].copy_from_slice(&checksum.to_le_bytes());
+            }),
+        ),
+    ];
+    for (label, damage) in damages {
+        let mut bytes = pristine.clone();
+        damage(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let owned = load_error(&path, MmapMode::Off);
+        let mapped = load_error(&path, MmapMode::On);
+        if !store::mmap_supported() {
+            assert!(matches!(mapped, SddError::Io { .. }), "{label}: {mapped}");
+            continue;
+        }
+        assert_eq!(
+            owned.to_string(),
+            mapped.to_string(),
+            "{label}: owned and mapped reads disagree"
+        );
+        match label {
+            "truncated payload" | "truncated header" => {
+                assert!(
+                    matches!(owned, SddError::Truncated { .. }),
+                    "{label}: {owned}"
+                );
+            }
+            "flipped header byte" => {
+                assert!(
+                    matches!(owned, SddError::ChecksumMismatch { .. }),
+                    "{label}: {owned}"
+                );
+            }
+            "version bump" => {
+                assert!(
+                    matches!(owned, SddError::UnsupportedVersion { .. }),
+                    "{label}: {owned}"
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // A payload flip passes the pre-validation in both modes and fails the
+    // payload checksum at decode, identically.
+    let mut bytes = pristine.clone();
+    let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    let owned = load_error(&path, MmapMode::Off);
+    assert!(matches!(
+        owned,
+        SddError::ChecksumMismatch {
+            context: "store payload",
+            ..
+        }
+    ));
+    if store::mmap_supported() {
+        assert_eq!(
+            owned.to_string(),
+            load_error(&path, MmapMode::On).to_string()
+        );
+    }
+
+    // And the pristine file decodes identically through both modes.
+    std::fs::write(&path, &pristine).unwrap();
+    let owned = decode(
+        store::read_dictionary_bytes(&path, MmapMode::Off)
+            .unwrap()
+            .as_slice(),
+    );
+    let mapped = decode(
+        store::read_dictionary_bytes(&path, MmapMode::Auto)
+            .unwrap()
+            .as_slice(),
+    );
+    assert_eq!(owned.unwrap(), mapped.unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn save_and_load_round_trip_on_disk() {
     let suite = c17_suite();
