@@ -40,9 +40,21 @@
 //! `shards`, `unsharded_cold_s`, `sharded_cold_s`, and `shard_identical`,
 //! the second correctness claim — the merged cross-shard ranking equals the
 //! unsharded one bit for bit.
+//!
+//! Finally a `patch_bench` point times the incremental (ECO) update path
+//! against the from-scratch alternative: a single-pin rewire of the
+//! benchmark circuit is applied to the written artifact with
+//! `patch_dictionary` (`patch_s`) and, separately, the modified netlist is
+//! rebuilt through the full simulate → Procedure 1 → Procedure 2 → encode →
+//! write flow (`rebuild_s`). `patch_identical` is the third correctness
+//! claim: the patched file's bytes equal a rebuild of the modified netlist
+//! under the patched baselines, modulo the patch-generation header field.
+//! The `--check` gate requires `patch_s < rebuild_s` — the point of the
+//! patch path is that it is cheaper than the rebuild it replaces.
 
 use std::time::Instant;
 
+use same_different::netlist::{Circuit, Driver};
 use same_different::Experiment;
 use sdd_bench::TestSetType;
 use sdd_core::{replace_baselines, select_baselines, Procedure1Options, SameDifferentDictionary};
@@ -68,6 +80,9 @@ const NUMERIC_KEYS: &[&str] = &[
     "shards",
     "unsharded_cold_s",
     "sharded_cold_s",
+    "patch_s",
+    "rebuild_s",
+    "patch_touched_tests",
 ];
 
 fn main() {
@@ -185,10 +200,11 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
     let mut serial_baselines = selection_serial.baselines;
     replace_baselines(&matrix_serial, &mut serial_baselines);
     let dictionary = SameDifferentDictionary::build(&matrix, &selection.baselines);
-    let bytes = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone()));
+    let bytes = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone())).unwrap();
     let serial_bytes = sdd_store::encode(&StoredDictionary::SameDifferent(
         SameDifferentDictionary::build(&matrix_serial, &serial_baselines),
-    ));
+    ))
+    .unwrap();
     identical &= bytes == serial_bytes;
 
     // Shard bench: cold-load + first-diagnosis latency, unsharded `.sddb`
@@ -196,6 +212,10 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
     // the merged cross-shard ranking.
     let (shards, unsharded_cold_s, sharded_cold_s, shard_identical) =
         shard_bench(&exp, &matrix, StoredDictionary::SameDifferent(dictionary));
+
+    // Patch bench: the incremental ECO path versus the rebuild it replaces.
+    let (patch_s, rebuild_s, patch_touched_tests, patch_identical) =
+        patch_bench(&exp, &tests.tests, &bytes, calls1, seed, jobs);
 
     // `jobs_effective` is the honesty field: `--jobs 4` on a single-core
     // runner still exercises the threaded path, but only
@@ -211,7 +231,9 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
          \"simulate_speedup\":{:.2},\"procedure1_speedup\":{:.2},\
          \"indistinguished_pairs\":{},\"procedure1_calls\":{},\
          \"shards\":{},\"unsharded_cold_s\":{:.6},\"sharded_cold_s\":{:.6},\
-         \"shard_identical\":{},\"identical\":{}}}",
+         \"shard_identical\":{},\
+         \"patch_s\":{:.6},\"rebuild_s\":{:.6},\"patch_touched_tests\":{},\
+         \"patch_identical\":{},\"identical\":{}}}",
         circuit,
         ttype,
         seed,
@@ -233,8 +255,138 @@ fn run(circuit: &str, ttype: TestSetType, seed: u64, calls1: usize, jobs: usize)
         unsharded_cold_s,
         sharded_cold_s,
         shard_identical,
+        patch_s,
+        rebuild_s,
+        patch_touched_tests,
+        patch_identical,
         identical,
     )
+}
+
+/// Finds a patch-compatible rewire ECO: a gate pin fed by a fan-out-≥3 net,
+/// rewired to a different fan-out-≥2 input/flip-flop net. Both nets keep
+/// fan-out > 1 on every sink, so the branch-fault universe — and with
+/// unchanged gate kinds, the structural collapsing — is preserved while the
+/// function changes. Among the candidates, the gate with the *smallest*
+/// output cone wins: real ECOs are local, and the bench should time the
+/// local-update path, not a root-net rewrite.
+fn find_rewire(exp: &Experiment) -> Option<Circuit> {
+    let circuit = exp.circuit();
+    let fanout = circuit.fanout_counts();
+    let cones = sdd_sim::OutputCones::compute(circuit, exp.view());
+    let sources: Vec<_> = circuit
+        .nets()
+        .filter(|&net| {
+            fanout[net.index()] >= 2
+                && matches!(circuit.driver(net), Driver::Input | Driver::Dff { .. })
+        })
+        .collect();
+    let mut best: Option<(usize, Circuit)> = None;
+    for gate in circuit.nets() {
+        let Driver::Gate { kind, inputs } = circuit.driver(gate) else {
+            continue;
+        };
+        let reach = cones.net_cone(gate).count_ones();
+        if best.as_ref().is_some_and(|(b, _)| *b <= reach) {
+            continue;
+        }
+        for (pin, &old_source) in inputs.iter().enumerate() {
+            if fanout[old_source.index()] < 3 {
+                continue;
+            }
+            if let Some(&new_source) = sources
+                .iter()
+                .find(|&&s| s != old_source && !inputs.contains(&s))
+            {
+                let mut rewired = inputs.clone();
+                rewired[pin] = new_source;
+                let eco = circuit
+                    .with_driver(
+                        gate,
+                        Driver::Gate {
+                            kind: *kind,
+                            inputs: rewired,
+                        },
+                    )
+                    .expect("rewiring to an input net cannot form a cycle");
+                best = Some((reach, eco));
+                break;
+            }
+        }
+    }
+    best.map(|(_, eco)| eco)
+}
+
+/// Times the ECO patch path against a from-scratch rebuild of the modified
+/// netlist and proves the patched bytes equal the rebuild's (modulo the
+/// patch-generation header field). Returns
+/// `(patch_s, rebuild_s, touched_tests, patch_identical)`.
+fn patch_bench(
+    exp: &Experiment,
+    tests: &[sdd_logic::BitVec],
+    whole_bytes: &[u8],
+    calls1: usize,
+    seed: u64,
+    jobs: usize,
+) -> (f64, f64, usize, bool) {
+    use same_different::patch::{patch_dictionary, PatchOptions};
+
+    let old = exp.circuit();
+    let new = find_rewire(exp).expect("no patch-compatible rewire in benchmark circuit");
+
+    let dir = std::env::temp_dir().join(format!("sdd-patch-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create patch bench dir");
+    let path = dir.join("bench.sddb");
+    std::fs::write(&path, whole_bytes).expect("write artifact");
+
+    let start = Instant::now();
+    let report = patch_dictionary(
+        old,
+        &new,
+        tests,
+        &path,
+        &PatchOptions {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .expect("patch");
+    let patch_s = start.elapsed().as_secs_f64();
+
+    // The rebuild it replaces: the full build flow on the modified netlist,
+    // through to committed bytes on disk.
+    let rebuild_path = dir.join("rebuild.sddb");
+    let start = Instant::now();
+    let new_exp = Experiment::new(new.clone());
+    let matrix = new_exp.simulate_jobs(tests, jobs);
+    let mut selection = select_baselines(
+        &matrix,
+        &Procedure1Options {
+            calls1,
+            seed,
+            jobs,
+            ..Procedure1Options::default()
+        },
+    );
+    replace_baselines(&matrix, &mut selection.baselines);
+    let rebuilt = SameDifferentDictionary::build(&matrix, &selection.baselines);
+    sdd_store::save(&rebuild_path, &StoredDictionary::SameDifferent(rebuilt))
+        .expect("write rebuilt dictionary");
+    let rebuild_s = start.elapsed().as_secs_f64();
+
+    // Identity claim: the patched file equals a rebuild of the modified
+    // netlist under the patched baselines (the patch's documented policy —
+    // untouched tests keep their baselines, touched tests carry the
+    // refreshed ones).
+    let patched_bytes = std::fs::read(&path).expect("read patched artifact");
+    let patched = sdd_store::read_same_different_auto(&patched_bytes).expect("decode patched");
+    let target = SameDifferentDictionary::build(&matrix, patched.baseline_classes());
+    let target_bytes = sdd_store::encode(&StoredDictionary::SameDifferent(target)).unwrap();
+    let patch_identical = sdd_store::strip_patch_provenance(&patched_bytes).unwrap()
+        == sdd_store::strip_patch_provenance(&target_bytes).unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    (patch_s, rebuild_s, report.touched_tests, patch_identical)
 }
 
 /// Times the two deployment shapes from a cold start and proves the merged
@@ -330,12 +482,26 @@ fn check(path: &str) -> Result<(), String> {
         Some(value) if value.starts_with('"') && value.len() > 2 => {}
         _ => return Err("missing or empty key \"circuit\"".to_owned()),
     }
-    for claim in ["shard_identical", "identical"] {
+    for claim in ["shard_identical", "patch_identical", "identical"] {
         match field(body, claim) {
             Some("true") => {}
             Some(value) => return Err(format!("{claim:?} is {value}, expected true")),
             None => return Err(format!("missing key {claim:?}")),
         }
+    }
+    // The patch path exists to beat the rebuild it replaces; a report where
+    // it does not is a regression regardless of host shape.
+    let patch_s: f64 = field(body, "patch_s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(f64::MAX);
+    let rebuild_s: f64 = field(body, "rebuild_s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    if patch_s >= rebuild_s {
+        return Err(format!(
+            "patch_s={patch_s} did not beat rebuild_s={rebuild_s}; \
+             the incremental patch path regressed"
+        ));
     }
     // Speedup sanity only where speedup was possible: on a host where the
     // threaded run had real cores (`jobs_effective > 1`), the parallel path

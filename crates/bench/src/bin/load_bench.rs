@@ -99,7 +99,7 @@ fn run(circuit: &str, seed: u64, reps: u32) -> String {
     let dictionary = suite.same_different;
 
     let text = dict_io::write_same_different(&dictionary);
-    let binary = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone()));
+    let binary = sdd_store::encode(&StoredDictionary::SameDifferent(dictionary.clone())).unwrap();
 
     // One warm-up of each path keeps first-touch effects out of the timings.
     assert_eq!(dict_io::read_same_different(&text).unwrap(), dictionary);

@@ -64,7 +64,8 @@ pub use procedure1::{
     select_baselines_once, BaselineSelection, Procedure1Options, ScoreScratch,
 };
 pub use procedure2::{
-    replace_baselines, replace_baselines_budgeted, replace_baselines_pass, ReplacementOutcome,
+    refresh_baselines_budgeted, replace_baselines, replace_baselines_budgeted,
+    replace_baselines_pass, ReplacementOutcome,
 };
 pub use prune::prune_tests;
 pub use same_different::SameDifferentDictionary;

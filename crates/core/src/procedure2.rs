@@ -39,13 +39,33 @@ fn replace_baselines_pass_with(
     baselines: &mut [u32],
     scratch: &mut ScoreScratch,
 ) -> bool {
+    let fixed = Partition::unit(matrix.fault_count());
+    replace_baselines_pass_fixed(matrix, &fixed, baselines, scratch)
+}
+
+/// One replacement pass where `matrix` holds only the tests whose baselines
+/// may move, and `fixed` is the partition already induced by every test
+/// held constant (interning is per-test, so a test subset's matrix is an
+/// exact restriction of the full one). Seeding the suffix chain with
+/// `fixed` makes every candidate score count distinguished pairs of the
+/// *whole* dictionary — the accept/reject decisions equal a full-matrix
+/// pass restricted to these tests. This is what lets an ECO patch refresh
+/// only the touched tests' baselines under a budget.
+fn replace_baselines_pass_fixed(
+    matrix: &ResponseMatrix,
+    fixed: &Partition,
+    baselines: &mut [u32],
+    scratch: &mut ScoreScratch,
+) -> bool {
     let k = matrix.test_count();
     let n = matrix.fault_count();
     assert_eq!(baselines.len(), k, "one baseline class per test");
+    assert_eq!(fixed.len(), n, "fixed partition covers every fault");
 
-    // suffix[j] = partition induced by tests j..k with current baselines.
+    // suffix[j] = partition induced by `fixed` plus tests j..k with
+    // current baselines.
     let mut suffix: Vec<Partition> = Vec::with_capacity(k + 1);
-    suffix.push(Partition::unit(n));
+    suffix.push(fixed.clone());
     for j in (0..k).rev() {
         let mut p = suffix.last().expect("nonempty").clone();
         let classes = matrix.classes(j);
@@ -153,10 +173,62 @@ pub fn replace_baselines_budgeted(
     }
 }
 
+/// Budgeted Procedure 2 restricted to a test subset: `matrix` holds only
+/// the tests whose baselines may be replaced, and `fixed` carries the
+/// partition already induced by every other test's (frozen) baseline.
+/// Accept/reject decisions — and the returned pair count — are those of the
+/// full dictionary; only the subset's baselines can move. Best-so-far
+/// semantics: the budget is checked before each pass and `baselines` always
+/// holds the best assignment reached.
+///
+/// This is the ECO-patch refresh: after a netlist change re-simulates the
+/// touched tests, their baselines get replacement passes without paying for
+/// a full-dictionary Procedure 2 (let alone Procedure 1).
+///
+/// # Panics
+///
+/// Panics if `baselines.len()` differs from the matrix's test count or
+/// `fixed.len()` from its fault count.
+pub fn refresh_baselines_budgeted(
+    matrix: &ResponseMatrix,
+    fixed: &Partition,
+    baselines: &mut [u32],
+    budget: &Budget,
+) -> ReplacementOutcome {
+    let start = Instant::now();
+    let mut passes = 0;
+    let mut completed = true;
+    let mut scratch = ScoreScratch::default();
+    loop {
+        if !budget.allows(passes, start.elapsed()) {
+            completed = false;
+            break;
+        }
+        passes += 1;
+        if !replace_baselines_pass_fixed(matrix, fixed, baselines, &mut scratch) {
+            break;
+        }
+    }
+    ReplacementOutcome {
+        indistinguished_pairs: indistinguished_with_fixed(matrix, fixed, baselines),
+        passes,
+        completed,
+    }
+}
+
 /// Counts the fault pairs a same/different dictionary with these baselines
 /// leaves indistinguished.
 pub(crate) fn indistinguished_with(matrix: &ResponseMatrix, baselines: &[u32]) -> u64 {
-    let mut p = Partition::unit(matrix.fault_count());
+    indistinguished_with_fixed(matrix, &Partition::unit(matrix.fault_count()), baselines)
+}
+
+/// [`indistinguished_with`] over `fixed` pre-refined by held-constant tests.
+pub(crate) fn indistinguished_with_fixed(
+    matrix: &ResponseMatrix,
+    fixed: &Partition,
+    baselines: &[u32],
+) -> u64 {
+    let mut p = fixed.clone();
     for (j, &baseline) in baselines.iter().enumerate() {
         let classes = matrix.classes(j);
         p.refine_bits(|i| classes[i] == baseline);
@@ -243,6 +315,44 @@ mod tests {
         let unlimited = replace_baselines_budgeted(&m, &mut full, &Budget::unlimited());
         assert!(unlimited.completed);
         assert_eq!(capped, full, "the capped run already found the optimum");
+    }
+
+    #[test]
+    fn restricted_refresh_matches_the_full_dictionary_decision() {
+        let m = paper_example();
+        // Freeze test 0 at the paper's class-2 baseline; refresh test 1
+        // alone against the frozen partition.
+        let mut fixed = Partition::unit(m.fault_count());
+        let classes = m.classes(0);
+        fixed.refine_bits(|i| classes[i] == 2);
+        let touched = sdd_sim::ResponseMatrix::from_class_parts(
+            vec![m.good_response(1).clone()],
+            m.fault_count(),
+            m.output_count(),
+            m.classes(1).to_vec(),
+            vec![(0..m.class_count(1) as u32)
+                .map(|c| m.class_diffs(1, c).to_vec())
+                .collect()],
+        )
+        .unwrap();
+        let mut baselines = vec![0u32];
+        let out =
+            refresh_baselines_budgeted(&touched, &fixed, &mut baselines, &Budget::unlimited());
+        assert!(out.completed);
+        assert_eq!(out.indistinguished_pairs, 0);
+        assert_eq!(baselines, vec![1], "the full pass's choice for t1");
+        // A zero budget leaves the starting point untouched (best-so-far)
+        // and still reports the whole dictionary's pair count.
+        let mut frozen = vec![0u32];
+        let out = refresh_baselines_budgeted(
+            &touched,
+            &fixed,
+            &mut frozen,
+            &Budget::deadline(std::time::Duration::ZERO),
+        );
+        assert!(!out.completed);
+        assert_eq!(frozen, vec![0]);
+        assert_eq!(out.indistinguished_pairs, 1);
     }
 
     #[test]

@@ -85,6 +85,16 @@ pub enum SddError {
         /// The OS error message.
         message: String,
     },
+    /// A value does not fit in the fixed-width field the serialized format
+    /// gives it — writing it would silently truncate.
+    TooLarge {
+        /// What was being written (e.g. `"class count"`).
+        context: &'static str,
+        /// The largest value the field can carry.
+        max: u64,
+        /// The value that did not fit.
+        actual: u64,
+    },
 }
 
 impl SddError {
@@ -145,6 +155,14 @@ impl fmt::Display for SddError {
                 "{context} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             SddError::Io { context, message } => write!(f, "{context}: {message}"),
+            SddError::TooLarge {
+                context,
+                max,
+                actual,
+            } => write!(
+                f,
+                "{context} {actual} exceeds the format's maximum of {max}"
+            ),
         }
     }
 }
@@ -214,6 +232,13 @@ mod tests {
         let e = SddError::io("dict.sddb", &std::io::Error::other("disk on fire"));
         assert!(e.to_string().contains("dict.sddb"));
         assert!(e.to_string().contains("disk on fire"));
+        let e = SddError::TooLarge {
+            context: "class count",
+            max: u64::from(u32::MAX),
+            actual: u64::from(u32::MAX) + 1,
+        };
+        assert!(e.to_string().contains("class count"));
+        assert!(e.to_string().contains("4294967296"));
     }
 
     #[test]

@@ -370,6 +370,47 @@ impl Circuit {
         }
         counts
     }
+
+    /// Returns a copy of the circuit with `net`'s driver replaced — the
+    /// programmatic form of a gate-level ECO (kind swap, pin rewire). Net
+    /// ids, names, and the input/output/flip-flop interface are preserved
+    /// exactly, so fault universes enumerated on the original and the
+    /// rewritten circuit line up index for index whenever the local pin
+    /// structure is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::BadArity`] for a gate driver with the wrong input
+    /// count, [`NetlistError::UndrivenNet`] when a gate input is out of
+    /// range, and [`NetlistError::CombinationalCycle`] when the rewire
+    /// creates one.
+    pub fn with_driver(&self, net: NetId, driver: Driver) -> Result<Self, NetlistError> {
+        if let Driver::Gate { kind, inputs } = &driver {
+            let arity_ok = if kind.is_unary() {
+                inputs.len() == 1
+            } else {
+                !inputs.is_empty()
+            };
+            if !arity_ok {
+                return Err(NetlistError::BadArity {
+                    name: self.net_name(net).to_owned(),
+                    kind: *kind,
+                    arity: inputs.len(),
+                });
+            }
+        }
+        for &input in driver.fanin() {
+            if input.index() >= self.net_count() {
+                return Err(NetlistError::UndrivenNet {
+                    name: format!("net id {}", input.0),
+                });
+            }
+        }
+        let mut modified = self.clone();
+        modified.drivers[net.index()] = driver;
+        modified.check_acyclic()?;
+        Ok(modified)
+    }
 }
 
 /// Incremental builder for [`Circuit`], performing validation in
@@ -611,6 +652,52 @@ mod tests {
         let g2 = b.gate("g2", GateKind::Nand, vec![g1, c]);
         b.output(g2);
         b.finish().unwrap()
+    }
+
+    #[test]
+    fn with_driver_swaps_a_gate_and_validates_the_rewire() {
+        let c = two_nand();
+        let g1 = c.net("g1").unwrap();
+        let swapped = c
+            .with_driver(
+                g1,
+                Driver::Gate {
+                    kind: GateKind::And,
+                    inputs: c.driver(g1).fanin().to_vec(),
+                },
+            )
+            .unwrap();
+        assert_eq!(swapped.net_count(), c.net_count());
+        assert_eq!(swapped.inputs(), c.inputs());
+        assert!(matches!(
+            swapped.driver(g1),
+            Driver::Gate {
+                kind: GateKind::And,
+                ..
+            }
+        ));
+        assert_ne!(swapped.driver(g1), c.driver(g1));
+        // Bad arity and self-cycles are rejected.
+        assert!(matches!(
+            c.with_driver(
+                g1,
+                Driver::Gate {
+                    kind: GateKind::Not,
+                    inputs: vec![NetId(0), NetId(1)]
+                }
+            ),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            c.with_driver(
+                g1,
+                Driver::Gate {
+                    kind: GateKind::Buf,
+                    inputs: vec![g1]
+                }
+            ),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! ECO (engineering change order) deltas: which outputs, and therefore
+//! which faults, a netlist edit can possibly affect.
+//!
+//! The same cone argument that makes sharding exact makes patching exact.
+//! A view output's value — fault-free *or* faulty — is a function of the
+//! drivers in its input cone plus the injected fault, so an output none of
+//! whose cone nets changed produces byte-identical responses for **every**
+//! fault and test. Dually, a fault whose output cone misses every dirty
+//! output keeps its exact diff set under every test: its effects only ever
+//! surface at outputs whose computation did not change. An ECO therefore
+//! splits the dictionary's signature matrix into a clean region that can be
+//! reused verbatim and a dirty `faults × tests` region small enough to
+//! re-simulate, which is what `sdd patch` exploits instead of rebuilding.
+//!
+//! Both the old and the new circuit's cones are consulted, so rewiring ECOs
+//! (which move reachability, not just gate functions) stay sound.
+
+use sdd_fault::{FaultId, FaultUniverse};
+use sdd_logic::{BitVec, SddError};
+use sdd_netlist::{Circuit, CombView, NetId};
+
+use crate::OutputCones;
+
+/// The nets whose drivers differ between two interface-identical circuits.
+///
+/// The interface check is strict — same net count, same name per net id,
+/// same input/output/flip-flop lists — because everything downstream
+/// (fault ids, test vectors, signature rows) is indexed by those ids; an
+/// ECO that renames or adds nets needs a full rebuild, and the typed error
+/// says so.
+///
+/// # Errors
+///
+/// [`SddError::Invalid`] when the circuits' interfaces differ.
+pub fn changed_nets(old: &Circuit, new: &Circuit) -> Result<Vec<NetId>, SddError> {
+    if old.net_count() != new.net_count() {
+        return Err(SddError::invalid(format!(
+            "ECO changed the net count ({} -> {}): not patchable, rebuild the dictionary",
+            old.net_count(),
+            new.net_count()
+        )));
+    }
+    for net in old.nets() {
+        if old.net_name(net) != new.net_name(net) {
+            return Err(SddError::invalid(format!(
+                "ECO renamed net {} ({:?} -> {:?}): not patchable, rebuild the dictionary",
+                net.0,
+                old.net_name(net),
+                new.net_name(net)
+            )));
+        }
+    }
+    if old.inputs() != new.inputs() || old.outputs() != new.outputs() || old.dffs() != new.dffs() {
+        return Err(SddError::invalid(
+            "ECO changed the input/output/flip-flop interface: not patchable, \
+             rebuild the dictionary",
+        ));
+    }
+    Ok(old
+        .nets()
+        .filter(|&net| old.driver(net) != new.driver(net))
+        .collect())
+}
+
+/// `true` when two equal-width bit vectors share a set bit.
+fn intersects(a: &BitVec, b: &BitVec) -> bool {
+    a.as_words().zip(b.as_words()).any(|(x, y)| x & y != 0)
+}
+
+/// The cone-level footprint of an ECO over one collapsed fault list.
+///
+/// # Example
+///
+/// ```
+/// use sdd_fault::FaultUniverse;
+/// use sdd_netlist::{library, Driver, GateKind};
+/// use sdd_sim::EcoDelta;
+///
+/// let c17 = library::c17();
+/// let net = c17.net("N10").unwrap();
+/// let eco = c17
+///     .with_driver(net, Driver::Gate {
+///         kind: GateKind::And,
+///         inputs: c17.driver(net).fanin().to_vec(),
+///     })
+///     .unwrap();
+/// let universe = FaultUniverse::enumerate(&c17);
+/// let collapsed = universe.collapse_on(&c17);
+/// let delta = EcoDelta::compute(&c17, &eco, &universe, collapsed.representatives()).unwrap();
+/// assert!(!delta.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EcoDelta {
+    changed_nets: Vec<NetId>,
+    dirty_outputs: BitVec,
+    dirty_faults: Vec<usize>,
+}
+
+impl EcoDelta {
+    /// Computes the delta between `old` and `new` for the faults in
+    /// `faults` (positions in the returned delta index into this slice).
+    ///
+    /// `universe` must describe the fault list on **both** circuits — the
+    /// caller is responsible for checking that the collapsed fault lists
+    /// agree, which [`changed_nets`]'s interface checks make possible but
+    /// do not themselves guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Invalid`] when the circuits are not patch-compatible
+    /// (see [`changed_nets`]).
+    pub fn compute(
+        old: &Circuit,
+        new: &Circuit,
+        universe: &FaultUniverse,
+        faults: &[FaultId],
+    ) -> Result<Self, SddError> {
+        let changed_nets = changed_nets(old, new)?;
+        let old_cones = OutputCones::compute(old, &CombView::new(old));
+        let new_cones = OutputCones::compute(new, &CombView::new(new));
+        let outputs = old_cones.outputs();
+        let mut dirty_outputs = BitVec::zeros(outputs);
+        for &net in &changed_nets {
+            for cone in [old_cones.net_cone(net), new_cones.net_cone(net)] {
+                for o in 0..outputs {
+                    if cone.bit(o) {
+                        dirty_outputs.set(o, true);
+                    }
+                }
+            }
+        }
+        let mut dirty_faults = Vec::new();
+        if dirty_outputs.any() {
+            for (position, &id) in faults.iter().enumerate() {
+                if intersects(&old_cones.fault_cone(universe, id), &dirty_outputs)
+                    || intersects(&new_cones.fault_cone(universe, id), &dirty_outputs)
+                {
+                    dirty_faults.push(position);
+                }
+            }
+        }
+        Ok(Self {
+            changed_nets,
+            dirty_outputs,
+            dirty_faults,
+        })
+    }
+
+    /// Nets whose drivers differ.
+    pub fn changed_nets(&self) -> &[NetId] {
+        &self.changed_nets
+    }
+
+    /// View outputs whose responses may have changed (`m` bits).
+    pub fn dirty_outputs(&self) -> &BitVec {
+        &self.dirty_outputs
+    }
+
+    /// Positions (into the fault list handed to [`compute`](Self::compute))
+    /// of faults whose signatures may have changed.
+    pub fn dirty_faults(&self) -> &[usize] {
+        &self.dirty_faults
+    }
+
+    /// `true` when the ECO cannot have changed any response: the circuits
+    /// are functionally identical as far as the dictionary is concerned.
+    pub fn is_empty(&self) -> bool {
+        self.dirty_faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::{CircuitBuilder, Driver, GateKind};
+
+    /// Two independent inverter chains: a -> g1 -> out0, b -> g2 -> out1.
+    fn split_pair() -> Circuit {
+        let mut b = CircuitBuilder::new("split_pair");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.gate("g1", GateKind::Not, vec![a]);
+        let g2 = b.gate("g2", GateKind::Not, vec![c]);
+        b.output(g1);
+        b.output(g2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn a_one_gate_eco_dirties_only_its_cone() {
+        let old = split_pair();
+        let g2 = old.net("g2").unwrap();
+        let new = old
+            .with_driver(
+                g2,
+                Driver::Gate {
+                    kind: GateKind::Buf,
+                    inputs: old.driver(g2).fanin().to_vec(),
+                },
+            )
+            .unwrap();
+        let universe = FaultUniverse::enumerate(&old);
+        let collapsed = universe.collapse_on(&old);
+        let delta = EcoDelta::compute(&old, &new, &universe, collapsed.representatives()).unwrap();
+        assert_eq!(delta.changed_nets(), &[g2]);
+        assert!(!delta.dirty_outputs().bit(0), "g1's output is clean");
+        assert!(delta.dirty_outputs().bit(1), "g2's output is dirty");
+        assert!(!delta.is_empty());
+        // Exactly the faults that can reach output 1 are dirty.
+        let cones = OutputCones::compute(&old, &CombView::new(&old));
+        for (position, &id) in collapsed.representatives().iter().enumerate() {
+            let reaches = cones.fault_cone(&universe, id).bit(1);
+            assert_eq!(
+                delta.dirty_faults().contains(&position),
+                reaches,
+                "fault {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_circuits_yield_an_empty_delta() {
+        let c = split_pair();
+        let universe = FaultUniverse::enumerate(&c);
+        let collapsed = universe.collapse_on(&c);
+        let delta = EcoDelta::compute(&c, &c, &universe, collapsed.representatives()).unwrap();
+        assert!(delta.changed_nets().is_empty());
+        assert!(delta.is_empty());
+        assert!(!delta.dirty_outputs().any());
+    }
+
+    #[test]
+    fn interface_changes_are_typed_errors() {
+        let old = split_pair();
+        let mut b = CircuitBuilder::new("bigger");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Not, vec![a]);
+        b.output(g1);
+        let smaller = b.finish().unwrap();
+        let err = changed_nets(&old, &smaller).unwrap_err();
+        assert!(err.to_string().contains("rebuild"), "{err}");
+    }
+}

@@ -42,6 +42,7 @@ mod compactor;
 mod cone;
 mod corruption;
 pub mod deductive;
+pub mod eco;
 mod engine;
 mod parallel;
 mod partition;
@@ -52,6 +53,7 @@ mod tester;
 pub use compactor::SpaceCompactor;
 pub use cone::{contiguous_ranges, OutputCones};
 pub use corruption::{CorruptionModel, TruncatedLog};
+pub use eco::EcoDelta;
 pub use engine::{Engine, FaultEffect};
 pub use parallel::available_jobs;
 pub use partition::Partition;

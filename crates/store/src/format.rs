@@ -16,7 +16,9 @@
 //!    24     8  outputs m
 //!    32     8  payload length in bytes
 //!    40     8  payload checksum (FNV-1a 64 over the payload bytes)
-//!    48     8  reserved (written as 0)
+//!    48     4  patch generation (0 = built from scratch, incremented by
+//!              every in-place ECO patch; provenance only, never validated)
+//!    52     4  reserved (written as 0)
 //!    56     8  header checksum (FNV-1a 64 over header bytes 0..56)
 //! ```
 
@@ -59,6 +61,10 @@ pub struct Header {
     pub payload_len: usize,
     /// FNV-1a 64 checksum of the payload bytes.
     pub payload_checksum: u64,
+    /// Patch generation: 0 for an artifact built from scratch, incremented
+    /// by every in-place ECO patch. Provenance only — readers never gate on
+    /// it, and files written before the field existed decode as 0.
+    pub patched: u32,
 }
 
 impl Header {
@@ -73,7 +79,8 @@ impl Header {
         out[24..32].copy_from_slice(&(self.outputs as u64).to_le_bytes());
         out[32..40].copy_from_slice(&(self.payload_len as u64).to_le_bytes());
         out[40..48].copy_from_slice(&self.payload_checksum.to_le_bytes());
-        // Bytes 48..56 reserved.
+        out[48..52].copy_from_slice(&self.patched.to_le_bytes());
+        // Bytes 52..56 reserved.
         let checksum = fnv1a64(&out[..56]);
         out[56..64].copy_from_slice(&checksum.to_le_bytes());
         out
@@ -133,8 +140,36 @@ impl Header {
             outputs: dim(24..32, "output count")?,
             payload_len: dim(32..40, "payload length")?,
             payload_checksum: u64::from_le_bytes(bytes[40..48].try_into().unwrap()),
+            patched: u32::from_le_bytes(bytes[48..52].try_into().unwrap()),
         })
     }
+}
+
+/// Byte range of the patch-generation counter within the header.
+pub const PATCHED_RANGE: std::ops::Range<usize> = 48..52;
+/// Byte range of the header checksum within the header.
+pub const HEADER_CHECKSUM_RANGE: std::ops::Range<usize> = 56..64;
+
+/// Returns a copy of a `.sddb` image with the patch-generation counter
+/// zeroed and the header checksum recomputed: the canonical form used to
+/// compare a patched artifact against a from-scratch rebuild bit-for-bit.
+///
+/// # Errors
+///
+/// [`SddError::Truncated`] when the image is shorter than a header.
+pub fn strip_patch_provenance(image: &[u8]) -> Result<Vec<u8>, SddError> {
+    if image.len() < HEADER_LEN {
+        return Err(SddError::Truncated {
+            context: "store header",
+            expected: HEADER_LEN,
+            actual: image.len(),
+        });
+    }
+    let mut out = image.to_vec();
+    out[PATCHED_RANGE].fill(0);
+    let checksum = fnv1a64(&out[..56]);
+    out[HEADER_CHECKSUM_RANGE].copy_from_slice(&checksum.to_le_bytes());
+    Ok(out)
 }
 
 /// `a * b` with overflow reported as [`SddError::Invalid`] — every offset
@@ -256,9 +291,36 @@ mod tests {
             outputs: 7,
             payload_len: 999,
             payload_checksum: 0xdead_beef,
+            patched: 3,
         };
         let bytes = h.encode();
         assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn patch_generation_is_backward_compatible_and_strippable() {
+        let h = Header {
+            kind: DictionaryKind::SameDifferent,
+            tests: 2,
+            faults: 3,
+            outputs: 4,
+            payload_len: 0,
+            payload_checksum: 0,
+            patched: 0,
+        };
+        // A pre-field file (reserved bytes all zero) decodes as patched = 0.
+        assert_eq!(Header::decode(&h.encode()).unwrap().patched, 0);
+        // Stripping provenance from a patched image recovers the unpatched
+        // bytes exactly, header checksum included.
+        let patched = Header { patched: 7, ..h };
+        assert_eq!(
+            strip_patch_provenance(&patched.encode()).unwrap(),
+            h.encode().to_vec()
+        );
+        assert!(matches!(
+            strip_patch_provenance(&[0u8; 10]),
+            Err(SddError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -270,6 +332,7 @@ mod tests {
             outputs: 1,
             payload_len: 8,
             payload_checksum: 0,
+            patched: 0,
         };
         let good = h.encode();
         // Truncation.

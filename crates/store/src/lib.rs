@@ -16,7 +16,7 @@
 //!
 //! let matrix = sdd_core::example::paper_example();
 //! let d = SameDifferentDictionary::build(&matrix, &[2, 1]);
-//! let bytes = encode(&StoredDictionary::SameDifferent(d.clone()));
+//! let bytes = encode(&StoredDictionary::SameDifferent(d.clone()))?;
 //! match decode(&bytes)? {
 //!     StoredDictionary::SameDifferent(back) => assert_eq!(back, d),
 //!     _ => unreachable!("kind is recorded in the header"),
@@ -34,6 +34,7 @@ mod atomic;
 pub mod format;
 mod manifest;
 pub mod mmap;
+mod patch;
 mod reader;
 mod verify;
 mod writer;
@@ -45,12 +46,13 @@ use sdd_core::{FullDictionary, PassFailDictionary, SameDifferentDictionary};
 use sdd_logic::SddError;
 
 pub use atomic::{atomic_write, is_temp, temp_sibling, AtomicFile};
-pub use format::{Header, HEADER_LEN, MAGIC, VERSION};
+pub use format::{strip_patch_provenance, Header, HEADER_LEN, MAGIC, VERSION};
 pub use manifest::{
     is_manifest, slice_dictionary, write_sharded, ShardManifest, ShardRecord, ShardedReader,
     MANIFEST_HEADER_LEN, MANIFEST_MAGIC, MANIFEST_VERSION,
 };
 pub use mmap::{mmap_supported, read_dictionary_bytes, DictBytes, MappedFile, MmapMode};
+pub use patch::{patch_artifact, patch_file, patch_sharded, PatchStats, SdColumnPatch};
 pub use reader::SddbReader;
 pub use verify::{
     quarantine_bad_shards, verify_file, verify_file_with, ShardHealth, VerifyReport,
@@ -177,7 +179,7 @@ pub fn decode(bytes: &[u8]) -> Result<StoredDictionary, SddError> {
 ///
 /// [`SddError::Io`] when the file cannot be written.
 pub fn save(path: impl AsRef<Path>, dictionary: &StoredDictionary) -> Result<(), SddError> {
-    atomic_write(path, &encode(dictionary))
+    atomic_write(path, &encode(dictionary)?)
 }
 
 /// Reads a dictionary file into memory with a pre-buffering sanity check:
@@ -335,7 +337,7 @@ mod tests {
             StoredDictionary::Full(FullDictionary::new(matrix)),
         ];
         for d in dictionaries {
-            let bytes = encode(&d);
+            let bytes = encode(&d).unwrap();
             assert!(is_binary(&bytes));
             let back = decode(&bytes).unwrap();
             assert_eq!(back, d, "{:?}", d.kind());
@@ -346,7 +348,7 @@ mod tests {
     #[test]
     fn lazy_rows_match_decoded_rows() {
         let d = sample_sd();
-        let bytes = encode(&StoredDictionary::SameDifferent(d.clone()));
+        let bytes = encode(&StoredDictionary::SameDifferent(d.clone())).unwrap();
         let reader = SddbReader::open(&bytes).unwrap();
         assert_eq!(reader.kind(), DictionaryKind::SameDifferent);
         for fault in 0..d.fault_count() {
@@ -360,7 +362,7 @@ mod tests {
 
     #[test]
     fn payload_corruption_is_a_checksum_error() {
-        let mut bytes = encode(&StoredDictionary::SameDifferent(sample_sd()));
+        let mut bytes = encode(&StoredDictionary::SameDifferent(sample_sd())).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         assert!(matches!(
@@ -374,7 +376,7 @@ mod tests {
 
     #[test]
     fn truncated_payload_is_a_truncation_error() {
-        let bytes = encode(&StoredDictionary::SameDifferent(sample_sd()));
+        let bytes = encode(&StoredDictionary::SameDifferent(sample_sd())).unwrap();
         let cut = &bytes[..bytes.len() - 3];
         assert!(matches!(
             decode(cut),
@@ -387,7 +389,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut bytes = encode(&StoredDictionary::SameDifferent(sample_sd()));
+        let mut bytes = encode(&StoredDictionary::SameDifferent(sample_sd())).unwrap();
         bytes.push(0);
         assert!(matches!(decode(&bytes), Err(SddError::Invalid { .. })));
     }
@@ -395,7 +397,7 @@ mod tests {
     #[test]
     fn auto_reader_accepts_both_formats() {
         let d = sample_sd();
-        let binary = encode(&StoredDictionary::SameDifferent(d.clone()));
+        let binary = encode(&StoredDictionary::SameDifferent(d.clone())).unwrap();
         assert_eq!(read_same_different_auto(&binary).unwrap(), d);
         let text = sdd_core::io::write_same_different(&d);
         assert_eq!(read_same_different_auto(text.as_bytes()).unwrap(), d);
@@ -403,7 +405,8 @@ mod tests {
         let matrix = sdd_core::example::paper_example();
         let pf = encode(&StoredDictionary::PassFail(PassFailDictionary::build(
             &matrix,
-        )));
+        )))
+        .unwrap();
         assert!(matches!(
             read_same_different_auto(&pf),
             Err(SddError::Invalid { .. })

@@ -114,10 +114,18 @@ pub struct ShardManifest {
 
 impl ShardManifest {
     /// Serializes the manifest, computing both checksums.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::TooLarge`] when a shard file name exceeds the u32
+    /// length field.
+    pub fn encode(&self) -> Result<Vec<u8>, SddError> {
         let mut body = Vec::new();
         for shard in &self.shards {
-            format::push_u32(&mut body, shard.file.len() as u32);
+            format::push_u32(
+                &mut body,
+                crate::writer::checked_u32(shard.file.len(), "shard file name length")?,
+            );
             body.extend_from_slice(shard.file.as_bytes());
             format::push_u64(&mut body, shard.fault_start as u64);
             format::push_u64(&mut body, shard.fault_count as u64);
@@ -139,7 +147,7 @@ impl ShardManifest {
         let checksum = format::fnv1a64(&out[..56]);
         out[56..64].copy_from_slice(&checksum.to_le_bytes());
         out.extend_from_slice(&body);
-        out
+        Ok(out)
     }
 
     /// Parses and fully validates a manifest image.
@@ -402,7 +410,7 @@ pub fn write_sharded(
     let mut shards = Vec::with_capacity(ranges.len());
     for (index, range) in ranges.iter().enumerate() {
         let shard = slice_dictionary(dictionary, range.clone())?;
-        let bytes = crate::encode(&shard);
+        let bytes = crate::encode(&shard)?;
         let file = format!("{stem}.{index:03}.sddb");
         let path = dir.join(&file);
         crate::atomic_write(&path, &bytes)?;
@@ -442,7 +450,7 @@ pub fn write_sharded(
     };
     // Encoding validates nothing the decoder would reject: round-trip once
     // so a just-written manifest is guaranteed readable.
-    let encoded = manifest.encode();
+    let encoded = manifest.encode()?;
     ShardManifest::decode(&encoded)?;
     // Every shard above was atomically committed (and fsynced) before this
     // point, so the manifest — written last, also atomically — can never
@@ -665,13 +673,13 @@ mod tests {
         let mut gapped = written.clone();
         gapped.shards[1].fault_start = 3;
         assert!(matches!(
-            ShardManifest::decode(&gapped.encode()),
+            ShardManifest::decode(&gapped.encode().unwrap()),
             Err(SddError::Invalid { .. })
         ));
         let mut short = written;
         short.shards.pop();
         assert!(matches!(
-            ShardManifest::decode(&short.encode()),
+            ShardManifest::decode(&short.encode().unwrap()),
             Err(SddError::Invalid { .. })
         ));
     }

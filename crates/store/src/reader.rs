@@ -27,7 +27,7 @@ use crate::{DictionaryKind, StoredDictionary};
 /// use sdd_store::{encode, SddbReader, StoredDictionary};
 ///
 /// let d = PassFailDictionary::build(&sdd_core::example::paper_example());
-/// let bytes = encode(&StoredDictionary::PassFail(d.clone()));
+/// let bytes = encode(&StoredDictionary::PassFail(d.clone())).unwrap();
 /// let reader = SddbReader::open(&bytes)?;
 /// assert_eq!(reader.faults(), 4);
 /// assert_eq!(reader.signature(2)?, *d.signature(2)); // lazy row load

@@ -9,6 +9,8 @@
 //! sdd build ...                                         alias of `dictionary`
 //! sdd inject <file.bench> --tests tests.txt [--fault K|random] [--seed N] [-o obs.txt]
 //! sdd diagnose <file.bench> --tests tests.txt --dict dict.txt|dict.sddb --observed obs.txt
+//! sdd patch <old.bench> <new.bench> <dict.sddb|dict.sddm> --tests tests.txt
+//!           [--jobs N] [--budget-passes N] [--budget-ms MS]
 //! sdd verify <dict.sddb|dict.sddm> [--quarantine] [--mmap auto|on|off]
 //! sdd volume <dict.sddb|dict.sddm> [--corpus file|-] [--jobs N] [--seed N]
 //!            [--budget-ms MS] [--threshold F] [--report out.jsonl] [--mmap auto|on|off]
@@ -23,6 +25,14 @@
 //! final summary). The report bytes are identical for every `--jobs` value
 //! and identical to what the serve `VOLUME` verb streams for the same
 //! corpus.
+//!
+//! `patch` updates a built binary artifact in place after an engineering
+//! change order: it computes which outputs and faults the netlist edit can
+//! reach, re-simulates only those, refreshes baselines of the touched
+//! tests under the given budget, and rewrites only the touched shards
+//! through the crash-safe store path. The result is bit-identical (modulo
+//! the patch-generation counter in the header) to rebuilding the modified
+//! netlist from scratch with the same baselines.
 //!
 //! Test files hold one input pattern per line (`0`/`1` characters, one per
 //! view input: primary inputs then flip-flop pseudo-inputs). Observation
@@ -58,12 +68,13 @@ fn main() -> ExitCode {
         Some("dictionary") | Some("build") => cmd_dictionary(&args[1..]),
         Some("inject") => cmd_inject(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("patch") => cmd_patch(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("volume") => cmd_volume(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
-                "usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|verify|volume|serve> ..."
+                "usage: sdd <generate|info|atpg|dictionary|build|inject|diagnose|patch|verify|volume|serve> ..."
             );
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
@@ -506,6 +517,97 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
     for &pos in report.candidates() {
         let fault = exp.universe().fault(exp.faults()[pos]);
         println!("  {}", fault.describe(exp.circuit()));
+    }
+    Ok(())
+}
+
+fn cmd_patch(args: &[String]) -> Result<(), String> {
+    use same_different::patch::{patch_dictionary, PatchOptions};
+
+    let mut tests_path = None;
+    let mut jobs = None;
+    let mut budget_passes = None;
+    let mut budget_ms = None;
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--tests", &mut tests_path),
+            ("--jobs", &mut jobs),
+            ("--budget-passes", &mut budget_passes),
+            ("--budget-ms", &mut budget_ms),
+        ],
+    )?;
+    let [old_path, new_path, artifact] = positional.as_slice() else {
+        return Err(
+            "usage: sdd patch <old.bench> <new.bench> <dict.sddb|dict.sddm> --tests tests.txt \
+             [--jobs N] [--budget-passes N] [--budget-ms MS]"
+                .into(),
+        );
+    };
+    let tests_path = tests_path.ok_or("patch requires --tests")?;
+    let old = load_circuit(old_path)?;
+    let new = load_circuit(new_path)?;
+    let width = same_different::netlist::CombView::new(&old).inputs().len();
+    let tests = load_patterns(&tests_path, width, "test pattern")?;
+    let jobs = match jobs {
+        Some(v) => v.parse().map_err(|e| format!("--jobs: {e}"))?,
+        None => 1,
+    };
+    let mut budget = same_different::dict::Budget::unlimited();
+    if let Some(v) = budget_passes {
+        let passes: usize = v.parse().map_err(|e| format!("--budget-passes: {e}"))?;
+        budget = budget.and_max_calls(passes);
+    }
+    if let Some(v) = budget_ms {
+        let ms: u64 = v.parse().map_err(|e| format!("--budget-ms: {e}"))?;
+        budget = budget.and_deadline(std::time::Duration::from_millis(ms));
+    }
+
+    let report = patch_dictionary(&old, &new, &tests, artifact, &PatchOptions { jobs, budget })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "changed nets: {} ({})",
+        report.changed_nets.len(),
+        report
+            .changed_nets
+            .iter()
+            .map(|&n| old.net_name(n).to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    println!(
+        "dirty: {} of {} faults, {} outputs",
+        report.dirty_faults, report.total_faults, report.dirty_outputs
+    );
+    println!(
+        "touched tests: {} of {}",
+        report.touched_tests, report.total_tests
+    );
+    if let Some(pairs) = report.indistinguished_pairs {
+        println!(
+            "indistinguished pairs: {pairs} (refresh: {} passes, {})",
+            report.refresh_passes,
+            if report.refresh_completed {
+                "converged"
+            } else {
+                "budget exhausted"
+            },
+        );
+    }
+    let stats = &report.stats;
+    if stats.changed() {
+        println!(
+            "patched {artifact}: {} tests, {} signature bits, {} baselines, \
+             {}/{} files rewritten, generation {}",
+            stats.tests_patched,
+            stats.bits_flipped,
+            stats.baseline_changes,
+            stats.files_rewritten,
+            stats.files_total,
+            stats.generation,
+        );
+    } else {
+        println!("no changes: {artifact} left untouched");
     }
     Ok(())
 }

@@ -55,6 +55,7 @@ pub use sdd_sim as sim;
 pub use sdd_store as store;
 pub use sdd_volume as volume;
 
+pub mod patch;
 pub mod reactor;
 pub mod serve;
 mod serve_reactor;

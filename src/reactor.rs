@@ -390,6 +390,26 @@ impl Waker {
     pub fn drain(&self) {
         self.inner.drain();
     }
+
+    /// Joins a thread that may still be signalling this waker, **then**
+    /// drains the coalesced signal, returning the join result.
+    ///
+    /// The order is the point: draining before the join races the waking
+    /// thread — a wake landing after the drain re-signals the poller, and
+    /// any quiescence check that follows flakes. Tear-down paths that stop
+    /// a waking thread should go through this helper instead of
+    /// open-coding `join` + `drain`, so the ordering cannot regress
+    /// file-by-file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the joined thread's panic payload, exactly like
+    /// [`std::thread::JoinHandle::join`].
+    pub fn join_then_drain<T>(&self, handle: std::thread::JoinHandle<T>) -> std::thread::Result<T> {
+        let result = handle.join();
+        self.drain();
+        result
+    }
 }
 
 #[cfg(all(test, target_os = "linux"))]
@@ -422,8 +442,8 @@ mod tests {
         assert!(events[0].readable);
         // Join before draining: the second wake must have landed (and
         // coalesced) before the drain, or it would re-signal afterwards.
-        handle.join().unwrap();
-        waker.drain();
+        // The helper owns that ordering so no test re-introduces the race.
+        waker.join_then_drain(handle).unwrap();
 
         // Drained: the next wait times out quietly.
         events.clear();
@@ -431,6 +451,36 @@ mod tests {
             .wait(&mut events, Some(Duration::from_millis(20)))
             .unwrap();
         assert_eq!(n, 0, "no events after drain: {events:?}");
+    }
+
+    #[test]
+    fn join_then_drain_never_leaves_a_residual_signal() {
+        // The race this guards: a wake issued between a drain and the
+        // waking thread's exit re-signals the poller, so a quiescence
+        // check after tear-down observes a phantom event. Iterate with an
+        // unsynchronized late waker; the helper's join-before-drain order
+        // must absorb every wake.
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.register(waker.fd(), 3, true, false).unwrap();
+        for _ in 0..50 {
+            let remote = std::sync::Arc::clone(&waker);
+            let handle = std::thread::spawn(move || {
+                remote.wake();
+                std::thread::yield_now();
+                remote.wake(); // deliberately racing the tear-down
+            });
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            waker.join_then_drain(handle).unwrap();
+            events.clear();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap();
+            assert_eq!(n, 0, "phantom wake after join_then_drain: {events:?}");
+        }
     }
 
     #[test]

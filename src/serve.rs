@@ -8,6 +8,9 @@
 //! ```text
 //! LOAD <name> <path>        load a dictionary (.sddb binary, .sddm shard
 //!                           manifest, or v1 text)
+//! RELOAD <name>             re-open the artifact <name> was loaded from
+//!                           (after `sdd patch`); a sharded entry keeps
+//!                           every resident shard the patch left unchanged
 //! DIAG <name> <obs>         diagnose one observation against <name>
 //! BATCH <name> <obs>...     diagnose many; replies `OK BATCH <count>`
 //!                           then one result line per observation
@@ -287,6 +290,10 @@ struct Registry {
 #[derive(Default)]
 struct RegistryInner {
     entries: HashMap<String, Entry>,
+    /// The artifact path each name was `LOAD`ed from — what `RELOAD`
+    /// re-opens after an in-place patch. Kept beside the entries (not in
+    /// them) so replacing an entry mid-request cannot lose its provenance.
+    paths: HashMap<String, String>,
     bytes: usize,
     clock: u64,
     evictions: u64,
@@ -475,6 +482,63 @@ impl Registry {
         );
         inner.bytes -= old.map_or(0, |e| entry_bytes(&e));
         0
+    }
+
+    /// Records the artifact path `name` was loaded from, for `RELOAD`.
+    fn record_path(&self, name: &str, path: &str) {
+        self.lock().paths.insert(name.to_owned(), path.to_owned());
+    }
+
+    /// The artifact path `name` was loaded from, if it ever loaded.
+    fn source_path(&self, name: &str) -> Option<String> {
+        self.lock().paths.get(name).cloned()
+    }
+
+    /// Replaces a sharded entry with a re-opened manifest, carrying over
+    /// every resident slot whose manifest record is unchanged (same file
+    /// name, checksum, and fault range) — after an in-place patch, only
+    /// the rewritten shards go cold. Returns how many resident shards
+    /// survived the swap.
+    fn reload_manifest(&self, name: &str, reader: ShardedReader, load_us: u64) -> usize {
+        let new_records = reader.manifest().shards.clone();
+        let mut slots: Vec<ShardSlot> = new_records.iter().map(|_| ShardSlot::default()).collect();
+        let mut kept = 0;
+        let mut inner = self.lock();
+        if let Some(Entry::Sharded {
+            reader: old_reader,
+            slots: old_slots,
+            ..
+        }) = inner.entries.get_mut(name)
+        {
+            let old_records = &old_reader.manifest().shards;
+            for (index, record) in new_records.iter().enumerate() {
+                let unchanged = old_records.iter().position(|old| {
+                    old.file == record.file
+                        && old.payload_checksum == record.payload_checksum
+                        && old.fault_start == record.fault_start
+                        && old.fault_count == record.fault_count
+                });
+                if let Some(old_index) = unchanged {
+                    // Taking the slot keeps its resident bytes counted in
+                    // `inner.bytes`: they move to the new entry unchanged.
+                    let slot = std::mem::take(&mut old_slots[old_index]);
+                    if slot.resident.is_some() {
+                        kept += 1;
+                    }
+                    slots[index] = slot;
+                }
+            }
+        }
+        let old = inner.entries.insert(
+            name.to_owned(),
+            Entry::Sharded {
+                reader: Arc::new(reader),
+                slots,
+                load_us,
+            },
+        );
+        inner.bytes -= old.map_or(0, |e| entry_bytes(&e));
+        kept
     }
 
     /// Fetches whatever is registered under `name`, marking a whole
@@ -1101,9 +1165,9 @@ pub(crate) fn push_line(out: &mut Vec<u8>, line: &str) {
     out.push(b'\n');
 }
 
-/// Executes one **worker verb** request line — `LOAD`, `DIAG`, `BATCH`,
-/// the env-gated `PANIC` test hook, or an unknown verb — appending the
-/// complete reply line(s) to `out`.
+/// Executes one **worker verb** request line — `LOAD`, `RELOAD`, `DIAG`,
+/// `BATCH`, the env-gated `PANIC` test hook, or an unknown verb —
+/// appending the complete reply line(s) to `out`.
 ///
 /// This is the execution core both transports share: the threaded backend
 /// buffers through it before writing, and the reactor's workers call it
@@ -1125,6 +1189,13 @@ pub(crate) fn execute_line(
             let reply = match (tokens.next(), tokens.next(), tokens.next()) {
                 (Some(name), Some(path), None) => load_reply(name, path, shared),
                 _ => err_reply("usage: LOAD <name> <path>"),
+            };
+            push_line(out, &reply);
+        }
+        "RELOAD" => {
+            let reply = match (tokens.next(), tokens.next()) {
+                (Some(name), None) => reload_reply(name, shared),
+                _ => err_reply("usage: RELOAD <name>"),
             };
             push_line(out, &reply);
         }
@@ -1245,6 +1316,7 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
                     (m.kind.name(), m.faults, m.tests, reader.shard_count());
                 let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let resident = shared.registry.insert_manifest(name, reader, load_us);
+                shared.registry.record_path(name, path);
                 format!(
                     "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us} shards={shards}"
                 )
@@ -1263,6 +1335,7 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
                 let mapped = bytes.len();
                 let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 let resident = shared.registry.insert_image(name, bytes, load_us);
+                shared.registry.record_path(name, path);
                 format!(
                     "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us} mode=mapped mapped={mapped}"
                 )
@@ -1281,11 +1354,51 @@ fn load_reply(name: &str, path: &str, shared: &Arc<Shared>) -> String {
             let (faults, tests) = (d.fault_count(), d.test_count());
             let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
             let resident = shared.registry.insert(name, d, load_us);
+            shared.registry.record_path(name, path);
             format!(
                 "OK LOADED {name} kind={kind} faults={faults} tests={tests} bytes={resident} load_us={load_us}"
             )
         }
         Err(e) => err_reply(&e.to_string()),
+    }
+}
+
+/// Re-opens the artifact a dictionary was loaded from — the post-patch
+/// refresh path. A sharded entry keeps every resident shard whose manifest
+/// record is byte-for-byte unchanged (only patched shards go cold); a
+/// whole dictionary is simply re-loaded through [`load_reply`].
+fn reload_reply(name: &str, shared: &Arc<Shared>) -> String {
+    let Some(path) = shared.registry.source_path(name) else {
+        return err_reply(&format!(
+            "unknown dictionary {name:?}: RELOAD needs a prior LOAD"
+        ));
+    };
+    let start = Instant::now();
+    let bytes = match sdd_store::read_dictionary_bytes(&path, MmapMode::Off) {
+        Ok(bytes) => bytes,
+        Err(e) => return err_reply(&e.to_string()),
+    };
+    if sdd_store::is_manifest(&bytes) {
+        return match ShardedReader::open_with(&path, shared.mmap) {
+            Ok(reader) => {
+                let m = reader.manifest();
+                let (kind, faults, tests, shards) =
+                    (m.kind.name(), m.faults, m.tests, reader.shard_count());
+                let load_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let kept = shared.registry.reload_manifest(name, reader, load_us);
+                format!(
+                    "OK RELOADED {name} kind={kind} faults={faults} tests={tests} shards={shards} kept={kept} load_us={load_us}"
+                )
+            }
+            Err(e) => err_reply(&e.to_string()),
+        };
+    }
+    // Whole files replace their entry outright: the artifact was rewritten
+    // atomically as one image, so there is no sibling to keep.
+    let reply = load_reply(name, &path, shared);
+    match reply.strip_prefix("OK LOADED") {
+        Some(rest) => format!("OK RELOADED{rest} kept=0"),
+        None => reply,
     }
 }
 

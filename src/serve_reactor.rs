@@ -389,6 +389,14 @@ fn advance_step(shared: &Arc<Shared>, conn: &mut Conn, processed: &mut u64) -> S
     }
 }
 
+/// Looks up the connection slot an epoll event points at, tolerating an
+/// out-of-range token or a vacant slot by returning `None` — the event
+/// loop's lookups must degrade to a connection close, never a panic,
+/// because the reactor thread runs outside the per-request `catch_unwind`.
+fn event_conn(conns: &mut [Option<Conn>], index: usize) -> Option<&mut Conn> {
+    conns.get_mut(index).and_then(Option::as_mut)
+}
+
 /// What a timer sweep decided for one connection.
 enum TimerAction {
     None,
@@ -629,13 +637,20 @@ impl Reactor {
 
     fn on_conn_event(&mut self, token: u64, readable: bool, writable: bool) {
         let index = usize::try_from(token - TOKEN_BASE).unwrap_or(usize::MAX);
-        if self.conns.get(index).is_none_or(Option::is_none) {
+        if event_conn(&mut self.conns, index).is_none() {
             return; // stale event for a connection closed this batch
         }
         if writable {
-            let alive = {
-                let conn = self.conns[index].as_mut().expect("checked above");
-                flush(conn).is_ok()
+            let alive = match event_conn(&mut self.conns, index) {
+                Some(conn) => flush(conn).is_ok(),
+                // A slot live at the top of this function but vacant now is
+                // a slab invariant violation. This thread runs outside the
+                // per-request catch_unwind, so it must never panic: log,
+                // close the slot, and keep serving everyone else.
+                None => {
+                    eprintln!("sdd-serve: connection slot {index} vanished mid-event; closing it");
+                    false
+                }
             };
             if !alive {
                 self.close_conn(index);
@@ -899,6 +914,21 @@ mod tests {
         assert_eq!(queue.pop().map(|j| j.conn), Some(1));
         assert_eq!(queue.pop().map(|j| j.conn), Some(2));
         assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn vacant_or_out_of_range_event_slot_is_not_a_panic() {
+        // Regression: the event loop used to re-index the slab with
+        // `expect("checked above")` after its vacancy guard — an invariant
+        // violation there would have killed the whole server, since the
+        // reactor thread runs outside the per-request catch_unwind. Every
+        // event-loop slot lookup now funnels through `event_conn`, which
+        // must answer `None` for vacant and out-of-range slots alike.
+        let mut conns: Vec<Option<Conn>> = vec![None, None];
+        assert!(event_conn(&mut conns, 0).is_none());
+        assert!(event_conn(&mut conns, 1).is_none());
+        assert!(event_conn(&mut conns, 2).is_none());
+        assert!(event_conn(&mut conns, usize::MAX).is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn torn_sddb_write_at_every_boundary_leaves_the_target_loadable() {
     let dictionary = fixture();
     store::save(&path, &dictionary).unwrap();
     let committed = std::fs::read(&path).unwrap();
-    let image = store::encode(&dictionary);
+    let image = store::encode(&dictionary).unwrap();
 
     // Every 64-byte boundary of the staged image, plus the empty file and
     // the all-but-one-byte cut: the states a kill mid-write can leave.
@@ -101,7 +101,7 @@ fn torn_manifest_and_shard_writes_leave_the_set_loadable() {
 fn oversized_header_payload_is_rejected_before_buffering() {
     let dir = scratch_dir("guard");
     let path = dir.join("dict.sddb");
-    let image = store::encode(&fixture());
+    let image = store::encode(&fixture()).unwrap();
 
     // A valid header whose declared payload outruns the file: the length
     // check must fire on the header alone, before the body is buffered.

@@ -32,7 +32,8 @@ fn build(
     replace_baselines(matrix, &mut baselines);
     let bytes = encode(&StoredDictionary::SameDifferent(
         SameDifferentDictionary::build(matrix, &baselines),
-    ));
+    ))
+    .unwrap();
     (
         selection.baselines,
         selection.indistinguished_pairs,

@@ -33,7 +33,7 @@ fn kinds(suite: &DictionarySuite) -> [StoredDictionary; 3] {
 fn every_kind_round_trips_through_the_binary_store() {
     let suite = c17_suite();
     for dictionary in kinds(&suite) {
-        let bytes = encode(&dictionary);
+        let bytes = encode(&dictionary).unwrap();
         let back = decode(&bytes).unwrap();
         assert_eq!(back, dictionary, "{:?}", dictionary.kind());
     }
@@ -51,7 +51,7 @@ fn same_different_round_trips_text_to_binary_to_memory() {
 
     // memory -> binary -> memory, through the parsed-from-text copy so the
     // whole chain text -> binary -> memory is exercised.
-    let bytes = encode(&StoredDictionary::SameDifferent(from_text));
+    let bytes = encode(&StoredDictionary::SameDifferent(from_text)).unwrap();
     let from_binary = store::read_same_different_auto(&bytes).unwrap();
     assert_eq!(&from_binary, d);
 
@@ -71,7 +71,8 @@ fn lazy_row_loads_agree_with_full_decodes() {
     let suite = c17_suite();
     let bytes = encode(&StoredDictionary::SameDifferent(
         suite.same_different.clone(),
-    ));
+    ))
+    .unwrap();
     let reader = SddbReader::open(&bytes).unwrap();
     assert_eq!(reader.kind(), DictionaryKind::SameDifferent);
     for fault in 0..suite.same_different.fault_count() {
@@ -92,7 +93,7 @@ fn lazy_row_loads_agree_with_full_decodes() {
 fn truncated_file_is_a_typed_truncation_error() {
     let suite = c17_suite();
     for dictionary in kinds(&suite) {
-        let bytes = encode(&dictionary);
+        let bytes = encode(&dictionary).unwrap();
         // Cut mid-payload.
         assert!(
             matches!(
@@ -113,7 +114,7 @@ fn truncated_file_is_a_typed_truncation_error() {
 #[test]
 fn flipped_header_byte_is_a_checksum_error() {
     let suite = c17_suite();
-    let mut bytes = encode(&StoredDictionary::PassFail(suite.pass_fail.clone()));
+    let mut bytes = encode(&StoredDictionary::PassFail(suite.pass_fail.clone())).unwrap();
     bytes[9] ^= 0x40; // inside the header, outside the magic
     assert!(matches!(
         decode(&bytes),
@@ -127,7 +128,7 @@ fn flipped_header_byte_is_a_checksum_error() {
 #[test]
 fn flipped_payload_byte_is_a_checksum_error() {
     let suite = c17_suite();
-    let mut bytes = encode(&StoredDictionary::Full(suite.full.clone()));
+    let mut bytes = encode(&StoredDictionary::Full(suite.full.clone())).unwrap();
     let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
     bytes[mid] ^= 0x01;
     assert!(matches!(
@@ -159,7 +160,8 @@ fn corruption_surfaces_identically_under_mmap() {
     let suite = c17_suite();
     let pristine = encode(&StoredDictionary::SameDifferent(
         suite.same_different.clone(),
-    ));
+    ))
+    .unwrap();
     let dir = std::env::temp_dir().join(format!("sdd-roundtrip-mmap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("dict.sddb");
